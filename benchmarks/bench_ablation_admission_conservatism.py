@@ -1,0 +1,155 @@
+"""Ablation: how conservative must admission measurement be? (Section 9)
+
+"The key to making the predictive service commitments reliable is to
+choose appropriately conservative measures for nu-hat and d-hat_j; these
+should not just be averages but consistently conservative estimates."
+
+We sweep a multiplicative safety factor on both measured quantities while
+a stream of predicted-service requests (tight 50 ms class, declared
+(85 kbit/s, 10 kbit) buckets) arrives every 10 s at one link.  For each
+factor we record: flows admitted, link utilization, and the fraction of
+tight-class packets whose per-switch wait exceeded the advertised D_0.
+
+Measured shape: the paper's example criterion (2) is *already*
+conservative — the commitment holds (zero violations) even with no safety
+margin at all — so extra conservatism buys no additional reliability on
+this workload and pays for it directly in utilization (~60 % admitted load
+at factor 1.0 falling below 30 % at factor 3.0).  This quantifies the
+trade the paper says "may involve historical knowledge" to tune: on a
+stationary workload, the heuristic alone suffices.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.admission import AdmissionConfig, AdmissionController
+from repro.core.measurement import MeasurementConfig, SwitchMeasurement
+from repro.core.service import FlowSpec, PredictedServiceSpec
+from repro.core.signaling import FlowEstablishmentError, SignalingAgent
+from repro.experiments import common
+from repro.net.packet import ServiceClass
+from repro.net.topology import single_link_topology
+from repro.sched.unified import UnifiedConfig, UnifiedScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource
+
+CLASS_BOUNDS = (0.05, 0.5)
+SAFETY_FACTORS = (1.0, 1.5, 2.0, 3.0)
+REQUESTS = 20
+REQUEST_SPACING = 10.0
+DURATION = 300.0
+SEED = 2
+
+
+def run_with_safety(safety, seed=SEED):
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    net = single_link_topology(
+        sim,
+        lambda n, l: UnifiedScheduler(
+            UnifiedConfig(capacity_bps=l.rate_bps, num_predicted_classes=2)
+        ),
+        rate_bps=common.LINK_RATE_BPS,
+    )
+    admission = AdmissionController(
+        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+    )
+    admission.attach_measurement(
+        "A->B",
+        SwitchMeasurement(
+            net.port_for_link("A->B"),
+            MeasurementConfig(
+                utilization_safety=safety, delay_safety=safety
+            ),
+        ),
+    )
+    signaling = SignalingAgent(net, admission)
+    accepted = [0]
+    violations = [0]
+    tight_packets = [0]
+    port = net.port_for_link("A->B")
+
+    def on_depart(packet, now, wait):
+        if (
+            packet.service_class is ServiceClass.PREDICTED
+            and packet.priority_class == 0
+        ):
+            tight_packets[0] += 1
+            if wait > CLASS_BOUNDS[0]:
+                violations[0] += 1
+
+    port.on_depart.append(on_depart)
+
+    def try_flow(index):
+        flow_id = f"v{index}"
+        try:
+            grant = signaling.establish(
+                FlowSpec(
+                    flow_id=flow_id,
+                    source="src-host",
+                    destination="dst-host",
+                    spec=PredictedServiceSpec(
+                        token_rate_bps=85_000,
+                        bucket_depth_bits=10_000,
+                        target_delay_seconds=CLASS_BOUNDS[0],
+                    ),
+                )
+            )
+        except FlowEstablishmentError:
+            return
+        accepted[0] += 1
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(flow_id),
+            service_class=ServiceClass.PREDICTED,
+            priority_class=grant.priority_class,
+        )
+        net.hosts["dst-host"].default_handler = lambda packet: None
+
+    for index in range(REQUESTS):
+        sim.schedule(index * REQUEST_SPACING, lambda i=index: try_flow(i))
+    sim.run(until=DURATION)
+    violation_rate = (
+        violations[0] / tight_packets[0] if tight_packets[0] else 0.0
+    )
+    return {
+        "accepted": accepted[0],
+        "utilization": net.links["A->B"].utilization(),
+        "violation_rate": violation_rate,
+    }
+
+
+def run_sweep(seed: int = SEED):
+    return {safety: run_with_safety(safety, seed) for safety in SAFETY_FACTORS}
+
+
+def test_bench_ablation_admission_conservatism(benchmark):
+    results = run_once(benchmark, run_sweep)
+    print()
+    print("Admission conservatism sweep — 20 tight-class requests, one link")
+    print(common.format_table(
+        ["safety factor", "admitted", "utilization", "D_0 violations"],
+        [
+            [f"{safety:.1f}", str(r["accepted"]), f"{r['utilization']:.1%}",
+             f"{r['violation_rate']:.4%}"]
+            for safety, r in results.items()
+        ],
+    ))
+    for safety, r in results.items():
+        benchmark.extra_info[f"s={safety}"] = (
+            f"admitted={r['accepted']} util={r['utilization']:.2f} "
+            f"viol={r['violation_rate']:.4f}"
+        )
+    admitted = [results[s]["accepted"] for s in SAFETY_FACTORS]
+    utilizations = [results[s]["utilization"] for s in SAFETY_FACTORS]
+    # Conservatism monotonically costs admissions and utilization...
+    assert admitted == sorted(admitted, reverse=True)
+    assert utilizations == sorted(utilizations, reverse=True)
+    assert utilizations[0] > 1.5 * utilizations[-1]
+    # ...while the paper's criterion keeps the commitment reliable at
+    # every sweep point (zero advertised-bound violations even at 1.0).
+    assert all(r["violation_rate"] == 0.0 for r in results.values())
+    # And the commitments were actually exercised.
+    assert admitted[0] >= 8

@@ -1,0 +1,112 @@
+"""Ablation: isolation vs sharing (Section 5's gedanken experiment).
+
+Nine smooth CBR flows plus one bursty on/off flow share a link.  Under WFQ
+(isolation) the burster's own tail delay explodes while its peers stay
+almost untouched; under FIFO (sharing) everyone absorbs a little of the
+burst and the burster's tail collapses.  This is the paper's argument for
+why predicted service wants FIFO inside an isolating envelope.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common
+from repro.net.topology import single_link_topology
+from repro.sched.fifo import FifoScheduler
+from repro.sched.wfq import WfqScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.cbr import CbrSource
+from repro.traffic.onoff import OnOffMarkovSource, OnOffParams
+from repro.traffic.sink import DelayRecordingSink
+
+NUM_SMOOTH = 9
+SMOOTH_RATE_PPS = 80.0
+BURSTY_RATE_PPS = 85.0
+# The gedanken experiment's burst arrives as a clump: in-burst generation
+# at (nearly) link speed, long bursts, same long-run average as the peers.
+BURSTY_PARAMS = OnOffParams(
+    average_rate_pps=BURSTY_RATE_PPS,
+    mean_burst_packets=25.0,
+    peak_rate_pps=900.0,
+)
+DURATION = 60.0
+WARMUP = 5.0
+
+
+def run_discipline(discipline: str, seed: int):
+    """Returns (bursty_p999, mean peer p999) in tx-time units."""
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    if discipline == "WFQ":
+        factory = lambda n, link: WfqScheduler(
+            link.rate_bps, auto_register_rate=link.rate_bps / (NUM_SMOOTH + 1)
+        )
+    else:
+        factory = lambda n, link: FifoScheduler()
+    net = single_link_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
+    sinks = {}
+    for i in range(NUM_SMOOTH):
+        flow_id = f"smooth-{i}"
+        CbrSource(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            rate_pps=SMOOTH_RATE_PPS,
+            start_offset=i / (SMOOTH_RATE_PPS * NUM_SMOOTH),
+        )
+        sinks[flow_id] = DelayRecordingSink(
+            sim, net.hosts["dst-host"], flow_id, warmup=WARMUP
+        )
+    OnOffMarkovSource(
+        sim,
+        net.hosts["src-host"],
+        "bursty",
+        "dst-host",
+        BURSTY_PARAMS,
+        streams.stream("bursty"),
+    )
+    sinks["bursty"] = DelayRecordingSink(
+        sim, net.hosts["dst-host"], "bursty", warmup=WARMUP
+    )
+    sim.run(until=DURATION)
+    unit = common.TX_TIME_SECONDS
+    bursty = sinks["bursty"].percentile_queueing(99.9, unit)
+    peers = [
+        sinks[f"smooth-{i}"].percentile_queueing(99.9, unit)
+        for i in range(NUM_SMOOTH)
+    ]
+    return bursty, sum(peers) / len(peers)
+
+
+def run_ablation(seed: int = BENCH_SEED):
+    return {name: run_discipline(name, seed) for name in ("WFQ", "FIFO")}
+
+
+def test_bench_ablation_isolation_sharing(benchmark):
+    results = run_once(benchmark, run_ablation)
+    print()
+    print("Isolation vs sharing — 99.9 %ile queueing delay (tx times)")
+    print(common.format_table(
+        ["discipline", "bursty flow", "peer average"],
+        [
+            [name, f"{bursty:.2f}", f"{peers:.2f}"]
+            for name, (bursty, peers) in results.items()
+        ],
+    ))
+    wfq_bursty, wfq_peers = results["WFQ"]
+    fifo_bursty, fifo_peers = results["FIFO"]
+    benchmark.extra_info.update(
+        {
+            "wfq_bursty_p999": round(wfq_bursty, 2),
+            "wfq_peer_p999": round(wfq_peers, 2),
+            "fifo_bursty_p999": round(fifo_bursty, 2),
+            "fifo_peer_p999": round(fifo_peers, 2),
+        }
+    )
+    # Isolation: the burster pays for its own bursts under WFQ...
+    assert wfq_bursty > 2.0 * wfq_peers
+    # ...sharing: FIFO redistributes that jitter, shrinking the burster's
+    # tail substantially.
+    assert fifo_bursty < 0.7 * wfq_bursty
+    # The price of sharing: peers carry more jitter under FIFO than WFQ.
+    assert fifo_peers > wfq_peers

@@ -1,0 +1,91 @@
+"""Ablation: jitter shifting between priority classes (Section 7).
+
+The paper: a higher predicted class "steals bandwidth from the lower
+classes" during its bursts, so its jitter exports downward, and if the
+target bounds D_i are widely spaced the classes "should usually operate
+more or less independently".  This bench splits the Table-1 workload
+between two strict priority classes, sweeping how many of the 10 flows
+ride the high class, and reports both classes' tails.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common
+from repro.net.packet import ServiceClass
+from repro.net.topology import single_link_topology
+from repro.sched.fifo import FifoScheduler
+from repro.sched.priority import PriorityScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource
+from repro.traffic.sink import DelayRecordingSink
+
+NUM_FLOWS = 10
+HIGH_COUNTS = (2, 5, 8)
+DURATION = 45.0
+WARMUP = 5.0
+
+
+def run_split(num_high, seed):
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    net = single_link_topology(
+        sim,
+        lambda n, l: PriorityScheduler(
+            num_classes=2, sub_scheduler_factory=FifoScheduler
+        ),
+        rate_bps=common.LINK_RATE_BPS,
+    )
+    sinks = {}
+    for i in range(NUM_FLOWS):
+        flow_id = f"flow-{i}"
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(f"source:{flow_id}"),
+            average_rate_pps=common.AVERAGE_RATE_PPS,
+            service_class=ServiceClass.PREDICTED,
+            priority_class=0 if i < num_high else 1,
+        )
+        sinks[flow_id] = DelayRecordingSink(
+            sim, net.hosts["dst-host"], flow_id, warmup=WARMUP
+        )
+    sim.run(until=DURATION)
+    unit = common.TX_TIME_SECONDS
+    high = [
+        sinks[f"flow-{i}"].percentile_queueing(99.9, unit)
+        for i in range(num_high)
+    ]
+    low = [
+        sinks[f"flow-{i}"].percentile_queueing(99.9, unit)
+        for i in range(num_high, NUM_FLOWS)
+    ]
+    return sum(high) / len(high), sum(low) / len(low)
+
+
+def run_sweep(seed: int = BENCH_SEED):
+    return {count: run_split(count, seed) for count in HIGH_COUNTS}
+
+
+def test_bench_ablation_priority_spacing(benchmark):
+    results = run_once(benchmark, run_sweep)
+    print()
+    print("Priority jitter shifting — per-class average 99.9 %ile (tx times)")
+    print(common.format_table(
+        ["high flows", "high-class p999", "low-class p999"],
+        [
+            [str(count), f"{high:.2f}", f"{low:.2f}"]
+            for count, (high, low) in results.items()
+        ],
+    ))
+    for count, (high, low) in results.items():
+        benchmark.extra_info[f"high={count}"] = f"{high:.2f}/{low:.2f}"
+        # Jitter shifts strictly downward: the high class always sees a
+        # smaller tail than the low class it exports to.
+        assert high < low, count
+    # The more load rides the high class, the worse the low class gets
+    # relative to the high class's own growth.
+    __, low_small = results[HIGH_COUNTS[0]]
+    __, low_big = results[HIGH_COUNTS[-1]]
+    assert low_big > low_small

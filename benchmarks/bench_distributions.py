@@ -1,0 +1,33 @@
+"""Bench: the delay CDFs behind Table 1 (Section 5, full-curve view).
+
+The paper reports two summary points per discipline; this bench regenerates
+the whole tail profile plus Jain's fairness index over per-flow 99.9 %ile
+delays — quantifying "the FIFO algorithm splits this delay evenly, whereas
+the WFQ algorithm assigns the delay to the flows that caused the momentary
+queueing".
+"""
+
+from benchmarks.conftest import BENCH_DURATION, BENCH_SEED, run_once
+from repro.experiments import distributions
+
+
+def test_bench_distributions(benchmark):
+    result = run_once(
+        benchmark, distributions.run, duration=BENCH_DURATION, seed=BENCH_SEED
+    )
+    print()
+    print(result.render())
+    wfq = result.row("WFQ")
+    fifo = result.row("FIFO")
+    for row in result.rows:
+        benchmark.extra_info[f"{row.scheduling}_p999"] = round(
+            row.percentiles[99.9], 2
+        )
+        benchmark.extra_info[f"{row.scheduling}_fairness"] = round(
+            row.tail_fairness, 3
+        )
+    # The distribution bodies agree; the tails diverge in FIFO's favour.
+    assert abs(wfq.percentiles[50.0] - fifo.percentiles[50.0]) < 1.0
+    assert fifo.percentiles[99.9] < 0.85 * wfq.percentiles[99.9]
+    # FIFO shares jitter at least as evenly as WFQ across the class.
+    assert fifo.tail_fairness >= wfq.tail_fairness

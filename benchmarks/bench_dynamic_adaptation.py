@@ -1,0 +1,43 @@
+"""Bench: predicted service in a dynamic environment (Sections 3 and 7).
+
+The validation the paper names as still outstanding: adaptive clients over
+predicted service while the load changes under them.  Three equal phases —
+base load, base + admitted wave, wave departed — with an adaptive
+play-back client sampled throughout.
+
+Shape: losses concentrate in the phase where delays rose (the client was
+gambling on the recent past and briefly lost); the play-back point tracks
+the delivered service upward AND back downward, recovering the latency a
+rigid client would keep paying.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common, dynamics
+
+PHASE_SECONDS = 45.0
+
+
+def test_bench_dynamic_adaptation(benchmark):
+    result = run_once(
+        benchmark, dynamics.run, phase_seconds=PHASE_SECONDS, seed=BENCH_SEED
+    )
+    print()
+    print(result.render())
+    offsets = {
+        "A": result.offset_at(0.9 * PHASE_SECONDS),
+        "B": result.offset_at(1.9 * PHASE_SECONDS),
+        "C": result.offset_at(2.9 * PHASE_SECONDS),
+    }
+    print(common.format_table(
+        ["settled in phase", "play-back offset"],
+        [[name, f"{offset * 1e3:.1f} ms"] for name, offset in offsets.items()],
+    ))
+    for phase in result.phases:
+        benchmark.extra_info[f"loss_{phase.name}"] = f"{phase.loss_rate:.3%}"
+    for name, offset in offsets.items():
+        benchmark.extra_info[f"offset_{name}_ms"] = round(offset * 1e3, 1)
+    # The Section 3 narrative, quantified.
+    assert result.phase("B").loss_rate > result.phase("A").loss_rate
+    assert result.phase("B").loss_rate > result.phase("C").loss_rate
+    assert offsets["B"] > 1.5 * offsets["A"]
+    assert offsets["C"] < 0.5 * offsets["B"]

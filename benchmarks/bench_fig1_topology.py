@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (the experiment topology + workload census).
+
+Figure 1 is structural, not statistical: five switches in a chain, four
+1 Mbit/s links, 22 flows laid out so every inter-switch link carries 10.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import topology
+
+
+def test_bench_fig1_topology(benchmark):
+    report = run_once(benchmark, topology.build_report)
+    print()
+    print(report.render())
+    benchmark.extra_info.update(
+        {
+            "links": len(report.links),
+            "flows_per_link": sorted(set(report.flows_per_link.values())),
+            "path_census": report.flows_per_path_length,
+        }
+    )
+    assert set(report.flows_per_link.values()) == {10}
+    assert report.flows_per_path_length == {1: 12, 2: 4, 3: 4, 4: 2}

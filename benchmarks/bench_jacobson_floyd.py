@@ -1,0 +1,134 @@
+"""Bench: CSZ vs the Jacobson-Floyd scheme (Section 11).
+
+The paper's two concrete contrasts with the only other predicted-service
+architecture it discusses:
+
+1. **FIFO vs round-robin within a priority level.**  On the Table-1
+   workload, CSZ's FIFO multiplexes bursts so "the post facto jitter is
+   smaller for everyone"; round-robin re-isolates flows inside the class,
+   pushing each burster's tail back up — measurably worse 99.9 %iles.
+
+2. **Edge-only vs per-switch filter enforcement.**  CSZ checks token-
+   bucket conformance only at the first switch because "any later
+   violation would be due to the scheduling policies and load dynamics of
+   the network and not the generation behavior of the source" (§8).  We
+   police the same declared (A, 50) filters at every switch of the chain:
+   packets that conformed at their source get dropped inside the network,
+   and the count grows fast as the policer tightens.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common
+from repro.net.packet import ServiceClass
+from repro.net.topology import paper_figure1_topology, single_link_topology
+from repro.sched.fifo import FifoScheduler
+from repro.sched.jacobson_floyd import JacobsonFloydScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource
+from repro.traffic.sink import DelayRecordingSink
+
+NUM_FLOWS = 10
+DURATION = 45.0
+WARMUP = 5.0
+POLICER_DEPTHS = (50.0, 40.0, 30.0)
+
+
+def run_sharing_style(kind, seed):
+    """FIFO vs RR within one predicted class; returns mean of per-flow
+    p999s (tx units)."""
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    if kind == "CSZ (FIFO in class)":
+        factory = lambda n, l: FifoScheduler()
+    else:
+        factory = lambda n, l: JacobsonFloydScheduler(num_classes=1)
+    net = single_link_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
+    sinks = []
+    for i in range(NUM_FLOWS):
+        flow_id = f"flow-{i}"
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(f"source:{flow_id}"),
+            service_class=ServiceClass.PREDICTED,
+        )
+        sinks.append(
+            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id,
+                               warmup=WARMUP)
+        )
+    sim.run(until=DURATION)
+    unit = common.TX_TIME_SECONDS
+    p999s = [sink.percentile_queueing(99.9, unit) for sink in sinks]
+    return sum(p999s) / len(p999s)
+
+
+def run_per_switch_policing(depth_packets, seed):
+    """Police the declared (A, depth) bucket at EVERY switch of the
+    Figure-1 chain; returns the number of in-network policed drops of
+    traffic that conformed at its source."""
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    schedulers = []
+
+    def factory(name, link):
+        scheduler = JacobsonFloydScheduler(num_classes=1)
+        schedulers.append(scheduler)
+        return scheduler
+
+    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
+    placements = common.figure1_flow_placements()
+    common.attach_paper_flows(
+        sim, net, streams, placements, WARMUP,
+        service_class=ServiceClass.PREDICTED,
+    )
+    for scheduler in schedulers:
+        for placement in placements:
+            scheduler.add_policer(
+                placement.name,
+                common.AVERAGE_RATE_PPS * common.PACKET_BITS,
+                depth_packets * common.PACKET_BITS,
+            )
+    sim.run(until=DURATION)
+    return sum(s.policed_drops for s in schedulers)
+
+
+def run_comparison(seed: int = BENCH_SEED):
+    sharing = {
+        kind: run_sharing_style(kind, seed)
+        for kind in ("CSZ (FIFO in class)", "J-F (RR in class)")
+    }
+    policing = {
+        depth: run_per_switch_policing(depth, seed)
+        for depth in POLICER_DEPTHS
+    }
+    return sharing, policing
+
+
+def test_bench_jacobson_floyd(benchmark):
+    sharing, policing = run_once(benchmark, run_comparison)
+    print()
+    print("Within-class sharing style — mean per-flow 99.9 %ile (tx times)")
+    print(common.format_table(
+        ["scheme", "p999"],
+        [[kind, f"{value:.2f}"] for kind, value in sharing.items()],
+    ))
+    print()
+    print("Per-switch policing of source-conforming traffic (4-hop chain)")
+    print(common.format_table(
+        ["policer depth (pkts)", "in-network policed drops"],
+        [[f"{depth:.0f}", str(count)] for depth, count in policing.items()],
+    ))
+    for kind, value in sharing.items():
+        benchmark.extra_info[kind] = round(value, 2)
+    for depth, count in policing.items():
+        benchmark.extra_info[f"drops@b={depth:.0f}"] = count
+    # 1. FIFO sharing beats round robin inside a homogeneous class.
+    assert sharing["CSZ (FIFO in class)"] < 0.9 * sharing["J-F (RR in class)"]
+    # 2. Per-switch policing punishes network-induced distortion, and the
+    #    damage grows monotonically as the policer tightens.
+    counts = [policing[depth] for depth in POLICER_DEPTHS]
+    assert counts[0] > 0
+    assert counts == sorted(counts)

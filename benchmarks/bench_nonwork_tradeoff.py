@@ -1,0 +1,93 @@
+"""Bench: the non-work-conserving trade-off (Section 11 related work).
+
+"Several non-work-conserving scheduling algorithms have been proposed ...
+packets are not allowed to leave early.  These algorithms typically
+deliver higher average delays in return for lower jitter."
+
+We run the Table-2 workload (Figure-1 chain, 22 flows) under FIFO,
+Stop-and-Go (frame 50 ms), and Jitter-EDD (80 ms per-hop target) and
+report the 4-hop flow's mean, 99.9 %ile, and spread (p99.9 - p1 — the
+post facto jitter a play-back client must buffer for):
+
+* FIFO: tiny mean, spread limited only by queueing luck;
+* Stop-and-Go: mean inflated by ~half a frame per hop, spread bounded by
+  one frame per hop regardless of load;
+* Jitter-EDD: highest mean (every packet is reshaped to its deadline at
+  every hop) but the smallest spread — per-hop jitter is cancelled, the
+  behaviour CSZ deliberately trades away in exchange for lower delay.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common
+from repro.net.topology import paper_figure1_topology
+from repro.sched.fifo import FifoScheduler
+from repro.sched.nonwork import JitterEddScheduler, StopAndGoScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+DURATION = 45.0
+WARMUP = 5.0
+FRAME_SECONDS = 0.05
+JEDD_TARGET = 0.08
+FOUR_HOP_FLOW = "i1"
+
+
+def run_discipline(kind, seed):
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    if kind == "FIFO":
+        factory = lambda n, l: FifoScheduler()
+    elif kind == "Stop-and-Go":
+        factory = lambda n, l: StopAndGoScheduler(
+            sim, frame_seconds=FRAME_SECONDS
+        )
+    else:
+        factory = lambda n, l: JitterEddScheduler(
+            sim, default_target=JEDD_TARGET
+        )
+    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
+    placements = common.figure1_flow_placements()
+    sinks = common.attach_paper_flows(sim, net, streams, placements, WARMUP)
+    sim.run(until=DURATION)
+    unit = common.TX_TIME_SECONDS
+    sink = sinks[FOUR_HOP_FLOW]
+    mean = sink.mean_queueing(unit)
+    p999 = sink.percentile_queueing(99.9, unit)
+    spread = p999 - sink.percentile_queueing(1.0, unit)
+    return mean, p999, spread
+
+
+def run_comparison(seed: int = BENCH_SEED):
+    return {
+        kind: run_discipline(kind, seed)
+        for kind in ("FIFO", "Stop-and-Go", "Jitter-EDD")
+    }
+
+
+def test_bench_nonwork_tradeoff(benchmark):
+    results = run_once(benchmark, run_comparison)
+    print()
+    print("Work-conserving vs not — 4-hop flow (tx times)")
+    print(common.format_table(
+        ["discipline", "mean", "99.9 %ile", "spread"],
+        [
+            [kind, f"{mean:.2f}", f"{p999:.2f}", f"{spread:.2f}"]
+            for kind, (mean, p999, spread) in results.items()
+        ],
+    ))
+    for kind, (mean, p999, spread) in results.items():
+        benchmark.extra_info[kind] = (
+            f"mean={mean:.1f} p999={p999:.1f} spread={spread:.1f}"
+        )
+    fifo_mean, __, fifo_spread = results["FIFO"]
+    sg_mean, sg_p999, __ = results["Stop-and-Go"]
+    jedd_mean, __, jedd_spread = results["Jitter-EDD"]
+    # Higher average delay...
+    assert sg_mean > 5.0 * fifo_mean
+    assert jedd_mean > 5.0 * fifo_mean
+    # ...in return for lower / bounded jitter.
+    assert jedd_spread < 0.7 * fifo_spread
+    frame_tx = FRAME_SECONDS / common.TX_TIME_SECONDS
+    hops = 4
+    # Stop-and-Go's spread around its own mean is bounded by ~a frame/hop.
+    assert sg_p999 - sg_mean < hops * frame_tx

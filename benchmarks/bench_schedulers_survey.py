@@ -1,0 +1,104 @@
+"""Survey bench: the Section 11 related-work disciplines on one workload.
+
+Runs the Table-1 single-link workload under every scheduler in the library
+(FIFO, WFQ, FIFO+, VirtualClock, round robin, deficit round robin, EDF)
+and prints one row each — mean / 99.9 %ile of the sample flow.  Shapes to
+expect: the isolating schedulers (WFQ, VirtualClock, round-robins) cluster
+together with large tails; the sharing schedulers (FIFO, FIFO+ — identical
+on one hop — and EDF with uniform targets, which *is* FIFO per Section 5)
+cluster with small tails.
+"""
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments import common
+from repro.net.topology import single_link_topology
+from repro.sched.edf import EdfScheduler
+from repro.sched.fifo import FifoScheduler
+from repro.sched.fifoplus import FifoPlusScheduler
+from repro.sched.round_robin import (
+    DeficitRoundRobinScheduler,
+    RoundRobinScheduler,
+)
+from repro.sched.virtual_clock import VirtualClockScheduler
+from repro.sched.wfq import WfqScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource
+from repro.traffic.sink import DelayRecordingSink
+
+NUM_FLOWS = 10
+DURATION = 45.0
+WARMUP = 5.0
+
+FACTORIES = {
+    "FIFO": lambda link: FifoScheduler(),
+    "FIFO+": lambda link: FifoPlusScheduler(),
+    "WFQ": lambda link: WfqScheduler(
+        link.rate_bps, auto_register_rate=link.rate_bps / NUM_FLOWS
+    ),
+    "VirtualClock": lambda link: VirtualClockScheduler(
+        auto_register_rate=link.rate_bps / NUM_FLOWS
+    ),
+    "RR": lambda link: RoundRobinScheduler(),
+    "DRR": lambda link: DeficitRoundRobinScheduler(quantum_bits=1000),
+    "EDF": lambda link: EdfScheduler(default_target=0.1),
+}
+
+
+def run_discipline(name, seed):
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    net = single_link_topology(
+        sim,
+        lambda n, link: FACTORIES[name](link),
+        rate_bps=common.LINK_RATE_BPS,
+    )
+    sinks = []
+    for i in range(NUM_FLOWS):
+        flow_id = f"flow-{i}"
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(f"source:{flow_id}"),
+            average_rate_pps=common.AVERAGE_RATE_PPS,
+        )
+        sinks.append(
+            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id, warmup=WARMUP)
+        )
+    sim.run(until=DURATION)
+    unit = common.TX_TIME_SECONDS
+    return (
+        sinks[0].mean_queueing(unit),
+        sinks[0].percentile_queueing(99.9, unit),
+    )
+
+
+def run_survey(seed: int = BENCH_SEED):
+    return {name: run_discipline(name, seed) for name in FACTORIES}
+
+
+def test_bench_schedulers_survey(benchmark):
+    results = run_once(benchmark, run_survey)
+    print()
+    print("Scheduler survey — Table-1 workload, sample flow (tx times)")
+    print(common.format_table(
+        ["discipline", "mean", "99.9 %ile"],
+        [
+            [name, f"{mean:.2f}", f"{p999:.2f}"]
+            for name, (mean, p999) in results.items()
+        ],
+    ))
+    for name, (mean, p999) in results.items():
+        benchmark.extra_info[name] = f"{mean:.2f}/{p999:.2f}"
+    # Sharing vs isolation clusters (Section 5 / Section 11).
+    assert results["FIFO"][1] < results["WFQ"][1]
+    assert results["FIFO"][1] < results["VirtualClock"][1]
+    # EDF with a uniform target degenerates to FIFO (identical ordering).
+    assert abs(results["EDF"][1] - results["FIFO"][1]) < 1e-6
+    # FIFO+ on a single hop behaves like FIFO (offsets are zero on hop 1).
+    assert abs(results["FIFO+"][0] - results["FIFO"][0]) < 0.5
+    # Work conservation: every discipline sees a similar mean.
+    means = [mean for mean, __ in results.values()]
+    assert max(means) < 1.6 * min(means)

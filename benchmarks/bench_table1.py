@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 1 (WFQ vs FIFO on one 83.5 %-utilized link).
+
+Paper rows (delays in packet transmission times):
+
+    scheduling   mean   99.9 %ile
+    WFQ          3.16   53.86
+    FIFO         3.17   34.72
+"""
+
+from benchmarks.conftest import BENCH_DURATION, BENCH_SEED, run_once
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(
+        benchmark, table1.run, duration=BENCH_DURATION, seed=BENCH_SEED
+    )
+    print()
+    print(result.render())
+    wfq = result.row("WFQ")
+    fifo = result.row("FIFO")
+    benchmark.extra_info.update(
+        {
+            "wfq_mean": round(wfq.mean, 2),
+            "wfq_p999": round(wfq.p999, 2),
+            "fifo_mean": round(fifo.mean, 2),
+            "fifo_p999": round(fifo.p999, 2),
+            "utilization": round(result.utilization, 3),
+        }
+    )
+    # Paper-shape assertions (not absolute numbers).
+    assert abs(wfq.mean - fifo.mean) / max(wfq.mean, fifo.mean) < 0.10
+    assert fifo.p999 < 0.85 * wfq.p999

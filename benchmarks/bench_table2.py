@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 2 (WFQ / FIFO / FIFO+ by path length).
+
+Paper rows (mean / 99.9 %ile, transmission times):
+
+                 1 hop          2 hops         3 hops         4 hops
+    WFQ     2.65 / 45.31   4.74 / 60.31   7.51 / 65.86   9.64 / 80.59
+    FIFO    2.54 / 30.49   4.73 / 41.22   7.97 / 52.36  10.33 / 58.13
+    FIFO+   2.71 / 33.59   4.69 / 38.15   7.76 / 43.30  10.11 / 45.25
+"""
+
+from benchmarks.conftest import BENCH_DURATION, BENCH_SEED, run_once
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    result = run_once(
+        benchmark, table2.run, duration=BENCH_DURATION, seed=BENCH_SEED
+    )
+    print()
+    print(result.render())
+    for row in result.rows:
+        for hops in (1, 2, 3, 4):
+            cell = row.by_hops[hops]
+            benchmark.extra_info[f"{row.scheduling}_{hops}h"] = (
+                f"{cell.mean:.2f}/{cell.p999:.2f}"
+            )
+    # Shape: FIFO+ flattens the growth of the 99.9 %ile with path length.
+    wfq = result.row("WFQ")
+    plus = result.row("FIFO+")
+    wfq_growth = wfq.by_hops[4].p999 - wfq.by_hops[1].p999
+    plus_growth = plus.by_hops[4].p999 - plus.by_hops[1].p999
+    assert plus_growth < 0.75 * wfq_growth
+    assert plus.by_hops[4].p999 < result.row("FIFO").by_hops[4].p999

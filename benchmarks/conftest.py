@@ -1,0 +1,22 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one of the paper's tables/figures (or an ablation
+of a design choice DESIGN.md calls out).  Simulated horizons are shortened
+from the paper's 600 s so the whole suite completes in minutes; the
+``python -m repro.experiments <name> --duration 600`` CLI reruns any
+experiment at full length.
+
+Each bench run is a complete experiment, so benches execute exactly once
+(``rounds=1``): variance across repetitions would measure the host machine,
+not the reproduction.
+"""
+
+from __future__ import annotations
+
+BENCH_DURATION = 60.0  # simulated seconds per bench run
+BENCH_SEED = 1
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's core claim on one shared link in ~40 lines.
+
+Ten bursty voice-like sources share a 1 Mbit/s link at ~83.5 % load.  We
+run the identical arrival process under WFQ (isolation) and FIFO (sharing)
+and print each discipline's mean and 99.9th-percentile queueing delay.
+
+Expected shape (Table 1 of the paper): the means match, but FIFO's tail is
+far smaller — when every client is in the same boat, sharing the jitter
+beats isolating it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DelayRecordingSink,
+    FifoScheduler,
+    OnOffMarkovSource,
+    RandomStreams,
+    Simulator,
+    WfqScheduler,
+    single_link_topology,
+)
+
+NUM_FLOWS = 10
+LINK_BPS = 1_000_000
+TX_TIME = 1000 / LINK_BPS  # one packet transmission time = 1 ms
+DURATION = 120.0  # simulated seconds
+SEED = 42
+
+
+def run(discipline: str) -> tuple[float, float]:
+    """Simulate one discipline; returns (mean, p99.9) in tx-time units."""
+    sim = Simulator()
+    streams = RandomStreams(seed=SEED)  # same seed -> same arrivals
+
+    if discipline == "WFQ":
+        factory = lambda name, link: WfqScheduler(
+            link.rate_bps, auto_register_rate=link.rate_bps / NUM_FLOWS
+        )
+    else:
+        factory = lambda name, link: FifoScheduler()
+
+    net = single_link_topology(sim, factory, rate_bps=LINK_BPS)
+    sinks = []
+    for i in range(NUM_FLOWS):
+        flow_id = f"voice-{i}"
+        # The paper's source: two-state Markov, A = 85 pkt/s, bursts of
+        # mean 5 packets at twice the average rate, (A, 50) token bucket.
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(flow_id),
+        )
+        sinks.append(
+            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id, warmup=5.0)
+        )
+    sim.run(until=DURATION)
+    sample = sinks[0]
+    return (
+        sample.mean_queueing(TX_TIME),
+        sample.percentile_queueing(99.9, TX_TIME),
+    )
+
+
+def main() -> None:
+    print(f"10 bursty flows on one 1 Mbit/s link, {DURATION:.0f} s simulated")
+    print(f"{'discipline':>10}  {'mean':>6}  {'99.9 %ile':>9}   (tx times)")
+    for discipline in ("WFQ", "FIFO"):
+        mean, p999 = run(discipline)
+        print(f"{discipline:>10}  {mean:6.2f}  {p999:9.2f}")
+    print("\npaper (Table 1):  WFQ 3.16 / 53.86   FIFO 3.17 / 34.72")
+    print("shape to notice: equal means, but FIFO's tail is much smaller.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""A remote-surgery video feed over guaranteed service.
+
+The paper's intolerant-and-rigid client: "a video conference allowing one
+surgeon to remotely assist another during an operation will not be
+tolerant of any interruption of service."  Such a client needs an a priori
+worst-case bound, so it requests *guaranteed* service:
+
+1. the source knows its own token bucket characterization b(r) and picks a
+   clock rate r from the delay target using the Parekh-Gallager bound
+   b/r (Section 8: the network never sees b for guaranteed flows);
+2. signaling installs the WFQ clock rate at every switch on the path;
+3. a RigidPlayback receiver parks its play-back point at the bound;
+4. hostile background traffic (heavy predicted bursts + datagram load)
+   tries to disturb the feed.
+
+Expected shape (Section 4): the video's measured worst-case delay stays
+below the computed P-G bound *no matter what the other traffic does*, and
+the rigid client loses nothing.
+
+Run:  python examples/video_guaranteed.py
+"""
+
+from repro import (
+    AdmissionConfig,
+    AdmissionController,
+    FlowSpec,
+    GuaranteedServiceSpec,
+    OnOffMarkovSource,
+    OnOffParams,
+    RandomStreams,
+    RigidPlayback,
+    ServiceClass,
+    SignalingAgent,
+    Simulator,
+    UnifiedConfig,
+    UnifiedScheduler,
+    paper_figure1_topology,
+)
+from repro.core.bounds import (
+    parekh_gallager_packet_bound,
+    required_clock_rate,
+)
+
+PACKET_BITS = 1000
+LINK_BPS = 1_000_000
+TX_TIME = PACKET_BITS / LINK_BPS
+
+# The video source: 170 pkt/s average (~170 kbit/s), bursty, with a
+# 20-packet token bucket the *source* has measured for itself.
+VIDEO_RATE_PPS = 170.0
+VIDEO_BUCKET_BITS = 20 * PACKET_BITS
+TARGET_QUEUEING_DELAY = 0.080  # 80 ms end-to-end queueing budget
+
+DURATION = 120.0
+SEED = 99
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(seed=SEED)
+
+    net = paper_figure1_topology(
+        sim,
+        lambda name, link: UnifiedScheduler(
+            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
+        ),
+    )
+    admission = AdmissionController(AdmissionConfig(realtime_quota=0.9))
+    signaling = SignalingAgent(net, admission)
+
+    # --- the surgeon sizes the request (all client-side math) ----------
+    clock_rate = max(
+        required_clock_rate(VIDEO_BUCKET_BITS, TARGET_QUEUEING_DELAY),
+        VIDEO_RATE_PPS * PACKET_BITS,  # at least the average rate
+    )
+    hops = 4  # Host-1 -> Host-5
+    bound = parekh_gallager_packet_bound(
+        VIDEO_BUCKET_BITS, clock_rate, PACKET_BITS, [LINK_BPS] * hops
+    )
+    print(f"video flow: b = {VIDEO_BUCKET_BITS} bits, chosen r = "
+          f"{clock_rate / 1000:.0f} kbit/s")
+    print(f"Parekh-Gallager end-to-end bound: {bound * 1e3:.1f} ms "
+          f"({bound / TX_TIME:.1f} tx times)")
+
+    # --- establish: only r crosses the service interface ----------------
+    signaling.establish(
+        FlowSpec(
+            flow_id="surgery-video",
+            source="Host-1",
+            destination="Host-5",
+            spec=GuaranteedServiceSpec(clock_rate_bps=clock_rate),
+        )
+    )
+
+    # --- the video traffic + rigid receiver -----------------------------
+    OnOffMarkovSource(
+        sim,
+        net.hosts["Host-1"],
+        "surgery-video",
+        "Host-5",
+        OnOffParams(average_rate_pps=VIDEO_RATE_PPS, mean_burst_packets=10.0),
+        streams.stream("video"),
+        service_class=ServiceClass.GUARANTEED,
+    )
+    # The receiver both plays back and records delays (one handler per
+    # flow): the rigid play-back point sits exactly at the P-G bound.
+    receiver = RigidPlayback(
+        sim, net.hosts["Host-5"], "surgery-video", a_priori_bound=bound
+    )
+
+    # --- hostile background: heavy bursts, NO traffic commitment --------
+    # Guaranteed service must hold regardless; these flows are deliberately
+    # unfiltered (no token bucket) and overload every link.
+    for i in range(12):
+        src = f"Host-{1 + i % 4}"
+        dst = f"Host-{2 + i % 4}"
+        OnOffMarkovSource(
+            sim,
+            net.hosts[src],
+            f"hostile-{i}",
+            dst,
+            OnOffParams(
+                average_rate_pps=95.0,
+                mean_burst_packets=40.0,
+                peak_rate_pps=900.0,
+            ),
+            streams.stream(f"hostile-{i}"),
+            service_class=ServiceClass.PREDICTED,
+            priority_class=0,
+        )
+        net.hosts[dst].default_handler = lambda packet: None
+
+    print(f"\nsimulating {DURATION:.0f} s against 12 misbehaving "
+          "background flows ...")
+    sim.run(until=DURATION)
+
+    # --- verdict ---------------------------------------------------------
+    stats = receiver.stats()
+    worst = stats.max_delay  # end-to-end seconds (queueing + store/forward)
+    print(f"\nvideo packets received:   {stats.received}")
+    print(f"measured worst delay:     {worst * 1e3:.2f} ms")
+    print(f"a priori P-G bound:       {bound * 1e3:.2f} ms")
+    print(f"packets past play-back:   {stats.late}  "
+          f"(loss {stats.loss_fraction:.3%})")
+    assert worst <= bound, "guarantee violated!"
+    assert stats.late == 0
+    print("\nshape to notice: the measured worst case stays below the "
+          "bound and the\nrigid client never misses — isolation holds "
+          "against arbitrary cross traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""An adaptive packet-voice conference over predicted service.
+
+The scenario the paper's introduction motivates: tolerant, adaptive
+clients (think the 1992 VAT packet-voice tool) request *predicted* service
+instead of guaranteed, and set their play-back point from measured delays
+rather than the network's a priori bound.
+
+This example drives the full architecture end to end:
+
+1. build the Figure-1 five-switch chain with unified CSZ schedulers;
+2. establish 8 predicted-service voice flows through measurement-based
+   admission control (token bucket declared, (D, L) target requested,
+   conformance filter installed at each flow's first switch);
+3. attach an AdaptivePlayback receiver to each flow and a RigidPlayback
+   receiver to one control flow that ignores measurements and sits at the
+   network's advertised a priori bound;
+4. report, per flow: the advertised bound, the adaptive play-back point it
+   converged to, and the fraction of packets that missed it.
+
+Expected shape (Sections 2-3): the adaptive play-back points settle far
+below the advertised a priori bounds — that gap is the latency the
+adaptive client wins back — with losses near the requested 1 %.
+
+Run:  python examples/voice_conference.py
+"""
+
+from repro import (
+    AdaptivePlayback,
+    AdmissionConfig,
+    AdmissionController,
+    FlowSpec,
+    OnOffMarkovSource,
+    PredictedServiceSpec,
+    RandomStreams,
+    RigidPlayback,
+    ServiceClass,
+    SignalingAgent,
+    Simulator,
+    UnifiedConfig,
+    UnifiedScheduler,
+    paper_figure1_topology,
+)
+from repro.core.measurement import SwitchMeasurement
+
+PACKET_BITS = 1000
+VOICE_RATE_PPS = 85.0  # the paper's A
+BUCKET_PACKETS = 50.0
+CLASS_BOUNDS = (0.15, 1.5)  # per-switch D_i, widely spaced
+DURATION = 120.0
+SEED = 7
+
+# (flow id, source host, destination host, hops)
+CALLS = [
+    ("alice->bob", "Host-1", "Host-5", 4),
+    ("carol->dan", "Host-1", "Host-3", 2),
+    ("erin->frank", "Host-2", "Host-5", 3),
+    ("grace->henry", "Host-3", "Host-4", 1),
+    ("ivan->judy", "Host-1", "Host-2", 1),
+    ("kim->leo", "Host-2", "Host-3", 1),
+    ("mia->nick", "Host-3", "Host-5", 2),
+    ("olga->pete", "Host-4", "Host-5", 1),
+]
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(seed=SEED)
+
+    net = paper_figure1_topology(
+        sim,
+        lambda name, link: UnifiedScheduler(
+            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
+        ),
+    )
+
+    admission = AdmissionController(
+        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+    )
+    for link_name, port in net.ports.items():
+        admission.attach_measurement(link_name, SwitchMeasurement(port))
+    signaling = SignalingAgent(net, admission)
+
+    # --- establish every call through admission control ---------------
+    grants = {}
+    for flow_id, src, dst, hops in CALLS:
+        grants[flow_id] = signaling.establish(
+            FlowSpec(
+                flow_id=flow_id,
+                source=src,
+                destination=dst,
+                spec=PredictedServiceSpec(
+                    token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
+                    bucket_depth_bits=BUCKET_PACKETS * PACKET_BITS,
+                    target_delay_seconds=0.15 * hops,  # ride the high class
+                    target_loss_rate=0.01,
+                ),
+            )
+        )
+
+    # --- traffic + receivers -------------------------------------------
+    receivers = {}
+    for flow_id, src, dst, hops in CALLS:
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts[src],
+            flow_id,
+            dst,
+            streams.stream(flow_id),
+            average_rate_pps=VOICE_RATE_PPS,
+            service_class=ServiceClass.PREDICTED,
+            priority_class=grants[flow_id].priority_class,
+        )
+        receivers[flow_id] = AdaptivePlayback(
+            sim,
+            net.hosts[dst],
+            flow_id,
+            target_loss=0.01,
+            initial_offset=grants[flow_id].advertised_bound_seconds,
+        )
+
+    # A rigid control client on an identical extra flow: parks its
+    # play-back point at the advertised bound and never moves.
+    control_id = "rigid-control"
+    control_grant = signaling.establish(
+        FlowSpec(
+            flow_id=control_id,
+            source="Host-1",
+            destination="Host-5",
+            spec=PredictedServiceSpec(
+                token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
+                bucket_depth_bits=BUCKET_PACKETS * PACKET_BITS,
+                target_delay_seconds=0.6,
+            ),
+        )
+    )
+    OnOffMarkovSource.paper_source(
+        sim,
+        net.hosts["Host-1"],
+        control_id,
+        "Host-5",
+        streams.stream(control_id),
+        average_rate_pps=VOICE_RATE_PPS,
+        service_class=ServiceClass.PREDICTED,
+        priority_class=control_grant.priority_class,
+    )
+    rigid = RigidPlayback(
+        sim,
+        net.hosts["Host-5"],
+        control_id,
+        a_priori_bound=control_grant.advertised_bound_seconds,
+    )
+
+    print(f"established {len(grants) + 1} predicted-service voice flows; "
+          f"simulating {DURATION:.0f} s ...")
+    sim.run(until=DURATION)
+
+    # --- report ----------------------------------------------------------
+    print(f"\n{'call':>14} {'hops':>4} {'advertised':>11} {'play-back':>10} "
+          f"{'saved':>6} {'loss':>6}")
+    for flow_id, __, __, hops in CALLS:
+        app = receivers[flow_id]
+        stats = app.stats()
+        advertised = grants[flow_id].advertised_bound_seconds
+        saved = advertised - stats.final_offset
+        print(
+            f"{flow_id:>14} {hops:>4} {advertised * 1e3:>9.0f}ms "
+            f"{stats.final_offset * 1e3:>8.1f}ms {saved * 1e3:>5.0f}ms "
+            f"{stats.loss_fraction:>6.2%}"
+        )
+    rigid_stats = rigid.stats()
+    print(
+        f"{control_id:>14} {4:>4} "
+        f"{control_grant.advertised_bound_seconds * 1e3:>9.0f}ms "
+        f"{rigid_stats.final_offset * 1e3:>8.1f}ms {0:>5.0f}ms "
+        f"{rigid_stats.loss_fraction:>6.2%}   (rigid: never adapts)"
+    )
+    print(
+        "\nshape to notice: adaptive play-back points sit far below the "
+        "advertised\na priori bounds (the latency adaptive clients win), "
+        "with ~1% losses;\nthe rigid client never misses but carries the "
+        "full bound as latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

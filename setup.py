@@ -1,0 +1,16 @@
+"""Setuptools shim for environments whose pip cannot build PEP 517 wheels
+(the metadata of record lives in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Clark/Shenker/Zhang SIGCOMM'92: real-time services "
+        "in an ISPN"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

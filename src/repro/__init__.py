@@ -1,0 +1,92 @@
+"""repro — reproduction of Clark, Shenker & Zhang, SIGCOMM 1992.
+
+"Supporting Real-Time Applications in an Integrated Services Packet
+Network: Architecture and Mechanism."
+
+The library provides, from scratch:
+
+* a deterministic discrete-event packet-network simulator
+  (:mod:`repro.sim`, :mod:`repro.net`);
+* the paper's traffic model — two-state Markov on/off sources behind token
+  bucket filters (:mod:`repro.traffic`);
+* every scheduling discipline the paper builds or compares — FIFO, WFQ
+  (packetized GPS), FIFO+, strict priority, the unified CSZ scheduler, and
+  the related-work baselines (:mod:`repro.sched`);
+* the ISPN architecture — service interface, Parekh-Gallager bounds,
+  measurement-based admission control, signaling, rigid/adaptive playback
+  applications (:mod:`repro.core`);
+* a simplified TCP for datagram load (:mod:`repro.transport`);
+* runnable experiments regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import table1
+    result = table1.run(duration=60.0, seed=1)
+    print(result.render())
+"""
+
+from repro.sim import Simulator, RandomStreams
+from repro.net import (
+    Packet,
+    ServiceClass,
+    Network,
+    single_link_topology,
+    paper_figure1_topology,
+)
+from repro.sched import (
+    FifoScheduler,
+    WfqScheduler,
+    FifoPlusScheduler,
+    PriorityScheduler,
+    UnifiedScheduler,
+    UnifiedConfig,
+)
+from repro.traffic import OnOffMarkovSource, OnOffParams, TokenBucket, DelayRecordingSink
+from repro.core import (
+    FlowSpec,
+    GuaranteedServiceSpec,
+    PredictedServiceSpec,
+    AdmissionController,
+    AdmissionConfig,
+    SignalingAgent,
+    RigidPlayback,
+    AdaptivePlayback,
+    parekh_gallager_fluid_bound,
+    parekh_gallager_packet_bound,
+)
+from repro.transport import TcpConnection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "RandomStreams",
+    "Packet",
+    "ServiceClass",
+    "Network",
+    "single_link_topology",
+    "paper_figure1_topology",
+    "FifoScheduler",
+    "WfqScheduler",
+    "FifoPlusScheduler",
+    "PriorityScheduler",
+    "UnifiedScheduler",
+    "UnifiedConfig",
+    "OnOffMarkovSource",
+    "OnOffParams",
+    "TokenBucket",
+    "DelayRecordingSink",
+    "FlowSpec",
+    "GuaranteedServiceSpec",
+    "PredictedServiceSpec",
+    "AdmissionController",
+    "AdmissionConfig",
+    "SignalingAgent",
+    "RigidPlayback",
+    "AdaptivePlayback",
+    "parekh_gallager_fluid_bound",
+    "parekh_gallager_packet_bound",
+    "TcpConnection",
+    "__version__",
+]

@@ -1,0 +1,233 @@
+"""Measurement-based admission control (Section 9).
+
+The paper's example criteria, implemented literally.  A predicted-service
+flow declaring token bucket (r, b) may be admitted at priority level i on a
+link of speed mu iff
+
+  (1)  r + nu_hat < 0.9 * mu                       (the 10 % datagram quota)
+  (2)  b < (D_j - d_hat_j) * (mu - nu_hat - r)     for every class j of
+       lower or equal priority (j >= i in our numbering, 0 = highest)
+
+where nu_hat is the measured real-time utilization and d_hat_j the measured
+maximal delay of class j at this switch.  Criterion (2) is the paper's
+heuristic that even a worst-case burst b from the new flow, drained by the
+residual capacity (mu - nu_hat - r), must not push any equal-or-lower class
+past its bound D_j.
+
+For a guaranteed request the network knows only the clock rate r (Section
+8: no bucket size is declared), so criterion (2) cannot be evaluated; the
+controller applies criterion (1) plus the structural WFQ constraint that
+the sum of all guaranteed clock rates on the link stays within the 90 %
+real-time quota.  Guaranteed commitments are treated as higher priority
+than every predicted class — their load reaches criterion (2) for later
+requests through the measured nu_hat and d_hat_j, exactly the
+"measure the existing traffic, worst-case only the newcomer" philosophy the
+paper advocates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.measurement import SwitchMeasurement
+from repro.net.port import OutputPort
+
+
+class AdmissionVerdict(enum.Enum):
+    ACCEPT = "accept"
+    REJECT_UTILIZATION = "reject: r + nu_hat exceeds the real-time quota"
+    REJECT_DELAY_IMPACT = "reject: burst would violate a class delay bound"
+    REJECT_NO_CAPACITY = "reject: guaranteed clock rates would exceed quota"
+    REJECT_INFEASIBLE = "reject: no priority class can meet the target"
+
+
+@dataclasses.dataclass
+class AdmissionDecision:
+    """Outcome of one admission check at one link."""
+
+    verdict: AdmissionVerdict
+    link_name: str
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.verdict is AdmissionVerdict.ACCEPT
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """Policy knobs.
+
+    Attributes:
+        realtime_quota: fraction of the link reservable by real-time
+            traffic; the paper argues for 0.9, leaving >= 10 % to datagram
+            service "to ensure that the datagram service remains
+            operational at all times".
+        class_bounds_seconds: the K widely spaced per-switch target delay
+            bounds D_i for predicted classes, index 0 = highest priority =
+            tightest bound.  The paper suggests spacing them "no closer
+            than an order of magnitude".
+    """
+
+    realtime_quota: float = 0.9
+    class_bounds_seconds: Sequence[float] = (0.02, 0.2)
+
+    def __post_init__(self):
+        if not 0.0 < self.realtime_quota < 1.0:
+            raise ValueError("quota must be a fraction in (0, 1)")
+        if not self.class_bounds_seconds:
+            raise ValueError("need at least one predicted class bound")
+        previous = 0.0
+        for bound in self.class_bounds_seconds:
+            if bound <= previous:
+                raise ValueError(
+                    "class bounds must be positive and strictly increasing "
+                    "(class 0 = highest priority = tightest)"
+                )
+            previous = bound
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_bounds_seconds)
+
+
+class AdmissionController:
+    """Admission logic for one network; tracks guaranteed reservations.
+
+    The controller holds, per link, the book of guaranteed clock-rate
+    reservations (which it must know exactly — they are commitments, not
+    measurements) and consults a :class:`SwitchMeasurement` for everything
+    else.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._guaranteed_reservations: Dict[str, Dict[str, float]] = {}
+        self._measurements: Dict[str, SwitchMeasurement] = {}
+        self.decisions: List[AdmissionDecision] = []
+
+    # ------------------------------------------------------------------
+    def attach_measurement(self, link_name: str, measurement: SwitchMeasurement) -> None:
+        self._measurements[link_name] = measurement
+
+    def reserved_guaranteed_bps(self, link_name: str) -> float:
+        return sum(self._guaranteed_reservations.get(link_name, {}).values())
+
+    def record_guaranteed(self, link_name: str, flow_id: str, rate_bps: float) -> None:
+        self._guaranteed_reservations.setdefault(link_name, {})[flow_id] = rate_bps
+
+    def release_guaranteed(self, link_name: str, flow_id: str) -> None:
+        self._guaranteed_reservations.get(link_name, {}).pop(flow_id, None)
+
+    # ------------------------------------------------------------------
+    def choose_class(self, per_switch_target: float) -> Optional[int]:
+        """Lowest-priority class whose per-switch bound meets the target.
+
+        Returns None when even class 0 is too slow (infeasible request —
+        the client should ask for guaranteed service instead).
+        """
+        chosen = None
+        for idx, bound in enumerate(self.config.class_bounds_seconds):
+            if bound <= per_switch_target:
+                chosen = idx  # keep walking: later = lower priority = cheaper
+        return chosen
+
+    # ------------------------------------------------------------------
+    def check_predicted(
+        self,
+        link_name: str,
+        port: OutputPort,
+        priority_class: int,
+        token_rate_bps: float,
+        bucket_depth_bits: float,
+        now: float,
+    ) -> AdmissionDecision:
+        """Apply criteria (1) and (2) for a predicted flow at one link."""
+        mu = port.link.rate_bps
+        measurement = self._measurements.get(link_name)
+        nu_hat = (
+            measurement.realtime_utilization_bps(now) if measurement else 0.0
+        )
+        # Measured utilization can momentarily under-count just-reserved
+        # guaranteed flows that have not started sending; take the max of
+        # measurement and the reservation book to stay conservative.
+        nu_hat = max(nu_hat, self.reserved_guaranteed_bps(link_name))
+        # Criterion (1): r + nu_hat < quota * mu.
+        if token_rate_bps + nu_hat >= self.config.realtime_quota * mu:
+            decision = AdmissionDecision(
+                AdmissionVerdict.REJECT_UTILIZATION,
+                link_name,
+                detail=(
+                    f"r={token_rate_bps:.0f} + nu_hat={nu_hat:.0f} >= "
+                    f"{self.config.realtime_quota:.0%} of mu={mu:.0f}"
+                ),
+            )
+            self.decisions.append(decision)
+            return decision
+        # Criterion (2): for every class of lower or equal priority.
+        residual = mu - nu_hat - token_rate_bps
+        for j in range(priority_class, self.config.num_classes):
+            d_j = self.config.class_bounds_seconds[j]
+            d_hat_j = (
+                measurement.class_delay_bound(j, now) if measurement else 0.0
+            )
+            headroom = (d_j - d_hat_j) * residual
+            if bucket_depth_bits >= headroom:
+                decision = AdmissionDecision(
+                    AdmissionVerdict.REJECT_DELAY_IMPACT,
+                    link_name,
+                    detail=(
+                        f"class {j}: b={bucket_depth_bits:.0f} >= "
+                        f"(D_j={d_j:.4f} - d_hat={d_hat_j:.4f}) * "
+                        f"residual={residual:.0f}"
+                    ),
+                )
+                self.decisions.append(decision)
+                return decision
+        decision = AdmissionDecision(AdmissionVerdict.ACCEPT, link_name)
+        self.decisions.append(decision)
+        return decision
+
+    def check_guaranteed(
+        self,
+        link_name: str,
+        port: OutputPort,
+        clock_rate_bps: float,
+        now: float,
+    ) -> AdmissionDecision:
+        """Criterion (1) + structural clock-rate feasibility for one link."""
+        mu = port.link.rate_bps
+        quota_bps = self.config.realtime_quota * mu
+        reserved = self.reserved_guaranteed_bps(link_name)
+        if reserved + clock_rate_bps > quota_bps:
+            decision = AdmissionDecision(
+                AdmissionVerdict.REJECT_NO_CAPACITY,
+                link_name,
+                detail=(
+                    f"reserved={reserved:.0f} + r={clock_rate_bps:.0f} > "
+                    f"quota={quota_bps:.0f}"
+                ),
+            )
+            self.decisions.append(decision)
+            return decision
+        measurement = self._measurements.get(link_name)
+        nu_hat = (
+            measurement.realtime_utilization_bps(now) if measurement else 0.0
+        )
+        nu_hat = max(nu_hat, reserved)
+        if clock_rate_bps + nu_hat >= quota_bps:
+            decision = AdmissionDecision(
+                AdmissionVerdict.REJECT_UTILIZATION,
+                link_name,
+                detail=(
+                    f"r={clock_rate_bps:.0f} + nu_hat={nu_hat:.0f} >= "
+                    f"quota={quota_bps:.0f}"
+                ),
+            )
+            self.decisions.append(decision)
+            return decision
+        decision = AdmissionDecision(AdmissionVerdict.ACCEPT, link_name)
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,99 @@
+"""Section 10 service extensions.
+
+Three "other service qualities" the paper shows fit naturally into the CSZ
+mechanism; two are implemented (the third — in-network buffering of *early*
+packets — the paper itself argues against, and we follow that judgement,
+documenting the rejection here).
+
+1. **Drop-preference layering.**  A source separates its packets into
+   importance levels so overload sheds the right ones.  The paper's recipe:
+   "creating several priority classes with the same target D_i" — less
+   important packets ride one priority level lower, arriving "just behind
+   the more important packets, but with higher priority than the classes
+   with larger D_i".  :func:`layered_class_bounds` builds such a class
+   table, and :func:`importance_to_priority` maps (base class, importance)
+   to the concrete priority index.
+
+2. **Stale-packet discard.**  Packets already so late they will miss any
+   reasonable play-back point should be dropped inside the network rather
+   than delivered; the FIFO+ jitter offset "provides precisely the needed
+   information".  Implemented in
+   :class:`~repro.sched.fifoplus.FifoPlusScheduler` via
+   ``stale_offset_threshold``; :func:`stale_threshold_for` derives a
+   sensible threshold from a class's delay bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def layered_class_bounds(
+    base_bounds: Sequence[float], importance_levels: int
+) -> List[float]:
+    """Expand per-class bounds D_i into drop-preference layers.
+
+    Each original class is replicated ``importance_levels`` times with the
+    *same* target bound; within a replicated group, lower importance sits
+    at a lower priority index + epsilon ordering is positional.
+
+    Returns the expanded, still non-decreasing, bound list whose index is
+    the concrete priority level fed to the unified scheduler.
+
+    Note: the admission controller's criterion (2) treats equal-bound
+    classes identically, which is correct — they share a target.
+    """
+    if importance_levels < 1:
+        raise ValueError("need at least one importance level")
+    previous = 0.0
+    for bound in base_bounds:
+        if bound <= previous:
+            raise ValueError("base bounds must be positive and increasing")
+        previous = bound
+    expanded: List[float] = []
+    for bound in base_bounds:
+        expanded.extend([bound] * importance_levels)
+    return expanded
+
+
+def importance_to_priority(
+    base_class: int, importance: int, importance_levels: int
+) -> int:
+    """Concrete priority index for (base class, importance).
+
+    Importance 0 is the most important; it gets the highest priority slot
+    of its class group.
+    """
+    if not 0 <= importance < importance_levels:
+        raise ValueError(
+            f"importance must be in [0, {importance_levels}), got {importance}"
+        )
+    if base_class < 0:
+        raise ValueError("base class cannot be negative")
+    return base_class * importance_levels + importance
+
+
+def stale_threshold_for(
+    class_bound_seconds: float, hops_remaining: int, slack_factor: float = 2.0
+) -> float:
+    """A stale-discard threshold from a class bound (Section 10, item 2).
+
+    A packet whose accumulated jitter offset already exceeds the class's
+    total remaining budget (bound per hop x hops remaining, stretched by a
+    slack factor so only hopeless packets die) is a candidate for
+    in-network discard.
+    """
+    if class_bound_seconds <= 0:
+        raise ValueError("class bound must be positive")
+    if hops_remaining < 1:
+        raise ValueError("need at least one remaining hop")
+    if slack_factor < 1.0:
+        raise ValueError("slack factor must be >= 1")
+    return class_bound_seconds * hops_remaining * slack_factor
+
+
+def unbundle_priority(priority: int, importance_levels: int) -> Tuple[int, int]:
+    """Inverse of :func:`importance_to_priority`: (base_class, importance)."""
+    if importance_levels < 1:
+        raise ValueError("need at least one importance level")
+    return divmod(priority, importance_levels)

@@ -1,0 +1,198 @@
+"""Play-back applications: rigid and adaptive receivers (Sections 2-3).
+
+A play-back application buffers arriving packets and replays the signal at
+a *play-back point*: a packet generated at time t is played at t + offset.
+Data arriving after its play-back instant is useless (a "loss"); data
+arriving before it just waits in the buffer (assumed ample, per the paper).
+
+* :class:`RigidPlayback` fixes the offset at the network's a priori bound
+  and never moves it — the intolerant-and-rigid client of the taxonomy,
+  matched to guaranteed service.
+* :class:`AdaptivePlayback` measures delivered delays and keeps the offset
+  at (roughly) the minimal value whose recent loss rate stays under the
+  target L — the tolerant-and-adaptive client, matched to predicted
+  service.  It gambles that the recent past predicts the near future; when
+  the network shifts, it suffers a brief loss burst and re-adapts, exactly
+  the §3 narrative.
+
+The *post facto* delay bound of §2 is simply the maximum (or a high
+percentile) of observed delays; the adaptive client's offset tracks it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.net.node import Host
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.stats.percentile import PercentileTracker, exact_percentile
+from repro.stats.summary import SummaryStats
+
+
+@dataclasses.dataclass
+class PlaybackStats:
+    """Outcome summary of a playback session."""
+
+    received: int = 0
+    played: int = 0
+    late: int = 0
+    mean_offset: float = 0.0
+    final_offset: float = 0.0
+    mean_delay: float = 0.0
+    max_delay: float = 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.late / self.received if self.received else 0.0
+
+
+class PlaybackApplication:
+    """Base class: delay accounting + late/played bookkeeping.
+
+    Subclasses implement :meth:`current_offset` (and may adapt it as
+    packets arrive via :meth:`observe`).
+    """
+
+    def __init__(self, sim: Simulator, host: Host, flow_id: str):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.delays = SummaryStats()
+        self.delay_pct = PercentileTracker()
+        self.received = 0
+        self.played = 0
+        self.late = 0
+        self._offset_sum = 0.0
+        self.offset_history: List[tuple] = []  # (time, offset) on change
+        host.register_flow_handler(flow_id, self.on_packet)
+
+    # -- subclass interface -------------------------------------------
+    def current_offset(self) -> float:
+        raise NotImplementedError
+
+    def observe(self, delay: float) -> None:
+        """Hook: called with each packet's end-to-end delay before the
+        late/played decision (adaptive clients update state here)."""
+
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        now = self.sim.now
+        delay = now - packet.created_at
+        self.received += 1
+        self.delays.add(delay)
+        self.delay_pct.add(delay)
+        self.observe(delay)
+        offset = self.current_offset()
+        self._offset_sum += offset
+        playback_at = packet.created_at + offset
+        if now <= playback_at:
+            self.played += 1
+        else:
+            self.late += 1
+
+    def stats(self) -> PlaybackStats:
+        return PlaybackStats(
+            received=self.received,
+            played=self.played,
+            late=self.late,
+            mean_offset=self._offset_sum / self.received if self.received else 0.0,
+            final_offset=self.current_offset(),
+            mean_delay=self.delays.mean,
+            max_delay=self.delays.max if self.received else 0.0,
+        )
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.late / self.received if self.received else 0.0
+
+    def post_facto_bound(self, pct: float = 100.0) -> float:
+        """The observed delay bound (max, or a percentile of delays)."""
+        if pct >= 100.0:
+            return self.delays.max if self.received else 0.0
+        return self.delay_pct.percentile(pct)
+
+
+class RigidPlayback(PlaybackApplication):
+    """Fixed play-back point at the advertised a priori bound."""
+
+    def __init__(
+        self, sim: Simulator, host: Host, flow_id: str, a_priori_bound: float
+    ):
+        if a_priori_bound <= 0:
+            raise ValueError("a priori bound must be positive")
+        super().__init__(sim, host, flow_id)
+        self.a_priori_bound = a_priori_bound
+        self.offset_history.append((sim.now, a_priori_bound))
+
+    def current_offset(self) -> float:
+        return self.a_priori_bound
+
+
+class AdaptivePlayback(PlaybackApplication):
+    """Percentile-tracking adaptive play-back point.
+
+    Keeps a sliding window of recent delays and sets the offset to the
+    (1 - target_loss) percentile of the window, times a safety margin.
+    The offset is re-evaluated every ``adapt_every`` packets (adapting on
+    every packet would be needlessly jumpy; the paper's clients adjust "as
+    necessary").
+
+    Args:
+        target_loss: L, the tolerable fraction of late packets.
+        window: number of recent delays retained.
+        margin: multiplicative safety factor on the percentile.
+        initial_offset: play-back point before any data arrives (a client
+            would start from the advertised bound).
+        adapt_every: packets between offset re-evaluations.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: str,
+        target_loss: float = 0.01,
+        window: int = 500,
+        margin: float = 1.1,
+        initial_offset: float = 0.5,
+        adapt_every: int = 50,
+    ):
+        if not 0.0 < target_loss < 1.0:
+            raise ValueError("target loss must be in (0, 1)")
+        if window < 10:
+            raise ValueError("window too small to estimate a percentile")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        if adapt_every < 1:
+            raise ValueError("adapt_every must be >= 1")
+        super().__init__(sim, host, flow_id)
+        self.target_loss = target_loss
+        self.window = window
+        self.margin = margin
+        self.adapt_every = adapt_every
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._offset = initial_offset
+        self._since_adapt = 0
+        self.adaptations = 0
+        self.offset_history.append((sim.now, initial_offset))
+
+    def observe(self, delay: float) -> None:
+        self._recent.append(delay)
+        self._since_adapt += 1
+        if self._since_adapt >= self.adapt_every and len(self._recent) >= 10:
+            self._since_adapt = 0
+            self._adapt()
+
+    def _adapt(self) -> None:
+        ordered = sorted(self._recent)
+        pct = 100.0 * (1.0 - self.target_loss)
+        new_offset = exact_percentile(ordered, pct) * self.margin
+        if new_offset != self._offset:
+            self._offset = new_offset
+            self.adaptations += 1
+            self.offset_history.append((self.sim.now, new_offset))
+
+    def current_offset(self) -> float:
+        return self._offset

@@ -1,0 +1,175 @@
+"""Pricing and accounting (Section 12).
+
+The paper closes on economics: "pricing must be a basic part of any
+complete ISPN architecture.  If all services are free, there is no
+incentive to request less than the best service the network can provide."
+Predicted service is viable exactly because it can be priced below
+guaranteed service, and within predicted service the lower-priority (higher
+jitter) classes must be cheaper still, so that "some clients will request
+higher jitter service because of its lower cost".
+
+This module supplies the accounting machinery such a deployment needs:
+
+* a :class:`Tariff` — per-class prices with the paper's required ordering
+  (guaranteed > predicted class 0 > ... > predicted class K-1 > datagram);
+* a :class:`UsageMeter` that attaches to output ports and meters delivered
+  bits per flow (usage-based charging, the natural unit in a network whose
+  commitments are about bandwidth and delay);
+* an :class:`Invoice` per flow, combining a reservation charge (guaranteed
+  clock rate x time, paid whether used or not — reserved capacity is real
+  cost) with the usage charge.
+
+Prices are in abstract "units per megabit" / "units per reserved
+megabit-second"; the point is the *relative* structure, not currency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.packet import Packet, ServiceClass
+from repro.net.port import OutputPort
+
+MEGABIT = 1_000_000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Tariff:
+    """Per-class price schedule.
+
+    Attributes:
+        guaranteed_per_mbit: usage price of guaranteed bits.
+        predicted_per_mbit: usage price per predicted class, index = class
+            (0 = highest priority = most expensive predicted level).
+        datagram_per_mbit: usage price of best-effort bits.
+        reservation_per_mbit_second: standing charge per reserved megabit
+            of guaranteed clock rate per second.
+    """
+
+    guaranteed_per_mbit: float = 10.0
+    predicted_per_mbit: Sequence[float] = (6.0, 3.0)
+    datagram_per_mbit: float = 1.0
+    reservation_per_mbit_second: float = 2.0
+
+    def __post_init__(self):
+        if self.guaranteed_per_mbit <= 0 or self.datagram_per_mbit <= 0:
+            raise ValueError("prices must be positive")
+        if self.reservation_per_mbit_second < 0:
+            raise ValueError("reservation price cannot be negative")
+        if not self.predicted_per_mbit:
+            raise ValueError("need at least one predicted class price")
+        previous = self.guaranteed_per_mbit
+        for price in self.predicted_per_mbit:
+            if price <= 0:
+                raise ValueError("prices must be positive")
+            if price >= previous:
+                raise ValueError(
+                    "prices must strictly decrease from guaranteed through "
+                    "the predicted classes (Section 12: lower jitter costs "
+                    "more)"
+                )
+            previous = price
+        if self.datagram_per_mbit >= previous:
+            raise ValueError("datagram must be the cheapest service")
+
+    def usage_price_per_mbit(
+        self, service_class: ServiceClass, priority_class: int = 0
+    ) -> float:
+        """The per-megabit usage price of one delivered packet's class."""
+        if service_class is ServiceClass.GUARANTEED:
+            return self.guaranteed_per_mbit
+        if service_class is ServiceClass.DATAGRAM:
+            return self.datagram_per_mbit
+        index = min(priority_class, len(self.predicted_per_mbit) - 1)
+        return self.predicted_per_mbit[index]
+
+
+@dataclasses.dataclass
+class Invoice:
+    """Charges accrued by one flow."""
+
+    flow_id: str
+    usage_bits: int = 0
+    usage_charge: float = 0.0
+    reservation_charge: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.usage_charge + self.reservation_charge
+
+
+class UsageMeter:
+    """Meters delivered bits per flow across a set of output ports.
+
+    Bits are charged once per link traversed (transit pricing): a 4-hop
+    guaranteed packet costs four times a 1-hop one, reflecting the
+    resources it actually holds.  Attach the meter to whichever ports
+    constitute the charging boundary to get edge pricing instead.
+    """
+
+    def __init__(self, tariff: Optional[Tariff] = None):
+        self.tariff = tariff or Tariff()
+        self._invoices: Dict[str, Invoice] = {}
+        self._reservations: Dict[str, tuple] = {}  # flow -> (rate, since)
+
+    # ------------------------------------------------------------------
+    def attach(self, port: OutputPort) -> None:
+        port.on_depart.append(self._on_depart)
+
+    def _on_depart(self, packet: Packet, now: float, wait: float) -> None:
+        invoice = self._invoice(packet.flow_id)
+        invoice.usage_bits += packet.size_bits
+        price = self.tariff.usage_price_per_mbit(
+            packet.service_class, packet.priority_class
+        )
+        invoice.usage_charge += price * packet.size_bits / MEGABIT
+
+    def _invoice(self, flow_id: str) -> Invoice:
+        invoice = self._invoices.get(flow_id)
+        if invoice is None:
+            invoice = Invoice(flow_id=flow_id)
+            self._invoices[flow_id] = invoice
+        return invoice
+
+    # ------------------------------------------------------------------
+    def open_reservation(self, flow_id: str, rate_bps: float, now: float) -> None:
+        """Start the standing charge for a guaranteed clock rate."""
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if flow_id in self._reservations:
+            raise ValueError(f"flow {flow_id} already has an open reservation")
+        self._reservations[flow_id] = (rate_bps, now)
+
+    def close_reservation(self, flow_id: str, now: float) -> None:
+        """Stop the standing charge, billing the elapsed interval."""
+        rate_bps, since = self._reservations.pop(flow_id)
+        self._bill_reservation(flow_id, rate_bps, since, now)
+
+    def settle(self, now: float) -> None:
+        """Bill all open reservations up to ``now`` (end of experiment)."""
+        for flow_id, (rate_bps, since) in list(self._reservations.items()):
+            self._bill_reservation(flow_id, rate_bps, since, now)
+            self._reservations[flow_id] = (rate_bps, now)
+
+    def _bill_reservation(
+        self, flow_id: str, rate_bps: float, since: float, until: float
+    ) -> None:
+        if until < since:
+            raise ValueError("cannot bill a negative interval")
+        charge = (
+            self.tariff.reservation_per_mbit_second
+            * (rate_bps / MEGABIT)
+            * (until - since)
+        )
+        self._invoice(flow_id).reservation_charge += charge
+
+    # ------------------------------------------------------------------
+    def invoice_of(self, flow_id: str) -> Invoice:
+        return self._invoice(flow_id)
+
+    def invoices(self) -> List[Invoice]:
+        return sorted(self._invoices.values(), key=lambda inv: inv.flow_id)
+
+    def total_revenue(self) -> float:
+        return sum(invoice.total for invoice in self._invoices.values())

@@ -1,0 +1,116 @@
+"""The service interface (Section 8).
+
+Two forms, exactly as the paper specifies:
+
+* **Guaranteed**: the source specifies only its clock rate r.  The network
+  guarantees the rate; the source uses its private knowledge of b(r) to
+  compute its own worst-case delay (b/r).  No traffic characterization is
+  passed, and the network performs **no conformance check** on guaranteed
+  flows — the trac filter plays no role in scheduling them.
+* **Predicted**: the source declares a token bucket (r, b) it promises to
+  conform to, and requests a (D, L) service target — a delay bound and an
+  acceptable loss rate.  The network maps (D, L) onto a priority class at
+  each switch and enforces (r, b) at the network edge only.
+* **Datagram**: no parameters; the network promises only not to delay or
+  drop packets unnecessarily.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.net.packet import ServiceClass
+
+
+@dataclasses.dataclass(frozen=True)
+class GuaranteedServiceSpec:
+    """Guaranteed-service request: just the WFQ clock rate r (bits/s)."""
+
+    clock_rate_bps: float
+
+    def __post_init__(self):
+        if self.clock_rate_bps <= 0:
+            raise ValueError("clock rate must be positive")
+
+    @property
+    def service_class(self) -> ServiceClass:
+        return ServiceClass.GUARANTEED
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictedServiceSpec:
+    """Predicted-service request: traffic filter (r, b) + target (D, L).
+
+    Attributes:
+        token_rate_bps: r, the declared token bucket rate.
+        bucket_depth_bits: b, the declared bucket depth.
+        target_delay_seconds: D, the per-path delay the client can live
+            with.  The network advertises the sum of the chosen per-switch
+            class bounds D_i along the path as the a priori bound.
+        target_loss_rate: L, the fraction of packets the client can afford
+            to lose / have arrive late.
+    """
+
+    token_rate_bps: float
+    bucket_depth_bits: float
+    target_delay_seconds: float
+    target_loss_rate: float = 0.01
+
+    def __post_init__(self):
+        if self.token_rate_bps <= 0:
+            raise ValueError("token rate must be positive")
+        if self.bucket_depth_bits <= 0:
+            raise ValueError("bucket depth must be positive")
+        if self.target_delay_seconds <= 0:
+            raise ValueError("target delay must be positive")
+        if not 0.0 <= self.target_loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+
+    @property
+    def service_class(self) -> ServiceClass:
+        return ServiceClass.PREDICTED
+
+
+@dataclasses.dataclass(frozen=True)
+class DatagramServiceSpec:
+    """Best-effort: no parameters, no commitments."""
+
+    @property
+    def service_class(self) -> ServiceClass:
+        return ServiceClass.DATAGRAM
+
+
+ServiceSpec = Union[GuaranteedServiceSpec, PredictedServiceSpec, DatagramServiceSpec]
+
+
+@dataclasses.dataclass
+class FlowSpec:
+    """A flow's full service request as handed to signaling/admission.
+
+    Attributes:
+        flow_id: unique name.
+        source / destination: host names.
+        spec: one of the three service spec types above.
+    """
+
+    flow_id: str
+    source: str
+    destination: str
+    spec: ServiceSpec
+
+    @property
+    def service_class(self) -> ServiceClass:
+        return self.spec.service_class
+
+    def advertised_bound(self, per_switch_bounds: list[float]) -> Optional[float]:
+        """The a priori delay bound the network advertises (Section 7/8).
+
+        For predicted service: the sum of the class bounds D_i at each
+        switch on the path.  For guaranteed service the bound is computed
+        by the *source* from b(r)/r, so the network returns None here;
+        see :mod:`repro.core.bounds`.
+        """
+        if isinstance(self.spec, PredictedServiceSpec):
+            return sum(per_switch_bounds)
+        return None

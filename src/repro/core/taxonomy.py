@@ -1,0 +1,116 @@
+"""The client taxonomy (Section 2.3) and its mapping to service classes.
+
+The paper characterizes network clients along two axes:
+
+* **adaptive vs rigid** — does the receiver move its play-back point with
+  measured delays, or park it at the a priori bound?
+* **tolerant vs intolerant** — can the application ride out a brief
+  service disruption (the family-reunion video call) or not (the remote
+  surgeon)?
+
+and argues two corners dominate: *intolerant-and-rigid* clients, which
+need guaranteed service, and *tolerant-and-adaptive* clients, which are
+served better and cheaper by predicted service.  The off-diagonal corners
+are unstable: an intolerant adaptive client will be disrupted by its own
+re-adaptation; a tolerant rigid client is "merely losing the chance to
+improve its delay".
+
+:func:`recommend_service` encodes that argument so applications (and
+tests) can go from client properties to a service request, and
+:func:`classify_client` inverts common application descriptions to the
+axes for the examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.net.packet import ServiceClass
+
+
+class Adaptivity(enum.Enum):
+    ADAPTIVE = "adaptive"
+    RIGID = "rigid"
+
+
+class Tolerance(enum.Enum):
+    TOLERANT = "tolerant"
+    INTOLERANT = "intolerant"
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """Service guidance for one client corner.
+
+    Attributes:
+        service_class: the commitment level to request.
+        stable: False for the paper's off-diagonal corners — workable but
+            leaving value on the table (see ``rationale``).
+        rationale: the paper's one-line argument for this corner.
+    """
+
+    service_class: ServiceClass
+    stable: bool
+    rationale: str
+
+
+_RECOMMENDATIONS = {
+    (Adaptivity.RIGID, Tolerance.INTOLERANT): Recommendation(
+        ServiceClass.GUARANTEED,
+        stable=True,
+        rationale=(
+            "intolerant and rigid clients need absolute assurances about "
+            "the service they receive"
+        ),
+    ),
+    (Adaptivity.ADAPTIVE, Tolerance.TOLERANT): Recommendation(
+        ServiceClass.PREDICTED,
+        stable=True,
+        rationale=(
+            "adaptive clients gamble that the recent past predicts the "
+            "near future; predicted service makes the same gamble at a "
+            "lower price and a lower play-back point"
+        ),
+    ),
+    (Adaptivity.ADAPTIVE, Tolerance.INTOLERANT): Recommendation(
+        ServiceClass.GUARANTEED,
+        stable=False,
+        rationale=(
+            "adaptation itself causes brief disruptions when conditions "
+            "shift, which an intolerant client cannot accept — request "
+            "guaranteed service and stop adapting"
+        ),
+    ),
+    (Adaptivity.RIGID, Tolerance.TOLERANT): Recommendation(
+        ServiceClass.PREDICTED,
+        stable=False,
+        rationale=(
+            "a tolerant rigid client is merely losing the chance to "
+            "improve its delay; predicted service still fits, but adding "
+            "adaptivity would reclaim latency"
+        ),
+    ),
+}
+
+
+def recommend_service(
+    adaptivity: Adaptivity, tolerance: Tolerance
+) -> Recommendation:
+    """The Section 2.3 mapping from client properties to a service class."""
+    return _RECOMMENDATIONS[(adaptivity, tolerance)]
+
+
+def classify_client(
+    moves_playback_point: bool, survives_brief_disruption: bool
+) -> tuple:
+    """Convenience: behavioural yes/no questions to taxonomy axes."""
+    adaptivity = (
+        Adaptivity.ADAPTIVE if moves_playback_point else Adaptivity.RIGID
+    )
+    tolerance = (
+        Tolerance.TOLERANT
+        if survives_brief_disruption
+        else Tolerance.INTOLERANT
+    )
+    return adaptivity, tolerance

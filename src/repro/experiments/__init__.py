@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — Table 1 (WFQ vs FIFO, single link).
+* :mod:`repro.experiments.table2` — Table 2 (WFQ/FIFO/FIFO+ vs path length).
+* :mod:`repro.experiments.table3` — Table 3 (unified scheduler, mixed
+  commitments, TCP datagram load, P-G bounds).
+* :mod:`repro.experiments.topology` — Figure 1 (the network itself).
+* :mod:`repro.experiments.dynamics` — the dynamic-environment validation
+  of predicted service with adaptive clients (Sections 3/7).
+* :mod:`repro.experiments.distributions` — the full delay CDFs behind
+  Table 1's summary percentiles, plus tail-fairness (Section 5).
+
+Each module exposes ``run(...) -> result`` with a ``render()`` string that
+prints the same rows the paper reports, and the module is runnable via
+``python -m repro.experiments <name>``.
+"""
+
+from repro.experiments import (
+    common,
+    distributions,
+    dynamics,
+    table1,
+    table2,
+    table3,
+    topology,
+)
+
+__all__ = [
+    "common",
+    "distributions",
+    "dynamics",
+    "table1",
+    "table2",
+    "table3",
+    "topology",
+]

@@ -1,0 +1,84 @@
+"""CLI: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments table1 [--duration 600] [--seed 1]
+    python -m repro.experiments table2 [--duration 600] [--seed 1]
+    python -m repro.experiments table3 [--duration 600] [--seed 1]
+    python -m repro.experiments dynamics [--duration 600] [--seed 1]
+    python -m repro.experiments all [--duration 600] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    common,
+    distributions,
+    dynamics,
+    table1,
+    table2,
+    table3,
+    topology,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figure of Clark/Shenker/Zhang "
+        "SIGCOMM'92.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig1", "table1", "table2", "table3", "dynamics",
+            "distributions", "all",
+        ],
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=common.PAPER_DURATION_SECONDS,
+        help="simulated seconds (paper: 600)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    todo = (
+        ["fig1", "table1", "table2", "table3", "dynamics", "distributions"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in todo:
+        started = time.monotonic()
+        if name == "fig1":
+            print(topology.run().render())
+        elif name == "table1":
+            print(table1.run(duration=args.duration, seed=args.seed).render())
+        elif name == "table2":
+            print(table2.run(duration=args.duration, seed=args.seed).render())
+        elif name == "table3":
+            print(table3.run(duration=args.duration, seed=args.seed).render())
+        elif name == "distributions":
+            print(
+                distributions.run(
+                    duration=args.duration, seed=args.seed
+                ).render()
+            )
+        elif name == "dynamics":
+            print(
+                dynamics.run(
+                    phase_seconds=args.duration / 3.0, seed=args.seed
+                ).render()
+            )
+        print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

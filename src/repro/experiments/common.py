@@ -1,0 +1,164 @@
+"""Shared workload recipes and reporting helpers (the paper's Appendix).
+
+Constants here are the Appendix's exactly: 1000-bit packets, 1 Mbit/s
+inter-switch links (so the delay unit — one packet transmission time — is
+1 ms), 200-packet switch buffers, on/off sources with A = 85 packets/s,
+B = 5, P = 2A, an (A, 50) token bucket at each source, and 10-minute runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.network import Network
+from repro.net.packet import ServiceClass
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource
+from repro.traffic.sink import DelayRecordingSink
+
+PACKET_BITS = 1000
+LINK_RATE_BPS = 1_000_000
+TX_TIME_SECONDS = PACKET_BITS / LINK_RATE_BPS  # 1 ms, the paper's delay unit
+BUFFER_PACKETS = 200
+AVERAGE_RATE_PPS = 85.0
+BUCKET_PACKETS = 50.0
+PAPER_DURATION_SECONDS = 600.0  # "10 minutes of simulated time"
+DEFAULT_WARMUP_SECONDS = 5.0
+
+# ----------------------------------------------------------------------
+# The Table 2 / Table 3 flow layout on the Figure 1 chain.
+#
+# 22 flows chosen so each of the four inter-switch links carries exactly
+# 10: 12 one-hop, 4 two-hop, 4 three-hop, 2 four-hop (Appendix).  "Hops"
+# counts inter-switch links, the paper's path length.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowPlacement:
+    """One real-time flow of the Figure-1 workload."""
+
+    name: str
+    source_host: str
+    dest_host: str
+    hops: int  # inter-switch links traversed
+
+
+def figure1_flow_placements() -> List[FlowPlacement]:
+    """The 22-flow layout: each inter-switch link is shared by 10 flows."""
+    placements = []
+
+    def add(count: int, prefix: str, src: int, dst: int) -> None:
+        hops = dst - src
+        for k in range(count):
+            placements.append(
+                FlowPlacement(
+                    name=f"{prefix}{k + 1}",
+                    source_host=f"Host-{src}",
+                    dest_host=f"Host-{dst}",
+                    hops=hops,
+                )
+            )
+
+    add(4, "a", 1, 2)  # one-hop on link 1
+    add(2, "b", 2, 3)  # one-hop on link 2
+    add(2, "c", 3, 4)  # one-hop on link 3
+    add(4, "d", 4, 5)  # one-hop on link 4
+    add(2, "e", 1, 3)  # two-hop (links 1-2)
+    add(2, "f", 3, 5)  # two-hop (links 3-4)
+    add(2, "g", 1, 4)  # three-hop (links 1-3)
+    add(2, "h", 2, 5)  # three-hop (links 2-4)
+    add(2, "i", 1, 5)  # four-hop (links 1-4)
+    assert len(placements) == 22
+    return placements
+
+
+# Table 3's commitment assignment.  Chosen so that every link carries
+# exactly 2 Guaranteed-Peak, 1 Guaranteed-Average, 3 Predicted-High, and
+# 4 Predicted-Low flows — the per-link census the paper states — and so
+# that the sampled (type, path length) combinations of Table 3 all exist:
+# Peak/4, Peak/2, Avg/3, Avg/1, High/4, High/2, Low/3, Low/1.
+GUARANTEED_PEAK_FLOWS = ("e1", "f1", "i1")
+GUARANTEED_AVERAGE_FLOWS = ("g1", "d1")
+PREDICTED_HIGH_FLOWS = ("i2", "e2", "f2", "a1", "b1", "c1", "d2")
+PREDICTED_LOW_FLOWS = ("a2", "a3", "a4", "b2", "c2", "d3", "d4", "g2", "h1", "h2")
+
+# The Table 3 sample rows, exactly as the paper lists them.
+TABLE3_SAMPLES: Tuple[Tuple[str, str, int], ...] = (
+    ("Peak", "i1", 4),
+    ("Peak", "e1", 2),
+    ("Average", "g1", 3),
+    ("Average", "d1", 1),
+    ("High", "i2", 4),
+    ("High", "e2", 2),
+    ("Low", "h1", 3),
+    ("Low", "a2", 1),
+)
+
+
+def attach_paper_flows(
+    sim: Simulator,
+    net: Network,
+    streams: RandomStreams,
+    placements: Sequence[FlowPlacement],
+    warmup: float,
+    service_class: ServiceClass = ServiceClass.DATAGRAM,
+    priority_of: Optional[Dict[str, int]] = None,
+    class_of: Optional[Dict[str, ServiceClass]] = None,
+) -> Dict[str, DelayRecordingSink]:
+    """Create the paper's on/off source + recording sink for each placement.
+
+    Args:
+        priority_of: optional per-flow predicted priority class.
+        class_of: optional per-flow service class override (Table 3 mixes
+            guaranteed / predicted flows in one placement list).
+
+    Returns:
+        flow name -> sink.
+    """
+    sinks: Dict[str, DelayRecordingSink] = {}
+    for placement in placements:
+        flow_class = (class_of or {}).get(placement.name, service_class)
+        priority = (priority_of or {}).get(placement.name, 0)
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts[placement.source_host],
+            placement.name,
+            placement.dest_host,
+            streams.stream(f"source:{placement.name}"),
+            average_rate_pps=AVERAGE_RATE_PPS,
+            bucket_packets=BUCKET_PACKETS,
+            packet_size_bits=PACKET_BITS,
+            service_class=flow_class,
+            priority_class=priority,
+        )
+        sinks[placement.name] = DelayRecordingSink(
+            sim, net.hosts[placement.dest_host], placement.name, warmup=warmup
+        )
+    return sinks
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+
+def in_tx_units(seconds: float) -> float:
+    """Convert seconds to the paper's unit (packet transmission times)."""
+    return seconds / TX_TIME_SECONDS
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table renderer for experiment output."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    rule = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

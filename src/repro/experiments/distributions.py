@@ -1,0 +1,140 @@
+"""Delay-distribution views of the Table 1 comparison.
+
+The paper summarizes each discipline with two numbers (mean, 99.9 %ile);
+this module exposes the whole curve behind them: the per-flow queueing
+delay CDF under each scheduler on the Table-1 workload, rendered as an
+ASCII plot, plus Jain's fairness index over the per-flow 99.9th
+percentiles — a compact statement of §5's isolation/sharing contrast
+(FIFO: jitter shared evenly, high fairness; WFQ: jitter pinned on the
+flows that caused it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.experiments import common, table1
+from repro.stats.fairness import jain_index
+
+CDF_POINTS = (50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+@dataclasses.dataclass
+class DistributionRow:
+    scheduling: str
+    percentiles: Dict[float, float]  # pct -> delay (tx units), sample flow
+    flow_p999s: List[float]
+
+    @property
+    def tail_fairness(self) -> float:
+        """Jain's index over per-flow 99.9 %ile delays."""
+        return jain_index(self.flow_p999s)
+
+
+@dataclasses.dataclass
+class DistributionsResult:
+    rows: List[DistributionRow]
+    duration: float
+    seed: int
+
+    def row(self, scheduling: str) -> DistributionRow:
+        for row in self.rows:
+            if row.scheduling == scheduling:
+                return row
+        raise KeyError(scheduling)
+
+    def render(self) -> str:
+        headers = ["scheduling"] + [f"p{pct:g}" for pct in CDF_POINTS] + [
+            "tail fairness"
+        ]
+        body = []
+        for row in self.rows:
+            cells = [row.scheduling]
+            cells += [f"{row.percentiles[pct]:.2f}" for pct in CDF_POINTS]
+            cells.append(f"{row.tail_fairness:.3f}")
+            body.append(cells)
+        table = common.format_table(headers, body)
+        return (
+            "Queueing-delay distribution, Table-1 workload "
+            "(tx times; sample flow)\n"
+            f"{table}\n"
+            f"{self._ascii_cdf()}\n"
+            f"duration: {self.duration:.0f}s  seed: {self.seed}"
+        )
+
+    def _ascii_cdf(self, width: int = 52) -> str:
+        """A log-ish tail plot: one bar per (discipline, percentile)."""
+        peak = max(
+            value for row in self.rows for value in row.percentiles.values()
+        )
+        if peak <= 0:
+            return ""
+        lines = ["tail profile (each bar spans 0..max):"]
+        for row in self.rows:
+            for pct in CDF_POINTS:
+                value = row.percentiles[pct]
+                bar = "#" * max(1, round(width * value / peak))
+                lines.append(
+                    f"  {row.scheduling:>5} p{pct:<5g} |{bar:<{width}}| "
+                    f"{value:.2f}"
+                )
+        return "\n".join(lines)
+
+
+def run(
+    duration: float = common.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    disciplines: Sequence[str] = ("WFQ", "FIFO"),
+) -> DistributionsResult:
+    """Run the Table-1 workload once per discipline and expose the full
+    delay distributions (paired arrivals across disciplines, same seed)."""
+    rows = [
+        _run_discipline(name, duration, seed) for name in disciplines
+    ]
+    return DistributionsResult(rows=rows, duration=duration, seed=seed)
+
+
+def _run_discipline(
+    scheduling: str, duration: float, seed: int, sample_flow: int = 0
+) -> DistributionRow:
+    from repro.net.topology import single_link_topology
+    from repro.sim.engine import Simulator
+    from repro.sim.randomness import RandomStreams
+    from repro.traffic.onoff import OnOffMarkovSource
+    from repro.traffic.sink import DelayRecordingSink
+
+    factory = table1.scheduler_factories()[scheduling]
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    net = single_link_topology(
+        sim, factory, rate_bps=common.LINK_RATE_BPS,
+        buffer_packets=common.BUFFER_PACKETS,
+    )
+    sinks = []
+    for i in range(table1.NUM_FLOWS):
+        flow_id = f"flow-{i}"
+        OnOffMarkovSource.paper_source(
+            sim,
+            net.hosts["src-host"],
+            flow_id,
+            "dst-host",
+            streams.stream(f"source:{flow_id}"),
+            average_rate_pps=common.AVERAGE_RATE_PPS,
+        )
+        sinks.append(
+            DelayRecordingSink(
+                sim, net.hosts["dst-host"], flow_id,
+                warmup=common.DEFAULT_WARMUP_SECONDS,
+            )
+        )
+    sim.run(until=duration)
+    unit = common.TX_TIME_SECONDS
+    sink = sinks[sample_flow]
+    return DistributionRow(
+        scheduling=scheduling,
+        percentiles={
+            pct: sink.percentile_queueing(pct, unit) for pct in CDF_POINTS
+        },
+        flow_p999s=[s.percentile_queueing(99.9, unit) for s in sinks],
+    )

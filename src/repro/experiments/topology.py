@@ -1,0 +1,79 @@
+"""Figure 1: the experiment network itself.
+
+Figure 1 is the paper's only figure — the 5-switch chain used by Tables 2
+and 3.  "Reproducing" it means building the network programmatically,
+verifying its structural invariants (10 flows per inter-switch link; the
+12/4/4/2 path-length census), and rendering it.  The checks here are also
+what guards the Table 2/3 workloads against placement regressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments import common
+from repro.net.topology import (
+    FIGURE1_HOSTS,
+    FIGURE1_SWITCHES,
+    figure1_ascii,
+    paper_figure1_topology,
+)
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+
+
+@dataclasses.dataclass
+class TopologyReport:
+    switches: List[str]
+    hosts: List[str]
+    links: List[str]
+    flows_per_link: Dict[str, int]
+    flows_per_path_length: Dict[int, int]
+    ascii_art: str
+
+    def render(self) -> str:
+        census = ", ".join(
+            f"{link}: {count}" for link, count in sorted(self.flows_per_link.items())
+        )
+        lengths = ", ".join(
+            f"{hops}-hop: {count}"
+            for hops, count in sorted(self.flows_per_path_length.items())
+        )
+        return (
+            "Figure 1 — network topology used for Tables 2 and 3\n"
+            f"{self.ascii_art}\n"
+            f"switches: {', '.join(self.switches)}\n"
+            f"hosts:    {', '.join(self.hosts)}\n"
+            f"flows per inter-switch link: {census}  (paper: 10 each)\n"
+            f"flows per path length: {lengths}  (paper: 12/4/4/2)"
+        )
+
+
+def build_report() -> TopologyReport:
+    """Construct the Figure-1 network and verify the workload layout."""
+    sim = Simulator()
+    net = paper_figure1_topology(sim, lambda name, link: FifoScheduler())
+    placements = common.figure1_flow_placements()
+    flows_per_link: Dict[str, int] = {name: 0 for name in net.links}
+    for placement in placements:
+        for link in net.links_on_path(placement.source_host, placement.dest_host):
+            flows_per_link[link.name] += 1
+    flows_per_path_length: Dict[int, int] = {}
+    for placement in placements:
+        flows_per_path_length[placement.hops] = (
+            flows_per_path_length.get(placement.hops, 0) + 1
+        )
+    return TopologyReport(
+        switches=list(FIGURE1_SWITCHES),
+        hosts=list(FIGURE1_HOSTS),
+        links=sorted(net.links),
+        flows_per_link=flows_per_link,
+        flows_per_path_length=flows_per_path_length,
+        ascii_art=figure1_ascii(),
+    )
+
+
+def run() -> TopologyReport:
+    """Alias so every experiment module exposes ``run()``."""
+    return build_report()

@@ -1,0 +1,58 @@
+"""Flow identity and descriptors.
+
+A *flow* is the unit of service commitment: a (source, destination,
+service-class) stream with an associated FlowSpec (see
+:mod:`repro.core.service`).  The network substrate only needs identity and
+path; the service semantics live in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.net.packet import ServiceClass
+
+FlowId = str
+
+
+@dataclasses.dataclass
+class FlowDescriptor:
+    """Network-level view of a flow.
+
+    Attributes:
+        flow_id: unique flow name.
+        source: source host name.
+        destination: destination host name.
+        service_class: requested commitment level.
+        path: ordered list of node names the flow traverses (filled in at
+            establishment time from the routing table).
+        priority_class: predicted-service class index at each switch.  The
+            paper allows a different level per switch; we keep one level per
+            flow (the common case) but the unified scheduler consults the
+            packet header, so per-switch remapping would be a local change.
+        clock_rate_bps: WFQ clock rate r (guaranteed flows only), bits/s.
+    """
+
+    flow_id: FlowId
+    source: str
+    destination: str
+    service_class: ServiceClass
+    path: List[str] = dataclasses.field(default_factory=list)
+    priority_class: int = 0
+    clock_rate_bps: Optional[float] = None
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed (nodes on path minus one)."""
+        return max(len(self.path) - 1, 0)
+
+    def inter_switch_hops(self) -> int:
+        """Number of *inter-switch* links, the paper's "path length".
+
+        Host-switch links are infinitely fast and contribute no queueing, so
+        the paper counts only switch-to-switch links.  Path layout is
+        host, s_1, ..., s_k, host, giving k-1 inter-switch links.
+        """
+        switches = max(len(self.path) - 2, 0)
+        return max(switches - 1, 0)

@@ -1,0 +1,138 @@
+"""Point-to-point simplex links.
+
+A link transmits one packet at a time at a fixed bit rate, then hands the
+packet to the receiving node after a propagation delay.  Links are simplex;
+the topology builder installs one per direction where needed (the paper's
+experiments send all traffic one way down the chain).
+
+Utilization accounting lives here: the paper quotes per-link utilization
+(83.5 %, >99 %), which is busy-time divided by elapsed time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.net.packet import Packet
+from repro.stats.timeseries import TimeWeightedValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.net.node import Node
+
+
+class Link:
+    """A simplex link from one node's output port to a receiving node.
+
+    Args:
+        sim: the simulator.
+        name: link name, e.g. ``"S-1->S-2"``.
+        rate_bps: transmission rate in bits/s (1 Mbit/s in the paper).
+        propagation_delay: one-way propagation latency in seconds.  The
+            paper's delay unit ignores propagation (it reports queueing
+            delay), so experiments default this to 0; it is modelled because
+            a real ISPN has it.
+        loss_probability: independent per-packet corruption probability.
+            The paper's links are lossless (all loss is buffer overflow);
+            this knob exists for failure-injection tests — e.g. TCP
+            recovery under random loss rather than congestion loss.
+        loss_rng: seeded ``random.Random`` driving the loss draws; required
+            when ``loss_probability > 0`` so experiments stay reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        propagation_delay: float = 0.0,
+        loss_probability: float = 0.0,
+        loss_rng=None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if loss_probability > 0.0 and loss_rng is None:
+            raise ValueError(
+                "a seeded loss_rng is required when loss_probability > 0"
+            )
+        self.sim = sim
+        self.name = name
+        self.rate_bps = float(rate_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.receiver: Optional["Node"] = None
+        self.busy = False
+        self._busy_tracker = TimeWeightedValue(start_time=sim.now, initial=0.0)
+        self.loss_probability = float(loss_probability)
+        self._loss_rng = loss_rng
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.bits_sent = 0
+        # Called when a transmission completes and the link goes idle; the
+        # owning OutputPort uses it to pull the next packet.
+        self.on_idle: Optional[Callable[[], None]] = None
+
+    def connect(self, receiver: "Node") -> None:
+        self.receiver = receiver
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds needed to clock the packet onto the wire."""
+        return packet.size_bits / self.rate_bps
+
+    def transmit(self, packet: Packet) -> None:
+        """Begin transmitting ``packet``.  The link must be idle.
+
+        On completion the packet is delivered to the receiver after the
+        propagation delay, and ``on_idle`` fires so the port can send more.
+        """
+        if self.busy:
+            raise RuntimeError(f"link {self.name} is busy")
+        if self.receiver is None:
+            raise RuntimeError(f"link {self.name} is not connected")
+        self.busy = True
+        self._busy_tracker.update(self.sim.now, 1.0)
+        tx_time = self.transmission_time(packet)
+        self.sim.schedule(tx_time, lambda: self._complete(packet))
+
+    def _complete(self, packet: Packet) -> None:
+        self.busy = False
+        self._busy_tracker.update(self.sim.now, 0.0)
+        self.packets_sent += 1
+        self.bits_sent += packet.size_bits
+        receiver = self.receiver
+        assert receiver is not None
+        if (
+            self.loss_probability > 0.0
+            and self._loss_rng.random() < self.loss_probability
+        ):
+            # The packet was corrupted on the wire: the link was occupied
+            # (utilization already counted) but nothing arrives.
+            self.packets_lost += 1
+            if self.on_idle is not None:
+                self.on_idle()
+            return
+        if self.propagation_delay > 0:
+            self.sim.schedule(
+                self.propagation_delay, lambda: receiver.receive(packet)
+            )
+        else:
+            receiver.receive(packet)
+        if self.on_idle is not None:
+            self.on_idle()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of time the link has been transmitting."""
+        return self._busy_tracker.average(self.sim.now if now is None else now)
+
+    def reset_utilization(self) -> None:
+        """Restart utilization accounting (used to skip warm-up transients)."""
+        self._busy_tracker.reset(self.sim.now)
+        self.packets_sent = 0
+        self.bits_sent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "busy" if self.busy else "idle"
+        return f"<Link {self.name} {self.rate_bps / 1e6:.2f}Mbps {state}>"

@@ -1,0 +1,132 @@
+"""Network assembly and orchestration.
+
+A :class:`Network` owns the simulator wiring for one experiment: switches,
+hosts, links, output ports (each with a scheduler produced by a caller-
+supplied factory), and the static routing table.  The experiment modules in
+:mod:`repro.experiments` build their topologies through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.link import Link
+from repro.net.node import Host, Switch
+from repro.net.port import OutputPort
+from repro.net.routing import StaticRouting
+from repro.sched.base import Scheduler
+from repro.sim.engine import Simulator
+
+# A scheduler factory receives the port name and the link it will feed, so
+# rate-aware disciplines (WFQ, VirtualClock, the unified scheduler) can size
+# themselves off the link speed.
+SchedulerFactory = Callable[[str, Link], Scheduler]
+
+DEFAULT_LINK_RATE_BPS = 1_000_000  # 1 Mbit/s, the paper's inter-switch rate
+DEFAULT_BUFFER_PACKETS = 200  # the paper's switch buffer size
+
+
+class Network:
+    """Container wiring switches, hosts, links, and routing together."""
+
+    def __init__(self, sim: Simulator, scheduler_factory: SchedulerFactory):
+        self.sim = sim
+        self.scheduler_factory = scheduler_factory
+        self.switches: Dict[str, Switch] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: Dict[str, Link] = {}
+        self.ports: Dict[str, OutputPort] = {}
+        self.routing = StaticRouting()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, name: str) -> Switch:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name}")
+        switch = Switch(self.sim, name)
+        switch.next_hop_fn = lambda dest, _name=name: self.routing.next_hop(_name, dest)
+        self.switches[name] = switch
+        self.routing.add_node(name)
+        return switch
+
+    def add_host(self, name: str, switch_name: str) -> Host:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name}")
+        switch = self.switches[switch_name]
+        host = Host(self.sim, name)
+        host.attach(switch)
+        self.hosts[name] = host
+        # Host links are infinitely fast; routing still needs the edges.
+        self.routing.add_edge(name, switch_name)
+        self.routing.add_edge(switch_name, name)
+        return host
+
+    def add_link(
+        self,
+        src_switch: str,
+        dst_switch: str,
+        rate_bps: float = DEFAULT_LINK_RATE_BPS,
+        propagation_delay: float = 0.0,
+        buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    ) -> Link:
+        """Install a simplex link src -> dst with its output port."""
+        src = self.switches[src_switch]
+        dst = self.switches[dst_switch]
+        link_name = f"{src_switch}->{dst_switch}"
+        if link_name in self.links:
+            raise ValueError(f"duplicate link {link_name}")
+        link = Link(self.sim, link_name, rate_bps, propagation_delay)
+        link.connect(dst)
+        scheduler = self.scheduler_factory(link_name, link)
+        port = src.add_port(dst_switch, scheduler, link, buffer_packets)
+        self.links[link_name] = link
+        self.ports[link_name] = port
+        self.routing.add_edge(src_switch, dst_switch)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float = DEFAULT_LINK_RATE_BPS,
+        propagation_delay: float = 0.0,
+        buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    ) -> None:
+        """Convenience: simplex links in both directions."""
+        self.add_link(a, b, rate_bps, propagation_delay, buffer_packets)
+        self.add_link(b, a, rate_bps, propagation_delay, buffer_packets)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def path(self, src_host: str, dst_host: str) -> List[str]:
+        """Node path from one host to another (inclusive)."""
+        return self.routing.path(src_host, dst_host)
+
+    def links_on_path(self, src_host: str, dst_host: str) -> List[Link]:
+        """The inter-switch links a host-to-host flow traverses."""
+        nodes = self.path(src_host, dst_host)
+        out = []
+        for here, nxt in zip(nodes, nodes[1:]):
+            link = self.links.get(f"{here}->{nxt}")
+            if link is not None:  # host<->switch hops have no Link object
+                out.append(link)
+        return out
+
+    def port_for_link(self, link_name: str) -> OutputPort:
+        return self.ports[link_name]
+
+    def total_drops(self) -> int:
+        return sum(port.packets_dropped for port in self.ports.values())
+
+    def reset_measurements(self) -> None:
+        """Restart link utilization accounting on every link (warm-up skip)."""
+        for link in self.links.values():
+            link.reset_utilization()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Network switches={len(self.switches)} hosts={len(self.hosts)} "
+            f"links={len(self.links)}>"
+        )

@@ -1,0 +1,141 @@
+"""Output ports: finite buffer + pluggable scheduler + link.
+
+This is the seam the whole reproduction turns on.  An :class:`OutputPort`
+owns a :class:`~repro.sched.base.Scheduler`; comparing WFQ vs FIFO vs FIFO+
+vs the unified algorithm (Tables 1-3) is a one-line scheduler swap with all
+queueing/link mechanics identical.
+
+Buffering follows the Appendix: each switch port buffers up to 200 packets;
+arrivals to a full buffer are dropped (tail drop by default; schedulers may
+nominate a push-out victim instead, which the Section 10 drop-preference
+extension uses).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sched.base import Scheduler
+from repro.sim.engine import Simulator
+
+# Listener signatures: (packet, now) for enqueue/drop, and
+# (packet, now, wait_seconds) for departures.
+EnqueueListener = Callable[[Packet, float], None]
+DropListener = Callable[[Packet, float], None]
+DepartListener = Callable[[Packet, float, float], None]
+
+
+class OutputPort:
+    """An output-queued port: scheduler + finite buffer + one link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        scheduler: Scheduler,
+        link: Link,
+        buffer_packets: int = 200,
+    ):
+        if buffer_packets <= 0:
+            raise ValueError(f"buffer must hold at least 1 packet, got {buffer_packets}")
+        self.sim = sim
+        self.name = name
+        self.scheduler = scheduler
+        self.link = link
+        self.buffer_packets = buffer_packets
+        link.on_idle = self._on_link_idle
+        # Non-work-conserving schedulers (Stop-and-Go, HRR, Jitter-EDD)
+        # hold packets until they become eligible; they need a handle on
+        # the port to re-poll it when a held packet matures.
+        attach = getattr(scheduler, "attach_port", None)
+        if attach is not None:
+            attach(self)
+
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped = 0
+        self.on_enqueue: List[EnqueueListener] = []
+        self.on_drop: List[DropListener] = []
+        self.on_depart: List[DepartListener] = []
+        # Edge enforcement (Section 8): admission filters run before the
+        # scheduler sees the packet; any returning False drops it.  The
+        # signaling layer installs the per-flow token-bucket conformance
+        # check here at the *first* switch of a predicted flow's path only.
+        self.filters: List[Callable[[Packet, float], bool]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting in the scheduler (excludes the one on the wire)."""
+        return len(self.scheduler)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the port.
+
+        Returns:
+            True if the packet was queued (or immediately transmitted),
+            False if it was dropped.
+        """
+        now = self.sim.now
+        self.packets_in += 1
+        for admission_filter in self.filters:
+            if not admission_filter(packet, now):
+                self._drop(packet, now)
+                return False
+        if len(self.scheduler) >= self.buffer_packets:
+            victim = self.scheduler.select_push_out(packet)
+            if victim is None:
+                self._drop(packet, now)
+                return False
+            # Push-out: the scheduler evicted `victim` to admit `packet`.
+            self._drop(victim, now)
+        packet.enqueued_at = now
+        accepted = self.scheduler.enqueue(packet, now)
+        if not accepted:
+            self._drop(packet, now)
+            return False
+        for listener in self.on_enqueue:
+            listener(packet, now)
+        if not self.link.busy:
+            self._send_next()
+        return True
+
+    def _drop(self, packet: Packet, now: float) -> None:
+        self.packets_dropped += 1
+        for listener in self.on_drop:
+            listener(packet, now)
+
+    def _send_next(self) -> None:
+        now = self.sim.now
+        packet = self.scheduler.dequeue(now)
+        if packet is None:
+            return
+        wait = now - packet.enqueued_at
+        packet.queueing_delay += wait
+        packet.hops += 1
+        self.packets_out += 1
+        for listener in self.on_depart:
+            listener(packet, now, wait)
+        self.link.transmit(packet)
+
+    def _on_link_idle(self) -> None:
+        self._send_next()
+
+    def kick(self) -> None:
+        """Re-poll the scheduler if the link is free.
+
+        Called by non-work-conserving schedulers when a held packet becomes
+        eligible; a no-op while the link is transmitting (the normal idle
+        callback will poll then).
+        """
+        if not self.link.busy:
+            self._send_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<OutputPort {self.name} qlen={self.queue_length} "
+            f"in={self.packets_in} out={self.packets_out} "
+            f"drop={self.packets_dropped}>"
+        )

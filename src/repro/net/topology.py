@@ -1,0 +1,114 @@
+"""Topology builders for the paper's experiments.
+
+* :func:`single_link_topology` — the Table 1 configuration: one bottleneck
+  link shared by N flows.
+* :func:`chain_topology` — a chain of switches, one host per switch.
+* :func:`paper_figure1_topology` — Figure 1: Host-1..Host-5 on S-1..S-5 with
+  four 1 Mbit/s inter-switch links, all traffic flowing left-to-right.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.network import (
+    DEFAULT_BUFFER_PACKETS,
+    DEFAULT_LINK_RATE_BPS,
+    Network,
+    SchedulerFactory,
+)
+from repro.sim.engine import Simulator
+
+FIGURE1_SWITCHES = ["S-1", "S-2", "S-3", "S-4", "S-5"]
+FIGURE1_HOSTS = ["Host-1", "Host-2", "Host-3", "Host-4", "Host-5"]
+
+
+def single_link_topology(
+    sim: Simulator,
+    scheduler_factory: SchedulerFactory,
+    rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+) -> Network:
+    """Two switches, one link A->B, hosts ``src-host`` and ``dst-host``.
+
+    All Table-1 flows source at ``src-host`` and sink at ``dst-host``, so
+    every packet crosses the single 1 Mbit/s bottleneck.
+    """
+    net = Network(sim, scheduler_factory)
+    net.add_switch("A")
+    net.add_switch("B")
+    net.add_link("A", "B", rate_bps, buffer_packets=buffer_packets)
+    net.add_host("src-host", "A")
+    net.add_host("dst-host", "B")
+    return net
+
+
+def chain_topology(
+    sim: Simulator,
+    scheduler_factory: SchedulerFactory,
+    num_switches: int,
+    rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    duplex: bool = False,
+    switch_names: List[str] | None = None,
+    host_names: List[str] | None = None,
+) -> Network:
+    """A chain S1 - S2 - ... - Sn with one host per switch.
+
+    Args:
+        duplex: install links in both directions.  The paper's traffic all
+            flows one way, but TCP needs a reverse path for ACKs, so the
+            Table 3 experiment builds the chain duplex.
+    """
+    if num_switches < 2:
+        raise ValueError("a chain needs at least 2 switches")
+    switch_names = switch_names or [f"S-{i + 1}" for i in range(num_switches)]
+    host_names = host_names or [f"Host-{i + 1}" for i in range(num_switches)]
+    if len(switch_names) != num_switches or len(host_names) != num_switches:
+        raise ValueError("name lists must match num_switches")
+    net = Network(sim, scheduler_factory)
+    for s in switch_names:
+        net.add_switch(s)
+    for left, right in zip(switch_names, switch_names[1:]):
+        if duplex:
+            net.add_duplex_link(left, right, rate_bps, buffer_packets=buffer_packets)
+        else:
+            net.add_link(left, right, rate_bps, buffer_packets=buffer_packets)
+    for host, switch in zip(host_names, switch_names):
+        net.add_host(host, switch)
+    return net
+
+
+def paper_figure1_topology(
+    sim: Simulator,
+    scheduler_factory: SchedulerFactory,
+    rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    duplex: bool = False,
+) -> Network:
+    """The Figure 1 network: five switches, five hosts, four links.
+
+    All experiment traffic travels in the Host-1 -> Host-5 direction; each
+    of the four inter-switch links is shared by 10 flows in the Table 2/3
+    workloads.
+    """
+    return chain_topology(
+        sim,
+        scheduler_factory,
+        num_switches=5,
+        rate_bps=rate_bps,
+        buffer_packets=buffer_packets,
+        duplex=duplex,
+        switch_names=list(FIGURE1_SWITCHES),
+        host_names=list(FIGURE1_HOSTS),
+    )
+
+
+def figure1_ascii() -> str:
+    """ASCII rendering of Figure 1 (the topology 'figure' deliverable)."""
+    return (
+        "Host-1    Host-2    Host-3    Host-4    Host-5\n"
+        "  |         |         |         |         |\n"
+        " S-1 ----- S-2 ----- S-3 ----- S-4 ----- S-5\n"
+        "     1Mb/s     1Mb/s     1Mb/s     1Mb/s\n"
+    )

@@ -1,0 +1,52 @@
+"""Scheduler interface.
+
+Every discipline in :mod:`repro.sched` implements this small ABC.  The
+output port (not the scheduler) enforces the buffer limit and drives the
+link; schedulers only decide *order* (and, optionally, push-out victims).
+
+The contract:
+
+* ``enqueue(packet, now)`` accepts a packet into the queue.  It may return
+  False to refuse it (e.g. an unknown guaranteed flow); the port counts that
+  as a drop.
+* ``dequeue(now)`` returns the next packet to transmit, or None if empty.
+  Schedulers must be *work-conserving* unless their docstring says
+  otherwise: if ``len(self) > 0`` then ``dequeue`` must return a packet.
+* ``__len__`` is the number of queued packets.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class Scheduler(abc.ABC):
+    """Abstract packet scheduler."""
+
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Add a packet; returns False if refused."""
+
+    @abc.abstractmethod
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet to send, or None when empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of packets currently queued."""
+
+    def peek_is_empty(self) -> bool:
+        return len(self) == 0
+
+    def select_push_out(self, incoming: Packet) -> Optional[Packet]:
+        """When the buffer is full, nominate a queued packet to evict in
+        favour of ``incoming``.
+
+        The default (None) means drop the incoming packet (tail drop).
+        Schedulers supporting the Section 10 drop-preference extension
+        override this.
+        """
+        return None

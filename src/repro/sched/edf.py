@@ -1,0 +1,67 @@
+"""Earliest-deadline-first scheduling — the Delay-EDD-style baseline.
+
+Section 5 builds its central argument on the Liu & Layland result that EDF
+is optimal for deadline scheduling, observing that when every packet's
+deadline is a constant offset from its arrival, EDF *is* FIFO.  This module
+provides the general mechanism — per-flow delay targets assign each packet
+the deadline ``arrival + target`` — so tests can verify the degeneracy
+claim and benches can compare heterogeneous-deadline configurations
+(Ferrari & Verma's Delay-EDD uses exactly this service rule).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.sched.base import Scheduler
+
+
+class EdfScheduler(Scheduler):
+    """EDF over per-flow local delay targets.
+
+    Args:
+        delay_targets: per-flow target delay at this switch (seconds);
+            a packet's deadline is arrival time + its flow's target.
+        default_target: target used for flows not in the table.
+    """
+
+    def __init__(
+        self,
+        delay_targets: Optional[Dict[str, float]] = None,
+        default_target: float = 0.1,
+    ):
+        if default_target < 0:
+            raise ValueError("delay target cannot be negative")
+        self.delay_targets = dict(delay_targets or {})
+        for flow, target in self.delay_targets.items():
+            if target < 0:
+                raise ValueError(f"delay target of {flow} cannot be negative")
+        self.default_target = default_target
+        self._heap: List[Tuple[float, int, Packet]] = []
+        self._seq = 0
+
+    def set_target(self, flow_id: str, target: float) -> None:
+        if target < 0:
+            raise ValueError("delay target cannot be negative")
+        self.delay_targets[flow_id] = target
+
+    def deadline_of(self, packet: Packet, now: float) -> float:
+        target = self.delay_targets.get(packet.flow_id, self.default_target)
+        return now + target
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        deadline = self.deadline_of(packet, now)
+        heapq.heappush(self._heap, (deadline, self._seq, packet))
+        self._seq += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        __, __, packet = heapq.heappop(self._heap)
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._heap)

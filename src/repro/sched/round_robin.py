@@ -1,0 +1,125 @@
+"""Round-robin disciplines — Section 11 baselines.
+
+Jacobson and Floyd's (unpublished, 1991) predicted-service scheme used
+round-robin among aggregated groups within each priority level where the
+paper uses FIFO; these schedulers let the benches compare the two sharing
+styles.  Deficit round robin generalizes to variable packet sizes with O(1)
+work per packet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.net.packet import Packet
+from repro.sched.base import Scheduler
+
+
+class RoundRobinScheduler(Scheduler):
+    """Packet-by-packet round robin across flows (or aggregate groups).
+
+    Visits ring slots with queued packets in fixed registration order, one
+    packet per visit.  Fair in packets/s (not bits/s) — exact for the
+    paper's uniform 1000-bit packets.
+
+    Args:
+        key_of: maps a packet to its ring slot.  Defaults to the flow id
+            (per-flow round robin); the Jacobson-Floyd scheme passes a
+            group classifier so several flows share one slot with FIFO
+            order inside it.
+    """
+
+    def __init__(self, key_of: Optional[Callable[[Packet], str]] = None):
+        self._key_of = key_of or (lambda packet: packet.flow_id)
+        self._queues: "OrderedDict[str, Deque[Packet]]" = OrderedDict()
+        self._cursor = 0
+        self._size = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        key = self._key_of(packet)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        queue.append(packet)
+        self._size += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self._size == 0:
+            return None
+        flows = list(self._queues.keys())
+        n = len(flows)
+        for step in range(n):
+            flow = flows[(self._cursor + step) % n]
+            queue = self._queues[flow]
+            if queue:
+                packet = queue.popleft()
+                self._size -= 1
+                self._cursor = (self._cursor + step + 1) % n
+                return packet
+        return None  # pragma: no cover - unreachable while _size > 0
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class DeficitRoundRobinScheduler(Scheduler):
+    """Deficit round robin (Shreedhar & Varghese style).
+
+    Each flow gets ``quantum_bits`` of sending credit per round; unused
+    credit carries over while the flow stays backlogged.
+    """
+
+    def __init__(self, quantum_bits: int = 1000):
+        if quantum_bits <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum_bits = quantum_bits
+        self._queues: "OrderedDict[str, Deque[Packet]]" = OrderedDict()
+        self._deficit: Dict[str, float] = {}
+        self._active: Deque[str] = deque()  # round-robin ring of backlogged flows
+        self._turn_open = False  # front flow already granted its quantum this visit
+        self._size = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        flow = packet.flow_id
+        queue = self._queues.get(flow)
+        if queue is None:
+            queue = deque()
+            self._queues[flow] = queue
+            self._deficit[flow] = 0.0
+        if not queue:
+            self._active.append(flow)
+            self._deficit[flow] = 0.0
+        queue.append(packet)
+        self._size += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if self._size == 0:
+            return None
+        while True:
+            flow = self._active[0]
+            queue = self._queues[flow]
+            if not self._turn_open:
+                # First look at this flow on this visit: grant one quantum.
+                self._deficit[flow] += self.quantum_bits
+                self._turn_open = True
+            head = queue[0]
+            if self._deficit[flow] < head.size_bits:
+                # Credit exhausted for this visit (it carries over): rotate.
+                self._active.rotate(-1)
+                self._turn_open = False
+                continue
+            self._deficit[flow] -= head.size_bits
+            queue.popleft()
+            self._size -= 1
+            if not queue:
+                self._deficit[flow] = 0.0
+                self._active.popleft()
+                self._turn_open = False
+            return head
+
+    def __len__(self) -> int:
+        return self._size

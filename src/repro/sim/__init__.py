@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation ran on a custom packet-level simulator written by
+Lixia Zhang.  This subpackage is our from-scratch equivalent: a classic
+calendar-queue (binary-heap) event loop with deterministic tie-breaking,
+named timers, and seeded random streams so that every experiment in the
+reproduction is replayable bit-for-bit.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.randomness import RandomStreams, StreamRandom
+from repro.sim.timers import PeriodicTimer
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventHandle",
+    "RandomStreams",
+    "StreamRandom",
+    "PeriodicTimer",
+]

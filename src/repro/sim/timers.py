@@ -1,0 +1,60 @@
+"""Timer utilities built on the event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+class PeriodicTimer:
+    """Fires a callback every ``interval`` seconds until stopped.
+
+    Used by the measurement module (periodic sampling of utilization and
+    queue state for admission control) and by constant-bit-rate sources.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Callable[[], Any],
+        *,
+        start_offset: Optional[float] = None,
+        priority: int = 0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._action = action
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        first = interval if start_offset is None else start_offset
+        self._handle = sim.schedule(first, self._fire, priority=priority)
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if not self._stopped:  # action may have called stop()
+            self._handle = self._sim.schedule(
+                self._interval, self._fire, priority=self._priority
+            )
+
+    def stop(self) -> None:
+        """Stop the timer; pending fire is cancelled.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

@@ -1,0 +1,52 @@
+"""Exponentially weighted moving average.
+
+FIFO+ (Section 6) requires each switch to track "the average delay seen by
+packets in each priority class at that switch"; an EWMA is the natural
+streaming estimator and is what deployed FIFO+-style mechanisms use.  The
+gain is exposed because the ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+
+class Ewma:
+    """EWMA with fixed gain: est <- (1-g)*est + g*sample.
+
+    The first sample initialises the estimate directly, avoiding the usual
+    cold-start bias toward zero.
+    """
+
+    __slots__ = ("gain", "_value", "count")
+
+    def __init__(self, gain: float = 0.01):
+        if not 0.0 < gain <= 1.0:
+            raise ValueError(f"gain must be in (0, 1], got {gain}")
+        self.gain = gain
+        self._value: float | None = None
+        self.count = 0
+
+    def add(self, sample: float) -> float:
+        """Fold in a sample and return the updated estimate."""
+        self.count += 1
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.gain * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float:
+        """Current estimate; 0.0 before any sample (FIFO+ treats the first
+        packets at a cold switch as average)."""
+        return self._value if self._value is not None else 0.0
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    def reset(self) -> None:
+        self._value = None
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Ewma gain={self.gain} value={self.value:.4g} n={self.count}>"

@@ -1,0 +1,42 @@
+"""Fairness metrics.
+
+Jain's fairness index over per-flow allocations:
+
+    J(x) = (sum x_i)^2 / (n * sum x_i^2),   1/n <= J <= 1
+
+J = 1 means perfectly equal allocations; J = 1/n means one flow took
+everything.  The benches use it to quantify the §5 isolation/sharing
+contrast: FIFO spreads *jitter* evenly across a homogeneous class (high
+fairness over per-flow tail delays), while WFQ concentrates each flow's
+jitter on itself (low fairness over tails when one flow bursts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector."""
+    if not allocations:
+        raise ValueError("need at least one allocation")
+    for value in allocations:
+        if value < 0:
+            raise ValueError("allocations cannot be negative")
+    total = sum(allocations)
+    squares = sum(value * value for value in allocations)
+    if squares == 0.0:
+        # All-zero allocations (everyone equally has nothing), or values so
+        # small their squares underflow to zero — treat as equal shares.
+        return 1.0
+    return (total * total) / (len(allocations) * squares)
+
+
+def max_min_ratio(allocations: Sequence[float]) -> float:
+    """max/min of a positive allocation vector (1 = perfectly equal)."""
+    if not allocations:
+        raise ValueError("need at least one allocation")
+    smallest = min(allocations)
+    if smallest <= 0:
+        raise ValueError("allocations must be positive for a ratio")
+    return max(allocations) / smallest

@@ -1,0 +1,95 @@
+"""Fixed-bin histogram for delay distributions.
+
+Used by the examples and ablation benches to show *distributions* (the
+isolation-vs-sharing story of Section 5 is about the shape of the delay
+distribution, not just two scalars).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+class Histogram:
+    """Histogram with uniform bins over [lo, hi) plus overflow/underflow.
+
+    Args:
+        lo: lower edge of the first bin.
+        hi: upper edge of the last bin.
+        bins: number of uniform bins.
+    """
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi})")
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = bins
+        self._width = (hi - lo) / bins
+        self._counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((value - self.lo) / self._width)
+            # Guard against float edge cases at the top boundary.
+            if idx >= self.bins:
+                idx = self.bins - 1
+            self._counts[idx] += 1
+
+    def bin_edges(self) -> List[float]:
+        """The bins+1 edges."""
+        return [self.lo + i * self._width for i in range(self.bins + 1)]
+
+    def counts(self) -> List[int]:
+        return list(self._counts)
+
+    def nonzero_bins(self) -> List[Tuple[float, float, int]]:
+        """(lo_edge, hi_edge, count) for every non-empty bin."""
+        out = []
+        for i, c in enumerate(self._counts):
+            if c:
+                out.append((self.lo + i * self._width, self.lo + (i + 1) * self._width, c))
+        return out
+
+    def cdf_at(self, value: float) -> float:
+        """Empirical CDF evaluated at ``value`` (bin-resolution)."""
+        if self.count == 0:
+            return 0.0
+        if value < self.lo:
+            return 0.0
+        below = self.underflow
+        for i in range(self.bins):
+            edge_hi = self.lo + (i + 1) * self._width
+            if value >= edge_hi:
+                below += self._counts[i]
+            else:
+                break
+        return below / self.count
+
+    def ascii(self, width: int = 50) -> str:
+        """Render an ASCII bar chart (used by example scripts)."""
+        if self.count == 0:
+            return "(empty histogram)"
+        peak = max(self._counts) or 1
+        lines = []
+        for i, c in enumerate(self._counts):
+            edge = self.lo + i * self._width
+            bar = "#" * int(math.ceil(width * c / peak)) if c else ""
+            lines.append(f"{edge:>10.3f} | {bar} {c}")
+        if self.overflow:
+            lines.append(f"{'overflow':>10} | {self.overflow}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram n={self.count} bins={self.bins} [{self.lo},{self.hi})>"

@@ -1,0 +1,134 @@
+"""Percentile estimation.
+
+The paper's headline jitter metric is the 99.9th-percentile queueing delay.
+At the experiment scale involved (<= a few million samples per flow) it is
+both simplest and most faithful to keep the raw samples and compute the
+percentile exactly, as the original study implicitly did.  The
+:class:`PercentileTracker` therefore stores samples (floats, so ~8 bytes
+each) and sorts lazily; a reservoir mode caps memory for very long runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Optional, Sequence
+
+
+def exact_percentile(sorted_samples: Sequence[float], pct: float) -> float:
+    """Percentile of pre-sorted data using linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")``, the standard
+    definition: the p-th percentile sits at rank ``p/100 * (n-1)``.
+
+    Args:
+        sorted_samples: non-empty ascending sequence.
+        pct: percentile in [0, 100].
+    """
+    if not sorted_samples:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    n = len(sorted_samples)
+    if n == 1:
+        return float(sorted_samples[0])
+    rank = (pct / 100.0) * (n - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac)
+
+
+class PercentileTracker:
+    """Collects samples and answers percentile queries.
+
+    Args:
+        reservoir_size: if given, switch to reservoir sampling (Vitter's
+            algorithm R) once the sample count exceeds this size; percentiles
+            then become estimates.  ``None`` (default) keeps every sample,
+            which is what the table-reproduction experiments use.
+        rng: random stream for the reservoir; required when a reservoir size
+            is set so the experiment stays deterministic.
+    """
+
+    def __init__(
+        self,
+        reservoir_size: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if reservoir_size is not None:
+            if reservoir_size <= 0:
+                raise ValueError("reservoir_size must be positive")
+            if rng is None:
+                raise ValueError("a seeded rng is required with a reservoir")
+        self._samples: List[float] = []
+        self._sorted = True
+        self._count = 0
+        self._reservoir_size = reservoir_size
+        self._rng = rng
+
+    @property
+    def count(self) -> int:
+        """Total number of samples *offered* (not necessarily retained)."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        if self._reservoir_size is None or len(self._samples) < self._reservoir_size:
+            self._samples.append(value)
+            self._sorted = False
+            return
+        # Reservoir replacement (algorithm R).
+        assert self._rng is not None
+        j = self._rng.randrange(self._count)
+        if j < self._reservoir_size:
+            self._samples[j] = value
+            self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, pct: float) -> float:
+        """Return the pct-th percentile of the recorded samples."""
+        self._ensure_sorted()
+        return exact_percentile(self._samples, pct)
+
+    def quantiles(self, pcts: Sequence[float]) -> List[float]:
+        """Batch percentile query (single sort)."""
+        self._ensure_sorted()
+        return [exact_percentile(self._samples, p) for p in pcts]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly greater than ``threshold``.
+
+        Used by adaptive playback applications: "what loss rate would this
+        playback point have produced?".
+        """
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        idx = bisect.bisect_right(self._samples, threshold)
+        return (len(self._samples) - idx) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        self._ensure_sorted()
+        if not self._samples:
+            raise ValueError("no samples")
+        return self._samples[-1]
+
+    @property
+    def min(self) -> float:
+        self._ensure_sorted()
+        if not self._samples:
+            raise ValueError("no samples")
+        return self._samples[0]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PercentileTracker n={self._count} kept={len(self._samples)}>"

@@ -1,0 +1,89 @@
+"""Streaming summary statistics (count / mean / variance / min / max).
+
+Implements Welford's online algorithm so that long runs (10 simulated
+minutes, hundreds of thousands of packets per flow) never need to hold all
+samples for the *summary* numbers.  Percentiles, which the paper also
+reports, are handled by :mod:`repro.stats.percentile`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class SummaryStats:
+    """Online mean/variance/min/max accumulator (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when empty (callers check ``count`` if they care)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (divides by n); 0.0 for fewer than 2 samples."""
+        return self._m2 / self.count if self.count >= 2 else 0.0
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (divides by n-1)."""
+        return self._m2 / (self.count - 1) if self.count >= 2 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "SummaryStats") -> None:
+        """Fold another accumulator into this one (parallel merge formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self.count:
+            return "<SummaryStats empty>"
+        return (
+            f"<SummaryStats n={self.count} mean={self.mean:.4g} "
+            f"min={self.min:.4g} max={self.max:.4g}>"
+        )

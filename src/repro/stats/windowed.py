@@ -1,0 +1,89 @@
+"""Sliding-window extrema and summaries.
+
+Section 9's admission heuristic needs "consistently conservative" measured
+quantities: the measured maximal delay d-hat_j of each class and measured
+utilization.  A sliding-window maximum (monotone deque, O(1) amortized) over
+a trailing interval gives exactly a "recent worst case" estimator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.stats.summary import SummaryStats
+
+
+class SlidingWindowMax:
+    """Maximum of samples within the trailing ``window`` seconds."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        # Monotone non-increasing deque of (time, value).
+        self._deque: Deque[Tuple[float, float]] = deque()
+
+    def add(self, now: float, value: float) -> None:
+        dq = self._deque
+        while dq and dq[-1][1] <= value:
+            dq.pop()
+        dq.append((now, value))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        dq = self._deque
+        while dq and dq[0][0] <= cutoff:
+            dq.popleft()
+
+    def max(self, now: float, default: float = 0.0) -> float:
+        """Max over the trailing window; ``default`` if no recent samples."""
+        self._evict(now)
+        return self._deque[0][1] if self._deque else default
+
+    def __len__(self) -> int:
+        return len(self._deque)
+
+
+class SlidingWindowStats:
+    """Windowed sample statistics rebuilt from a deque of samples.
+
+    Keeps (time, value) pairs within the window; mean/max queries are O(n)
+    over retained samples.  Suitable for the measurement sampling rates used
+    here (admission probes run at ~10 Hz, not per-packet).
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def add(self, now: float, value: float) -> None:
+        self._samples.append((now, value))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._samples and self._samples[0][0] <= cutoff:
+            self._samples.popleft()
+
+    def snapshot(self, now: float) -> SummaryStats:
+        """Summary of samples currently inside the window."""
+        self._evict(now)
+        stats = SummaryStats()
+        for __, value in self._samples:
+            stats.add(value)
+        return stats
+
+    def mean(self, now: float, default: float = 0.0) -> float:
+        snap = self.snapshot(now)
+        return snap.mean if snap.count else default
+
+    def max(self, now: float, default: float = 0.0) -> float:
+        snap = self.snapshot(now)
+        return snap.max if snap.count else default
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -1,0 +1,185 @@
+"""Source self-characterization: the b(r) curve (Section 4).
+
+"For a given traffic generation process, we can define the non-increasing
+function b(r) as the minimal value such that the process conforms to a
+(r, b(r)) filter."  This is how a guaranteed-service client does its
+private math in the Section 8 interface: the network sees only the clock
+rate r; the client uses its own b(r) knowledge to know that its worst-case
+queueing delay is b(r)/r, and picks the cheapest r meeting its delay
+target.
+
+This module turns a recorded packet trace (or any (time, size) sequence)
+into that curve and the derived decisions:
+
+* :func:`bucket_curve` — b(r) sampled over a rate grid;
+* :func:`delay_curve` — the induced worst-case bound curve b(r)/r;
+* :func:`choose_rate` — the smallest sampled rate whose fluid bound meets
+  a delay target (the Section 8 sizing step);
+* :class:`SourceCharacterization` — a bundled view with peak/average rate
+  bookends, suitable for printing next to an admission request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.traffic.token_bucket import minimal_bucket_depth
+
+Arrivals = Sequence[Tuple[float, float]]  # (time_seconds, size_bits)
+
+
+def _validate(arrivals: Arrivals) -> None:
+    if not arrivals:
+        raise ValueError("need at least one arrival")
+    last_t = None
+    for t, size in arrivals:
+        if size <= 0:
+            raise ValueError("packet sizes must be positive")
+        if last_t is not None and t < last_t:
+            raise ValueError("arrivals must be time-ordered")
+        last_t = t
+
+
+def average_rate_bps(arrivals: Arrivals) -> float:
+    """Long-run bit rate of the trace (total bits / spanned time).
+
+    A single-instant trace has no span; its "average" is taken as +inf
+    burst — callers should rely on b(r) instead.
+    """
+    _validate(arrivals)
+    total = sum(size for __, size in arrivals)
+    span = arrivals[-1][0] - arrivals[0][0]
+    if span <= 0:
+        return float("inf")
+    return total / span
+
+
+def peak_rate_bps(arrivals: Arrivals) -> float:
+    """The highest instantaneous rate between consecutive arrivals.
+
+    Defined as size / gap for each adjacent pair; back-to-back arrivals
+    (zero gap) make the peak infinite, which correctly means "no finite
+    rate r gives b(r) = one packet".
+    """
+    _validate(arrivals)
+    peak = 0.0
+    for (t0, __), (t1, size) in zip(arrivals, arrivals[1:]):
+        gap = t1 - t0
+        if gap <= 0:
+            return float("inf")
+        peak = max(peak, size / gap)
+    return peak
+
+
+def bucket_curve(
+    arrivals: Arrivals, rates_bps: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Sample b(r) over a rate grid.
+
+    Returns (r, b(r)) pairs in the order given.  b(r) is non-increasing in
+    r (more refill rate never needs a deeper bucket), which the property
+    tests assert for arbitrary traces.
+    """
+    _validate(arrivals)
+    if not rates_bps:
+        raise ValueError("need at least one rate")
+    curve = []
+    for rate in rates_bps:
+        if rate <= 0:
+            raise ValueError("rates must be positive")
+        curve.append((rate, minimal_bucket_depth(arrivals, rate)))
+    return curve
+
+
+def delay_curve(
+    arrivals: Arrivals, rates_bps: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """The worst-case fluid bound b(r)/r over a rate grid (seconds).
+
+    This is the curve a guaranteed client walks down when deciding how
+    much clock rate to buy.
+    """
+    return [
+        (rate, depth / rate) for rate, depth in bucket_curve(arrivals, rates_bps)
+    ]
+
+
+def choose_rate(
+    arrivals: Arrivals,
+    target_delay_seconds: float,
+    rates_bps: Sequence[float],
+) -> Tuple[float, float]:
+    """Smallest sampled rate whose b(r)/r meets the target.
+
+    Returns:
+        (rate, bound_seconds) for the chosen rate.
+
+    Raises:
+        ValueError: if no sampled rate meets the target (the client must
+            widen its grid or accept a looser bound).
+    """
+    if target_delay_seconds <= 0:
+        raise ValueError("target delay must be positive")
+    best = None
+    for rate, bound in sorted(delay_curve(arrivals, rates_bps)):
+        if bound <= target_delay_seconds:
+            best = (rate, bound)
+            break
+    if best is None:
+        raise ValueError(
+            f"no rate in the grid meets {target_delay_seconds}s; "
+            f"tightest achievable was "
+            f"{min(b for __, b in delay_curve(arrivals, rates_bps)):.4f}s"
+        )
+    return best
+
+
+@dataclasses.dataclass
+class SourceCharacterization:
+    """A source's private traffic knowledge, bundled.
+
+    Attributes:
+        average_bps / peak_bps: rate bookends of the trace.
+        curve: (r, b(r)) samples.
+    """
+
+    average_bps: float
+    peak_bps: float
+    curve: List[Tuple[float, float]]
+
+    @classmethod
+    def from_trace(
+        cls, arrivals: Arrivals, rates_bps: Sequence[float]
+    ) -> "SourceCharacterization":
+        return cls(
+            average_bps=average_rate_bps(arrivals),
+            peak_bps=peak_rate_bps(arrivals),
+            curve=bucket_curve(arrivals, rates_bps),
+        )
+
+    def bound_at(self, rate_bps: float) -> float:
+        """b(r)/r for a sampled rate."""
+        for rate, depth in self.curve:
+            if rate == rate_bps:
+                return depth / rate
+        raise KeyError(f"rate {rate_bps} not in the sampled curve")
+
+    def render(self, unit_seconds: float = 1.0) -> str:
+        """Human-readable curve table (delays divided by ``unit_seconds``)."""
+        lines = [
+            f"average rate: {self.average_bps / 1000:.1f} kbit/s   "
+            f"peak rate: "
+            + (
+                "inf"
+                if self.peak_bps == float("inf")
+                else f"{self.peak_bps / 1000:.1f} kbit/s"
+            ),
+            f"{'r (kbit/s)':>12}  {'b(r) (bits)':>12}  {'b/r bound':>10}",
+        ]
+        for rate, depth in self.curve:
+            lines.append(
+                f"{rate / 1000:>12.1f}  {depth:>12.0f}  "
+                f"{depth / rate / unit_seconds:>10.2f}"
+            )
+        return "\n".join(lines)

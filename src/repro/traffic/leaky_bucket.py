@@ -1,0 +1,57 @@
+"""Fluid leaky bucket (Section 4, footnote 6).
+
+In the fluid version of a leaky bucket of rate r, bits drain out at a
+constant rate r and any excess queues.  The paper uses it to *motivate* the
+Parekh-Gallager bound: if a source obeying an (r, b) token bucket is pushed
+through a leaky bucket of rate r at the network edge, all of the flow's
+queueing happens in the leaky bucket and is bounded by b/r.  Tests verify
+that claim against this model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class FluidLeakyBucket:
+    """Tracks the backlog of a fluid queue drained at a constant rate."""
+
+    def __init__(self, rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError(f"drain rate must be positive, got {rate_bps}")
+        self.rate_bps = float(rate_bps)
+        self._backlog_bits = 0.0
+        self._last_time = 0.0
+
+    def backlog_at(self, now: float) -> float:
+        """Backlog at ``now`` (before any arrival at that instant)."""
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        return max(0.0, self._backlog_bits - (now - self._last_time) * self.rate_bps)
+
+    def offer(self, size_bits: float, now: float) -> float:
+        """Add ``size_bits`` at ``now``; returns the delay of its last bit.
+
+        The last bit departs when the whole backlog present after this
+        arrival has drained: delay = backlog_after / rate.
+        """
+        if size_bits < 0:
+            raise ValueError("size cannot be negative")
+        self._backlog_bits = self.backlog_at(now) + size_bits
+        self._last_time = now
+        return self._backlog_bits / self.rate_bps
+
+    def max_delay(self, arrivals: Iterable[Tuple[float, float]]) -> float:
+        """Worst last-bit delay over a (time, size_bits) arrival sequence."""
+        worst = 0.0
+        for t, size in arrivals:
+            worst = max(worst, self.offer(size, t))
+        return worst
+
+
+def leaky_bucket_delays(
+    arrivals: List[Tuple[float, float]], rate_bps: float
+) -> List[float]:
+    """Delay of each arrival's last bit through a fresh leaky bucket."""
+    bucket = FluidLeakyBucket(rate_bps)
+    return [bucket.offer(size, t) for t, size in arrivals]

@@ -1,0 +1,14 @@
+"""Datagram transport substrate.
+
+Table 3's workload includes "2 datagram TCP connections" riding the lowest
+priority class of the unified scheduler.  This subpackage provides a
+simplified window-based TCP (slow start, congestion avoidance, fast
+retransmit, RTO with Karn/Jacobson timing) sufficient to generate adaptive
+best-effort load that fills whatever capacity the real-time classes leave,
+plus a fire-and-forget UDP-style sender.
+"""
+
+from repro.transport.tcp import TcpConnection, TcpConfig, TcpSenderState
+from repro.transport.udp import UdpSender
+
+__all__ = ["TcpConnection", "TcpConfig", "TcpSenderState", "UdpSender"]

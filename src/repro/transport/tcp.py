@@ -1,0 +1,326 @@
+"""A simplified TCP for datagram background load.
+
+Implements the congestion-control core a 1992-era TCP (Tahoe/Reno lineage)
+would bring to the paper's experiment:
+
+* slow start and congestion avoidance over a packet-counted cwnd,
+* Jacobson/Karels RTT estimation (SRTT + RTTVAR) with Karn's rule
+  (no samples from retransmitted segments),
+* triple-duplicate-ACK fast retransmit with multiplicative decrease,
+* retransmission timeout with exponential backoff and cwnd reset to 1.
+
+The sender is greedy (infinite backlog): it models a bulk transfer soaking
+up whatever bandwidth the real-time classes leave over, which is the role
+the two TCP connections play in Table 3.  Segments and ACKs are ordinary
+:class:`~repro.net.packet.Packet` objects with a small payload dict, so
+they traverse the exact same switches, schedulers, and drop paths as the
+real-time traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Set
+
+from repro.net.node import Host
+from repro.net.packet import Packet, ServiceClass
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+@dataclasses.dataclass(frozen=True)
+class TcpConfig:
+    """Tuning of one connection.
+
+    Attributes:
+        segment_bits: data segment size (the paper's 1000-bit packets).
+        ack_bits: ACK size; defaults to a full packet so that "all packets
+            are 1000 bits" holds on the reverse path too.
+        initial_cwnd: initial congestion window (packets).
+        initial_ssthresh: initial slow-start threshold (packets).
+        min_rto / max_rto: clamp on the retransmission timeout (seconds).
+        max_cwnd: cap on the window (packets), standing in for the
+            receiver's advertised window.
+        dupack_threshold: duplicate ACKs that trigger fast retransmit.
+    """
+
+    segment_bits: int = 1000
+    ack_bits: int = 1000
+    initial_cwnd: float = 1.0
+    initial_ssthresh: float = 64.0
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    max_cwnd: float = 128.0
+    dupack_threshold: int = 3
+
+    def __post_init__(self):
+        if self.segment_bits <= 0 or self.ack_bits <= 0:
+            raise ValueError("segment and ack sizes must be positive")
+        if self.initial_cwnd < 1:
+            raise ValueError("initial cwnd must be at least 1")
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("bad RTO clamp")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack threshold must be >= 1")
+
+
+@dataclasses.dataclass
+class TcpSenderState:
+    """Observable sender state (tests and benches read this)."""
+
+    cwnd: float
+    ssthresh: float
+    next_seq: int
+    highest_ack: int
+    srtt: Optional[float]
+    rto: float
+    retransmits: int
+    timeouts: int
+    fast_retransmits: int
+
+
+class TcpConnection:
+    """One simplified TCP connection between two hosts.
+
+    Args:
+        flow_id: data-direction flow id; ACKs use ``flow_id + ":ack"``.
+        priority_class: carried in each packet; the unified scheduler files
+            DATAGRAM packets below all predicted classes regardless.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender_host: Host,
+        receiver_host: Host,
+        flow_id: str,
+        config: Optional[TcpConfig] = None,
+        priority_class: int = 0,
+        start_time: float = 0.0,
+    ):
+        self.sim = sim
+        self.sender_host = sender_host
+        self.receiver_host = receiver_host
+        self.flow_id = flow_id
+        self.ack_flow_id = flow_id + ":ack"
+        self.config = config or TcpConfig()
+        self.priority_class = priority_class
+
+        # --- sender state ---
+        self.cwnd = float(self.config.initial_cwnd)
+        self.ssthresh = float(self.config.initial_ssthresh)
+        self.next_seq = 0
+        self.highest_ack = 0  # next byte... next *segment* expected by peer
+        self.dupacks = 0
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = 1.0
+        self._rto_handle: Optional[EventHandle] = None
+        self._send_times: Dict[int, float] = {}  # seq -> first-send time (Karn)
+        # NewReno-style recovery point: while highest_ack < _recover, each
+        # partial ACK retransmits the next hole instead of waiting out an
+        # RTO per lost segment (multiple losses per window are the norm
+        # with small switch buffers).
+        self._recover = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.segments_sent = 0
+        self._running = False
+
+        # --- receiver state ---
+        self.recv_next = 0
+        self._ooo: Set[int] = set()
+        self.segments_delivered = 0
+        self.acks_sent = 0
+        self.delivered_bits = 0
+
+        receiver_host.register_flow_handler(flow_id, self._on_data)
+        sender_host.register_flow_handler(self.ack_flow_id, self._on_ack)
+        sim.schedule(start_time, self.start)
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._fill_window()
+
+    def stop(self) -> None:
+        self._running = False
+        self._cancel_rto()
+
+    @property
+    def outstanding(self) -> int:
+        return self.next_seq - self.highest_ack
+
+    def _fill_window(self) -> None:
+        while self._running and self.outstanding < int(min(self.cwnd, self.config.max_cwnd)):
+            self._send_segment(self.next_seq, first_transmission=True)
+            self.next_seq += 1
+
+    def _send_segment(self, seq: int, first_transmission: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            size_bits=self.config.segment_bits,
+            created_at=self.sim.now,
+            source=self.sender_host.name,
+            destination=self.receiver_host.name,
+            service_class=ServiceClass.DATAGRAM,
+            priority_class=self.priority_class,
+            sequence=seq,
+            payload={"type": "data", "seq": seq},
+        )
+        if first_transmission:
+            self._send_times[seq] = self.sim.now
+        else:
+            # Karn's rule: a retransmitted segment gives no RTT sample.
+            self._send_times.pop(seq, None)
+            self.retransmits += 1
+        self.segments_sent += 1
+        self.sender_host.send(packet)
+        if self._rto_handle is None or not self._rto_handle.active:
+            self._arm_rto()
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_handle = self.sim.schedule(self.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    def _on_rto(self) -> None:
+        if not self._running or self.outstanding == 0:
+            return
+        # Timeout: multiplicative decrease to the floor, back off the timer.
+        self.timeouts += 1
+        self.ssthresh = max(self.outstanding / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.rto = min(self.rto * 2.0, self.config.max_rto)
+        self._recover = self.next_seq
+        self._send_segment(self.highest_ack, first_transmission=False)
+        self._arm_rto()
+
+    def _on_ack(self, packet: Packet) -> None:
+        assert packet.payload is not None and packet.payload["type"] == "ack"
+        ack = packet.payload["ack"]  # cumulative: next segment expected
+        if ack > self.highest_ack:
+            newly_acked = ack - self.highest_ack
+            self._update_rtt(ack)
+            self.highest_ack = ack
+            self.dupacks = 0
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + newly_acked, self.config.max_cwnd)
+            else:
+                self.cwnd = min(
+                    self.cwnd + newly_acked / self.cwnd, self.config.max_cwnd
+                )
+            if self.outstanding > 0:
+                self._arm_rto()
+            else:
+                self._cancel_rto()
+            if ack < self._recover and self.outstanding > 0:
+                # Partial ACK: the cumulative ACK stopped at the next hole;
+                # retransmit it immediately (NewReno fast recovery /
+                # go-back-N after a timeout).
+                self._send_segment(self.highest_ack, first_transmission=False)
+                self._arm_rto()
+            self._fill_window()
+        elif ack == self.highest_ack and self.outstanding > 0:
+            self.dupacks += 1
+            if self.dupacks == self.config.dupack_threshold:
+                # Fast retransmit + multiplicative decrease (simplified
+                # Reno: no window inflation during recovery).
+                self.fast_retransmits += 1
+                self.ssthresh = max(self.outstanding / 2.0, 2.0)
+                self.cwnd = self.ssthresh
+                self._recover = self.next_seq
+                self._send_segment(self.highest_ack, first_transmission=False)
+                self._arm_rto()
+
+    def _update_rtt(self, ack: int) -> None:
+        """Jacobson/Karels estimator from the newest timed segment covered
+        by this cumulative ACK."""
+        sample = None
+        for seq in range(self.highest_ack, ack):
+            sent_at = self._send_times.pop(seq, None)
+            if sent_at is not None:
+                sample = self.sim.now - sent_at
+        if sample is None:
+            return
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(
+            max(self.srtt + 4.0 * (self.rttvar or 0.0), self.config.min_rto),
+            self.config.max_rto,
+        )
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _on_data(self, packet: Packet) -> None:
+        assert packet.payload is not None and packet.payload["type"] == "data"
+        seq = packet.payload["seq"]
+        if seq == self.recv_next:
+            self.recv_next += 1
+            self.segments_delivered += 1
+            self.delivered_bits += self.config.segment_bits
+            while self.recv_next in self._ooo:
+                self._ooo.discard(self.recv_next)
+                self.recv_next += 1
+                self.segments_delivered += 1
+                self.delivered_bits += self.config.segment_bits
+        elif seq > self.recv_next:
+            self._ooo.add(seq)
+        # else: duplicate of already-delivered data; just re-ACK.
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack = Packet(
+            flow_id=self.ack_flow_id,
+            size_bits=self.config.ack_bits,
+            created_at=self.sim.now,
+            source=self.receiver_host.name,
+            destination=self.sender_host.name,
+            service_class=ServiceClass.DATAGRAM,
+            priority_class=self.priority_class,
+            payload={"type": "ack", "ack": self.recv_next},
+        )
+        self.acks_sent += 1
+        self.receiver_host.send(ack)
+
+    # ------------------------------------------------------------------
+    def sender_state(self) -> TcpSenderState:
+        return TcpSenderState(
+            cwnd=self.cwnd,
+            ssthresh=self.ssthresh,
+            next_seq=self.next_seq,
+            highest_ack=self.highest_ack,
+            srtt=self.srtt,
+            rto=self.rto,
+            retransmits=self.retransmits,
+            timeouts=self.timeouts,
+            fast_retransmits=self.fast_retransmits,
+        )
+
+    def goodput_bps(self, elapsed: float) -> float:
+        """Delivered (unique) bits per second over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.delivered_bits / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TcpConnection {self.flow_id} cwnd={self.cwnd:.1f} "
+            f"acked={self.highest_ack} rtx={self.retransmits}>"
+        )

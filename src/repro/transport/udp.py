@@ -1,0 +1,57 @@
+"""Fire-and-forget datagram sender.
+
+A thin convenience over :class:`~repro.traffic.source.PacketSource`-style
+emission for tests and examples that need raw best-effort packets without
+congestion control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.node import Host
+from repro.net.packet import Packet, ServiceClass
+from repro.sim.engine import Simulator
+
+
+class UdpSender:
+    """Sends individual datagram packets on demand."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: str,
+        destination: str,
+        packet_size_bits: int = 1000,
+    ):
+        if packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.destination = destination
+        self.packet_size_bits = packet_size_bits
+        self.sent = 0
+        self._next_seq = 0
+
+    def send(self, payload: Optional[dict] = None, size_bits: Optional[int] = None) -> Packet:
+        packet = Packet(
+            flow_id=self.flow_id,
+            size_bits=size_bits or self.packet_size_bits,
+            created_at=self.sim.now,
+            source=self.host.name,
+            destination=self.destination,
+            service_class=ServiceClass.DATAGRAM,
+            sequence=self._next_seq,
+            payload=payload,
+        )
+        self._next_seq += 1
+        self.sent += 1
+        self.host.send(packet)
+        return packet
+
+    def send_burst(self, count: int) -> None:
+        """Emit ``count`` packets back-to-back (burst/drop tests)."""
+        for __ in range(count):
+            self.send()

@@ -1,0 +1,170 @@
+"""Tests for the Parekh-Gallager bound computations (Section 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    parekh_gallager_fluid_bound,
+    parekh_gallager_packet_bound,
+    parekh_gallager_paper_bound,
+    predicted_path_bound,
+    required_clock_rate,
+)
+
+
+class TestFluidBound:
+    def test_basic_value(self):
+        # b = 50 000 bits, r = 85 000 bit/s -> 50/85 s
+        assert parekh_gallager_fluid_bound(50_000, 85_000) == pytest.approx(
+            50_000 / 85_000
+        )
+
+    def test_doubling_rate_halves_bound(self):
+        one = parekh_gallager_fluid_bound(10_000, 1_000)
+        two = parekh_gallager_fluid_bound(10_000, 2_000)
+        assert one == pytest.approx(2 * two)
+
+    @pytest.mark.parametrize("b,r", [(0, 1000), (-1, 1000), (1000, 0), (1000, -5)])
+    def test_rejects_nonpositive(self, b, r):
+        with pytest.raises(ValueError):
+            parekh_gallager_fluid_bound(b, r)
+
+    @given(
+        b=st.floats(min_value=1.0, max_value=1e9),
+        r=st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_positive_and_scales_linearly_in_b(self, b, r):
+        bound = parekh_gallager_fluid_bound(b, r)
+        assert bound > 0
+        assert parekh_gallager_fluid_bound(2 * b, r) == pytest.approx(
+            2 * bound, rel=1e-9
+        )
+
+
+class TestPacketBound:
+    def test_single_hop_adds_only_store_forward(self):
+        fluid = parekh_gallager_fluid_bound(50_000, 85_000)
+        packet = parekh_gallager_packet_bound(
+            50_000, 85_000, 1000, [1_000_000]
+        )
+        assert packet == pytest.approx(fluid + 1000 / 1_000_000)
+
+    def test_multi_hop_adds_packetization_terms(self):
+        two_hop = parekh_gallager_packet_bound(
+            50_000, 85_000, 1000, [1_000_000, 1_000_000]
+        )
+        one_hop = parekh_gallager_packet_bound(50_000, 85_000, 1000, [1_000_000])
+        # Extra hop adds p/r (packetization) + p/C (store-and-forward).
+        assert two_hop - one_hop == pytest.approx(
+            1000 / 85_000 + 1000 / 1_000_000
+        )
+
+    def test_packet_bound_dominates_fluid(self):
+        fluid = parekh_gallager_fluid_bound(50_000, 85_000)
+        packet = parekh_gallager_packet_bound(
+            50_000, 85_000, 1000, [1_000_000] * 4
+        )
+        assert packet > fluid
+
+    def test_clock_rate_above_link_speed_rejected(self):
+        with pytest.raises(ValueError):
+            parekh_gallager_packet_bound(1000, 2_000_000, 1000, [1_000_000])
+
+    def test_requires_a_hop(self):
+        with pytest.raises(ValueError):
+            parekh_gallager_packet_bound(1000, 1000, 1000, [])
+
+    @pytest.mark.parametrize("size", [0, -100])
+    def test_rejects_bad_packet_size(self, size):
+        with pytest.raises(ValueError):
+            parekh_gallager_packet_bound(1000, 1000, size, [1_000_000])
+
+    def test_rejects_bad_link_rate(self):
+        with pytest.raises(ValueError):
+            parekh_gallager_packet_bound(1000, 1000, 1000, [0.0])
+
+    @given(hops=st.integers(min_value=1, max_value=10))
+    def test_monotone_in_hops(self, hops):
+        bounds = [
+            parekh_gallager_packet_bound(50_000, 85_000, 1000, [1_000_000] * h)
+            for h in range(1, hops + 1)
+        ]
+        assert bounds == sorted(bounds)
+
+
+class TestPaperBound:
+    """The exact Table 3 'P-G bound' column values, in tx-time units."""
+
+    TX = 1000 / 1_000_000  # one packet transmission time (seconds)
+
+    def paper_units(self, seconds: float) -> float:
+        return seconds / self.TX
+
+    def test_guaranteed_average_one_hop_matches_table3(self):
+        # b = 50 packets, r = A = 85 pkt/s -> 588.24 tx-times at 1 hop.
+        bound = parekh_gallager_paper_bound(50_000, 85_000, 1000, hops=1)
+        assert self.paper_units(bound) == pytest.approx(588.24, abs=0.01)
+
+    def test_guaranteed_average_three_hops_matches_table3(self):
+        bound = parekh_gallager_paper_bound(50_000, 85_000, 1000, hops=3)
+        assert self.paper_units(bound) == pytest.approx(611.76, abs=0.01)
+
+    def test_guaranteed_peak_two_hops_matches_table3(self):
+        # Peak flows: r = 2A = 170 pkt/s, b = one packet.
+        bound = parekh_gallager_paper_bound(1000, 170_000, 1000, hops=2)
+        assert self.paper_units(bound) == pytest.approx(11.76, abs=0.01)
+
+    def test_guaranteed_peak_four_hops_matches_table3(self):
+        bound = parekh_gallager_paper_bound(1000, 170_000, 1000, hops=4)
+        assert self.paper_units(bound) == pytest.approx(23.53, abs=0.01)
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            parekh_gallager_paper_bound(1000, 1000, 1000, hops=0)
+
+    def test_rejects_bad_packet(self):
+        with pytest.raises(ValueError):
+            parekh_gallager_paper_bound(1000, 1000, 0, hops=1)
+
+
+class TestPredictedPathBound:
+    def test_sums_per_switch_bounds(self):
+        assert predicted_path_bound([0.1, 0.1, 0.1]) == pytest.approx(0.3)
+
+    def test_single_switch(self):
+        assert predicted_path_bound([0.02]) == pytest.approx(0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            predicted_path_bound([])
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            predicted_path_bound([0.1, 0.0])
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=8))
+    def test_bound_at_least_max_single_hop(self, bounds):
+        assert predicted_path_bound(bounds) >= max(bounds)
+
+
+class TestRequiredClockRate:
+    def test_inverts_fluid_bound(self):
+        rate = required_clock_rate(50_000, 0.5)
+        assert parekh_gallager_fluid_bound(50_000, rate) == pytest.approx(0.5)
+
+    def test_tighter_target_needs_more_rate(self):
+        assert required_clock_rate(50_000, 0.1) > required_clock_rate(50_000, 0.5)
+
+    @pytest.mark.parametrize("b,d", [(0, 1.0), (1000, 0.0), (1000, -1.0)])
+    def test_rejects_nonpositive(self, b, d):
+        with pytest.raises(ValueError):
+            required_clock_rate(b, d)
+
+    @given(
+        b=st.floats(min_value=1.0, max_value=1e8),
+        d=st.floats(min_value=1e-4, max_value=100.0),
+    )
+    def test_roundtrip_property(self, b, d):
+        rate = required_clock_rate(b, d)
+        assert parekh_gallager_fluid_bound(b, rate) == pytest.approx(d, rel=1e-9)

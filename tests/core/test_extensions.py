@@ -1,0 +1,128 @@
+"""Tests for the Section 10 service extensions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.extensions import (
+    importance_to_priority,
+    layered_class_bounds,
+    stale_threshold_for,
+    unbundle_priority,
+)
+
+
+class TestLayeredClassBounds:
+    def test_replicates_each_bound(self):
+        assert layered_class_bounds([0.1, 1.0], 2) == [0.1, 0.1, 1.0, 1.0]
+
+    def test_single_level_is_identity(self):
+        assert layered_class_bounds([0.1, 1.0], 1) == [0.1, 1.0]
+
+    def test_result_is_nondecreasing(self):
+        expanded = layered_class_bounds([0.01, 0.1, 1.0], 3)
+        assert expanded == sorted(expanded)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            layered_class_bounds([0.1], 0)
+
+    def test_rejects_nonincreasing_bounds(self):
+        with pytest.raises(ValueError):
+            layered_class_bounds([0.1, 0.1], 2)
+        with pytest.raises(ValueError):
+            layered_class_bounds([0.2, 0.1], 2)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            layered_class_bounds([0.0, 0.1], 2)
+
+
+class TestImportanceMapping:
+    def test_importance_zero_gets_class_top_slot(self):
+        assert importance_to_priority(0, 0, 2) == 0
+        assert importance_to_priority(1, 0, 2) == 2
+
+    def test_less_important_rides_lower(self):
+        top = importance_to_priority(0, 0, 3)
+        mid = importance_to_priority(0, 1, 3)
+        low = importance_to_priority(0, 2, 3)
+        assert top < mid < low
+
+    def test_lower_importance_still_above_next_class(self):
+        # The paper: "just behind the more important packets, but with
+        # higher priority than the classes with larger D_i".
+        lowest_of_class0 = importance_to_priority(0, 1, 2)
+        top_of_class1 = importance_to_priority(1, 0, 2)
+        assert lowest_of_class0 < top_of_class1
+
+    def test_rejects_out_of_range_importance(self):
+        with pytest.raises(ValueError):
+            importance_to_priority(0, 2, 2)
+        with pytest.raises(ValueError):
+            importance_to_priority(0, -1, 2)
+
+    def test_rejects_negative_class(self):
+        with pytest.raises(ValueError):
+            importance_to_priority(-1, 0, 2)
+
+    @given(
+        base=st.integers(min_value=0, max_value=10),
+        levels=st.integers(min_value=1, max_value=5),
+        importance=st.integers(min_value=0, max_value=4),
+    )
+    def test_unbundle_inverts_bundle(self, base, levels, importance):
+        if importance >= levels:
+            importance %= levels
+        priority = importance_to_priority(base, importance, levels)
+        assert unbundle_priority(priority, levels) == (base, importance)
+
+    @given(
+        levels=st.integers(min_value=1, max_value=5),
+        priorities=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=2,
+            max_size=10,
+        ),
+    )
+    def test_mapping_is_injective(self, levels, priorities):
+        keys = [
+            (base, imp % levels) for base, imp in priorities
+        ]
+        mapped = [importance_to_priority(b, i, levels) for b, i in keys]
+        assert len(set(mapped)) == len(set(keys))
+
+
+class TestStaleThreshold:
+    def test_scales_with_remaining_hops(self):
+        one = stale_threshold_for(0.1, 1)
+        three = stale_threshold_for(0.1, 3)
+        assert three == pytest.approx(3 * one)
+
+    def test_slack_factor_stretches(self):
+        tight = stale_threshold_for(0.1, 2, slack_factor=1.0)
+        loose = stale_threshold_for(0.1, 2, slack_factor=4.0)
+        assert loose == pytest.approx(4 * tight)
+
+    def test_default_slack_is_two(self):
+        assert stale_threshold_for(0.1, 1) == pytest.approx(0.2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stale_threshold_for(0.0, 1)
+        with pytest.raises(ValueError):
+            stale_threshold_for(0.1, 0)
+        with pytest.raises(ValueError):
+            stale_threshold_for(0.1, 1, slack_factor=0.5)
+
+
+class TestUnbundle:
+    def test_basic(self):
+        assert unbundle_priority(5, 2) == (2, 1)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            unbundle_priority(3, 0)

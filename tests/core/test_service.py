@@ -1,0 +1,123 @@
+"""Tests for the Section 8 service interface."""
+
+import pytest
+
+from repro.core.service import (
+    DatagramServiceSpec,
+    FlowSpec,
+    GuaranteedServiceSpec,
+    PredictedServiceSpec,
+)
+from repro.net.packet import ServiceClass
+
+
+class TestGuaranteedSpec:
+    def test_carries_only_clock_rate(self):
+        spec = GuaranteedServiceSpec(clock_rate_bps=170_000)
+        assert spec.clock_rate_bps == 170_000
+        assert spec.service_class is ServiceClass.GUARANTEED
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            GuaranteedServiceSpec(clock_rate_bps=0)
+        with pytest.raises(ValueError):
+            GuaranteedServiceSpec(clock_rate_bps=-1)
+
+    def test_is_immutable(self):
+        spec = GuaranteedServiceSpec(clock_rate_bps=1000)
+        with pytest.raises(Exception):
+            spec.clock_rate_bps = 2000
+
+
+class TestPredictedSpec:
+    def make(self, **overrides):
+        params = dict(
+            token_rate_bps=85_000,
+            bucket_depth_bits=50_000,
+            target_delay_seconds=0.3,
+            target_loss_rate=0.01,
+        )
+        params.update(overrides)
+        return PredictedServiceSpec(**params)
+
+    def test_carries_filter_and_target(self):
+        spec = self.make()
+        assert spec.token_rate_bps == 85_000
+        assert spec.bucket_depth_bits == 50_000
+        assert spec.target_delay_seconds == 0.3
+        assert spec.target_loss_rate == 0.01
+        assert spec.service_class is ServiceClass.PREDICTED
+
+    def test_default_loss_rate(self):
+        spec = PredictedServiceSpec(
+            token_rate_bps=1.0, bucket_depth_bits=1.0, target_delay_seconds=1.0
+        )
+        assert spec.target_loss_rate == 0.01
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("token_rate_bps", 0),
+            ("token_rate_bps", -1),
+            ("bucket_depth_bits", 0),
+            ("target_delay_seconds", 0),
+            ("target_loss_rate", -0.1),
+            ("target_loss_rate", 1.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            self.make(**{field: value})
+
+    def test_zero_loss_rate_allowed(self):
+        # L = 0 is a legal (if demanding) request.
+        assert self.make(target_loss_rate=0.0).target_loss_rate == 0.0
+
+
+class TestDatagramSpec:
+    def test_no_parameters_no_commitments(self):
+        spec = DatagramServiceSpec()
+        assert spec.service_class is ServiceClass.DATAGRAM
+
+
+class TestFlowSpec:
+    def test_delegates_service_class(self):
+        flow = FlowSpec(
+            flow_id="v1",
+            source="Host-1",
+            destination="Host-5",
+            spec=GuaranteedServiceSpec(clock_rate_bps=170_000),
+        )
+        assert flow.service_class is ServiceClass.GUARANTEED
+
+    def test_predicted_advertised_bound_sums_per_switch(self):
+        flow = FlowSpec(
+            flow_id="v2",
+            source="Host-1",
+            destination="Host-5",
+            spec=PredictedServiceSpec(
+                token_rate_bps=85_000,
+                bucket_depth_bits=50_000,
+                target_delay_seconds=0.6,
+            ),
+        )
+        assert flow.advertised_bound([0.15, 0.15, 0.15]) == pytest.approx(0.45)
+
+    def test_guaranteed_advertised_bound_is_none(self):
+        # Section 8: the source computes b(r)/r itself.
+        flow = FlowSpec(
+            flow_id="v3",
+            source="Host-1",
+            destination="Host-2",
+            spec=GuaranteedServiceSpec(clock_rate_bps=1000),
+        )
+        assert flow.advertised_bound([0.15]) is None
+
+    def test_datagram_advertised_bound_is_none(self):
+        flow = FlowSpec(
+            flow_id="v4",
+            source="Host-1",
+            destination="Host-2",
+            spec=DatagramServiceSpec(),
+        )
+        assert flow.advertised_bound([0.15]) is None

@@ -1,0 +1,71 @@
+"""Tests for the Section 2.3 client taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    Adaptivity,
+    Tolerance,
+    classify_client,
+    recommend_service,
+)
+from repro.net.packet import ServiceClass
+
+
+class TestRecommendations:
+    def test_intolerant_rigid_gets_guaranteed(self):
+        rec = recommend_service(Adaptivity.RIGID, Tolerance.INTOLERANT)
+        assert rec.service_class is ServiceClass.GUARANTEED
+        assert rec.stable
+
+    def test_tolerant_adaptive_gets_predicted(self):
+        rec = recommend_service(Adaptivity.ADAPTIVE, Tolerance.TOLERANT)
+        assert rec.service_class is ServiceClass.PREDICTED
+        assert rec.stable
+
+    def test_off_diagonals_marked_unstable(self):
+        a = recommend_service(Adaptivity.ADAPTIVE, Tolerance.INTOLERANT)
+        b = recommend_service(Adaptivity.RIGID, Tolerance.TOLERANT)
+        assert not a.stable
+        assert not b.stable
+
+    def test_intolerant_adaptive_steered_to_guaranteed(self):
+        """The paper: adaptation's own re-adjustment disrupts service, so
+        intolerant clients should not adapt."""
+        rec = recommend_service(Adaptivity.ADAPTIVE, Tolerance.INTOLERANT)
+        assert rec.service_class is ServiceClass.GUARANTEED
+
+    def test_tolerant_rigid_can_ride_predicted(self):
+        rec = recommend_service(Adaptivity.RIGID, Tolerance.TOLERANT)
+        assert rec.service_class is ServiceClass.PREDICTED
+
+    def test_every_corner_has_a_rationale(self):
+        for adaptivity in Adaptivity:
+            for tolerance in Tolerance:
+                rec = recommend_service(adaptivity, tolerance)
+                assert len(rec.rationale) > 20
+
+    def test_no_corner_recommends_datagram(self):
+        """Real-time clients always get a real-time commitment."""
+        for adaptivity in Adaptivity:
+            for tolerance in Tolerance:
+                rec = recommend_service(adaptivity, tolerance)
+                assert rec.service_class.is_realtime
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "moves,survives,expected",
+        [
+            (True, True, (Adaptivity.ADAPTIVE, Tolerance.TOLERANT)),
+            (False, False, (Adaptivity.RIGID, Tolerance.INTOLERANT)),
+            (True, False, (Adaptivity.ADAPTIVE, Tolerance.INTOLERANT)),
+            (False, True, (Adaptivity.RIGID, Tolerance.TOLERANT)),
+        ],
+    )
+    def test_questions_map_to_axes(self, moves, survives, expected):
+        assert classify_client(moves, survives) == expected
+
+    def test_roundtrip_through_recommendation(self):
+        axes = classify_client(True, True)
+        rec = recommend_service(*axes)
+        assert rec.service_class is ServiceClass.PREDICTED

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "S-1" in out and "10 each" in out
+
+    def test_table1_short(self, capsys):
+        assert main(["table1", "--duration", "20", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WFQ" in out and "FIFO" in out
+        assert "seed: 2" in out
+
+    def test_table2_short(self, capsys):
+        assert main(["table2", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "FIFO+" in out
+
+    def test_table3_short(self, capsys):
+        assert main(["table3", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "P-G bound" in out
+        assert "datagram drop rate" in out
+
+    def test_dynamics_short(self, capsys):
+        assert main(["dynamics", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "adaptations" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_all_runs_everything(self, capsys):
+        assert main(["all", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Table 1", "Table 2", "Table 3", "Figure 1",
+                      "Dynamic adaptation"):
+            assert token in out

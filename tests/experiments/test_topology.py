@@ -1,0 +1,24 @@
+"""Tests for the Figure-1 topology report (the paper's only figure)."""
+
+from repro.experiments import topology
+
+
+class TestFigure1Report:
+    def test_structure(self):
+        report = topology.build_report()
+        assert report.switches == ["S-1", "S-2", "S-3", "S-4", "S-5"]
+        assert report.hosts == [f"Host-{i}" for i in range(1, 6)]
+        assert len(report.links) == 4
+
+    def test_every_link_carries_ten_flows(self):
+        report = topology.build_report()
+        assert set(report.flows_per_link.values()) == {10}
+
+    def test_path_length_census_matches_appendix(self):
+        report = topology.build_report()
+        assert report.flows_per_path_length == {1: 12, 2: 4, 3: 4, 4: 2}
+
+    def test_render_mentions_topology(self):
+        text = topology.run().render()
+        assert "S-1" in text and "Host-5" in text
+        assert "10 each" in text

@@ -1,0 +1,41 @@
+"""Tests for network-level flow descriptors."""
+
+from repro.net.flow import FlowDescriptor
+from repro.net.packet import ServiceClass
+
+
+def descriptor(path):
+    return FlowDescriptor(
+        flow_id="f",
+        source=path[0] if path else "h1",
+        destination=path[-1] if path else "h2",
+        service_class=ServiceClass.PREDICTED,
+        path=list(path),
+    )
+
+
+class TestHopCounts:
+    def test_empty_path(self):
+        d = descriptor([])
+        assert d.hop_count == 0
+        assert d.inter_switch_hops() == 0
+
+    def test_figure1_four_hop_flow(self):
+        d = descriptor(
+            ["Host-1", "S-1", "S-2", "S-3", "S-4", "S-5", "Host-5"]
+        )
+        assert d.hop_count == 6
+        assert d.inter_switch_hops() == 4
+
+    def test_one_hop_flow(self):
+        d = descriptor(["Host-1", "S-1", "S-2", "Host-2"])
+        assert d.inter_switch_hops() == 1
+
+    def test_same_switch_hosts(self):
+        d = descriptor(["Host-1", "S-1", "Host-1b"])
+        assert d.inter_switch_hops() == 0
+
+    def test_defaults(self):
+        d = descriptor(["Host-1", "S-1", "S-2", "Host-2"])
+        assert d.priority_class == 0
+        assert d.clock_rate_bps is None

@@ -1,0 +1,47 @@
+"""Tests for Packet and ServiceClass."""
+
+from repro.net.packet import Packet, ServiceClass
+from tests.conftest import make_packet
+
+
+class TestServiceClass:
+    def test_realtime_classification(self):
+        assert ServiceClass.GUARANTEED.is_realtime
+        assert ServiceClass.PREDICTED.is_realtime
+        assert not ServiceClass.DATAGRAM.is_realtime
+
+
+class TestPacket:
+    def test_ids_are_unique(self):
+        a = make_packet()
+        b = make_packet()
+        assert a.packet_id != b.packet_id
+
+    def test_queueing_key_subtracts_offset(self):
+        packet = make_packet(enqueued_at=10.0)
+        packet.jitter_offset = 2.0
+        # Delayed more than average upstream -> treated as arriving earlier.
+        assert packet.queueing_key() == 8.0
+
+    def test_queueing_key_negative_offset(self):
+        packet = make_packet(enqueued_at=10.0)
+        packet.jitter_offset = -3.0
+        assert packet.queueing_key() == 13.0
+
+    def test_defaults(self):
+        packet = make_packet()
+        assert packet.jitter_offset == 0.0
+        assert packet.queueing_delay == 0.0
+        assert packet.hops == 0
+        assert not packet.tagged
+
+    def test_payload_roundtrip(self):
+        packet = Packet(
+            flow_id="f",
+            size_bits=1000,
+            created_at=0.0,
+            source="a",
+            destination="b",
+            payload={"type": "data", "seq": 7},
+        )
+        assert packet.payload["seq"] == 7

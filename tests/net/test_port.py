@@ -1,0 +1,125 @@
+"""Tests for OutputPort: buffering, drops, filters, delay accounting."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.port import OutputPort
+from repro.sched.fifo import FifoScheduler
+from tests.conftest import make_packet
+
+
+class Collector(Node):
+    def __init__(self, sim, name="collector"):
+        super().__init__(sim, name)
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append((self.sim.now, packet))
+
+
+def build_port(sim, buffer_packets=200, rate_bps=1_000_000):
+    link = Link(sim, "L", rate_bps=rate_bps)
+    sink = Collector(sim)
+    link.connect(sink)
+    port = OutputPort(sim, "P", FifoScheduler(), link, buffer_packets)
+    return port, sink
+
+
+class TestEnqueueTransmit:
+    def test_idle_port_transmits_immediately(self, sim):
+        port, sink = build_port(sim)
+        assert port.enqueue(make_packet())
+        sim.run_until_idle()
+        assert len(sink.packets) == 1
+        assert sink.packets[0][0] == pytest.approx(0.001)
+
+    def test_back_to_back_packets_serialize(self, sim):
+        port, sink = build_port(sim)
+        for _ in range(3):
+            port.enqueue(make_packet())
+        sim.run_until_idle()
+        times = [t for t, _ in sink.packets]
+        assert times == pytest.approx([0.001, 0.002, 0.003])
+
+    def test_queueing_delay_accumulates_on_packet(self, sim):
+        port, sink = build_port(sim)
+        first = make_packet()
+        second = make_packet()
+        port.enqueue(first)
+        port.enqueue(second)
+        sim.run_until_idle()
+        # First waited 0; second waited one transmission time.
+        assert first.queueing_delay == pytest.approx(0.0)
+        assert second.queueing_delay == pytest.approx(0.001)
+
+    def test_hops_incremented(self, sim):
+        port, sink = build_port(sim)
+        packet = make_packet()
+        port.enqueue(packet)
+        sim.run_until_idle()
+        assert packet.hops == 1
+
+
+class TestBuffering:
+    def test_tail_drop_when_full(self, sim):
+        port, sink = build_port(sim, buffer_packets=2)
+        # One packet goes straight to the wire; two fill the buffer.
+        accepted = [port.enqueue(make_packet()) for _ in range(4)]
+        assert accepted == [True, True, True, False]
+        assert port.packets_dropped == 1
+        sim.run_until_idle()
+        assert len(sink.packets) == 3
+
+    def test_drop_listener_called(self, sim):
+        port, sink = build_port(sim, buffer_packets=1)
+        dropped = []
+        port.on_drop.append(lambda packet, now: dropped.append(packet))
+        for _ in range(3):
+            port.enqueue(make_packet())
+        assert len(dropped) == 1
+
+    def test_counters(self, sim):
+        port, sink = build_port(sim, buffer_packets=1)
+        for _ in range(3):
+            port.enqueue(make_packet())
+        sim.run_until_idle()
+        assert port.packets_in == 3
+        assert port.packets_out == 2
+        assert port.packets_dropped == 1
+
+    def test_invalid_buffer_size(self, sim):
+        link = Link(sim, "L", rate_bps=1e6)
+        with pytest.raises(ValueError):
+            OutputPort(sim, "P", FifoScheduler(), link, buffer_packets=0)
+
+
+class TestFilters:
+    def test_filter_can_drop(self, sim):
+        port, sink = build_port(sim)
+        port.filters.append(lambda packet, now: packet.flow_id != "bad")
+        assert port.enqueue(make_packet(flow_id="good"))
+        assert not port.enqueue(make_packet(flow_id="bad"))
+        assert port.packets_dropped == 1
+
+    def test_filters_run_in_order_and_short_circuit(self, sim):
+        port, sink = build_port(sim)
+        calls = []
+        port.filters.append(lambda p, t: (calls.append("first"), False)[1])
+        port.filters.append(lambda p, t: (calls.append("second"), True)[1])
+        port.enqueue(make_packet())
+        assert calls == ["first"]
+
+
+class TestListeners:
+    def test_enqueue_and_depart_listeners(self, sim):
+        port, sink = build_port(sim)
+        enqueued, departed = [], []
+        port.on_enqueue.append(lambda p, t: enqueued.append(t))
+        port.on_depart.append(lambda p, t, wait: departed.append((t, wait)))
+        port.enqueue(make_packet())
+        port.enqueue(make_packet())
+        sim.run_until_idle()
+        assert len(enqueued) == 2
+        assert departed[0] == (pytest.approx(0.0), pytest.approx(0.0))
+        assert departed[1] == (pytest.approx(0.001), pytest.approx(0.001))

@@ -1,0 +1,70 @@
+"""Tests for static BFS routing."""
+
+import pytest
+
+from repro.net.routing import RoutingError, StaticRouting
+
+
+def chain(n):
+    routing = StaticRouting()
+    for i in range(n - 1):
+        routing.add_edge(f"S{i}", f"S{i + 1}")
+    return routing
+
+
+class TestNextHop:
+    def test_direct_neighbor(self):
+        routing = chain(3)
+        assert routing.next_hop("S0", "S1") == "S1"
+
+    def test_multi_hop(self):
+        routing = chain(5)
+        assert routing.next_hop("S0", "S4") == "S1"
+        assert routing.next_hop("S2", "S4") == "S3"
+
+    def test_directedness(self):
+        routing = chain(3)
+        with pytest.raises(RoutingError):
+            routing.next_hop("S2", "S0")  # no reverse edges
+
+    def test_no_route(self):
+        routing = StaticRouting()
+        routing.add_edge("A", "B")
+        routing.add_node("C")
+        with pytest.raises(RoutingError):
+            routing.next_hop("A", "C")
+
+    def test_shortest_path_preferred(self):
+        routing = StaticRouting()
+        # Two routes A->D: direct edge and a 2-hop path.
+        routing.add_edge("A", "B")
+        routing.add_edge("B", "D")
+        routing.add_edge("A", "D")
+        assert routing.next_hop("A", "D") == "D"
+
+    def test_deterministic_tie_break(self):
+        # Two equal-length paths; BFS with sorted neighbours must always
+        # pick the alphabetically first branch.
+        routing = StaticRouting()
+        routing.add_edge("A", "C")
+        routing.add_edge("A", "B")
+        routing.add_edge("B", "D")
+        routing.add_edge("C", "D")
+        assert routing.next_hop("A", "D") == "B"
+
+    def test_recompute_after_edge_added(self):
+        routing = StaticRouting()
+        routing.add_edge("A", "B")
+        assert routing.next_hop("A", "B") == "B"
+        routing.add_edge("B", "C")
+        assert routing.next_hop("A", "C") == "B"
+
+
+class TestPath:
+    def test_full_path(self):
+        routing = chain(4)
+        assert routing.path("S0", "S3") == ["S0", "S1", "S2", "S3"]
+
+    def test_trivial_path(self):
+        routing = chain(2)
+        assert routing.path("S0", "S0") == ["S0"]

@@ -1,0 +1,152 @@
+"""Tests for VirtualClock, round robin, DRR, and EDF baselines."""
+
+import pytest
+
+from repro.sched.edf import EdfScheduler
+from repro.sched.round_robin import DeficitRoundRobinScheduler, RoundRobinScheduler
+from repro.sched.virtual_clock import VirtualClockScheduler
+from tests.conftest import make_packet
+
+
+class TestVirtualClock:
+    def test_stamp_advances_by_size_over_rate(self):
+        sched = VirtualClockScheduler(rates_bps={"a": 1000.0})
+        p1 = make_packet(flow_id="a", size_bits=1000)
+        p2 = make_packet(flow_id="a", size_bits=1000)
+        sched.enqueue(p1, 0.0)
+        sched.enqueue(p2, 0.0)
+        assert sched._vc["a"] == pytest.approx(2.0)
+
+    def test_idle_flow_anchors_to_real_time(self):
+        """VirtualClock's defining difference from WFQ: an idle flow's
+        stamp resets to `now`, it earns no credit."""
+        sched = VirtualClockScheduler(rates_bps={"a": 1000.0})
+        sched.enqueue(make_packet(flow_id="a"), 0.0)
+        sched.dequeue(0.0)
+        sched.enqueue(make_packet(flow_id="a"), 100.0)
+        assert sched._vc["a"] == pytest.approx(101.0)
+
+    def test_serves_in_stamp_order(self):
+        sched = VirtualClockScheduler(rates_bps={"fast": 2000.0, "slow": 500.0})
+        for i in range(3):
+            sched.enqueue(make_packet(flow_id="slow", size_bits=1000, sequence=i), 0.0)
+            sched.enqueue(make_packet(flow_id="fast", size_bits=1000, sequence=i), 0.0)
+        order = [sched.dequeue(0.0).flow_id for _ in range(6)]
+        # Fast flow's stamps: 0.5, 1.0, 1.5; slow: 2, 4, 6.
+        assert order == ["fast", "fast", "fast", "slow", "slow", "slow"]
+
+    def test_unknown_flow_refused_or_auto(self):
+        strict = VirtualClockScheduler()
+        assert not strict.enqueue(make_packet(flow_id="x"), 0.0)
+        auto = VirtualClockScheduler(auto_register_rate=100.0)
+        assert auto.enqueue(make_packet(flow_id="x"), 0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            VirtualClockScheduler(rates_bps={"a": 0.0})
+
+
+class TestRoundRobin:
+    def test_alternates_between_flows(self):
+        sched = RoundRobinScheduler()
+        for i in range(3):
+            sched.enqueue(make_packet(flow_id="a", sequence=i), 0.0)
+            sched.enqueue(make_packet(flow_id="b", sequence=i), 0.0)
+        order = [sched.dequeue(0.0).flow_id for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_skips_empty_flows(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(make_packet(flow_id="a", sequence=0), 0.0)
+        sched.enqueue(make_packet(flow_id="b", sequence=0), 0.0)
+        sched.enqueue(make_packet(flow_id="a", sequence=1), 0.0)
+        assert [sched.dequeue(0.0).flow_id for _ in range(3)] == ["a", "b", "a"]
+
+    def test_empty(self):
+        assert RoundRobinScheduler().dequeue(0.0) is None
+
+    def test_len(self):
+        sched = RoundRobinScheduler()
+        sched.enqueue(make_packet(flow_id="a"), 0.0)
+        assert len(sched) == 1
+
+
+class TestDeficitRoundRobin:
+    def test_equal_quantum_alternates_uniform_packets(self):
+        sched = DeficitRoundRobinScheduler(quantum_bits=1000)
+        for i in range(4):
+            sched.enqueue(make_packet(flow_id="a", size_bits=1000), 0.0)
+            sched.enqueue(make_packet(flow_id="b", size_bits=1000), 0.0)
+        order = [sched.dequeue(0.0).flow_id for _ in range(8)]
+        assert order.count("a") == 4
+        # No flow gets two turns in a row with equal quanta and sizes.
+        assert all(x != y for x, y in zip(order, order[1:]))
+
+    def test_big_packets_need_accumulated_credit(self):
+        sched = DeficitRoundRobinScheduler(quantum_bits=500)
+        sched.enqueue(make_packet(flow_id="a", size_bits=1000), 0.0)
+        sched.enqueue(make_packet(flow_id="b", size_bits=250), 0.0)
+        # b's small packet goes first: a must bank 2 quanta.
+        assert sched.dequeue(0.0).flow_id == "b"
+        assert sched.dequeue(0.0).flow_id == "a"
+
+    def test_bandwidth_share_proportional_to_packet_budget(self):
+        sched = DeficitRoundRobinScheduler(quantum_bits=1000)
+        # a sends 500-bit packets, b sends 1000-bit: per round a sends two.
+        for i in range(20):
+            sched.enqueue(make_packet(flow_id="a", size_bits=500), 0.0)
+        for i in range(10):
+            sched.enqueue(make_packet(flow_id="b", size_bits=1000), 0.0)
+        first_rounds = [sched.dequeue(0.0) for _ in range(9)]
+        a_bits = sum(p.size_bits for p in first_rounds if p.flow_id == "a")
+        b_bits = sum(p.size_bits for p in first_rounds if p.flow_id == "b")
+        assert abs(a_bits - b_bits) <= 1000
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobinScheduler(quantum_bits=0)
+
+    def test_empty(self):
+        assert DeficitRoundRobinScheduler().dequeue(0.0) is None
+
+
+class TestEdf:
+    def test_earliest_deadline_first(self):
+        sched = EdfScheduler(delay_targets={"tight": 0.01, "loose": 1.0})
+        loose = make_packet(flow_id="loose", sequence=0)
+        tight = make_packet(flow_id="tight", sequence=1)
+        sched.enqueue(loose, 0.0)
+        sched.enqueue(tight, 0.0)
+        assert sched.dequeue(0.0) is tight
+
+    def test_uniform_targets_degenerate_to_fifo(self):
+        """Section 5's pivotal observation: constant deadline offset =>
+        EDF == FIFO."""
+        sched = EdfScheduler(default_target=0.1)
+        packets = [make_packet(flow_id=f"f{i}", sequence=i) for i in range(6)]
+        for i, p in enumerate(packets):
+            sched.enqueue(p, float(i))
+        out = [sched.dequeue(10.0) for _ in range(6)]
+        assert [p.sequence for p in out] == [0, 1, 2, 3, 4, 5]
+
+    def test_arrival_time_matters(self):
+        sched = EdfScheduler(delay_targets={"a": 0.5, "b": 0.1})
+        early_loose = make_packet(flow_id="a")
+        sched.enqueue(early_loose, 0.0)  # deadline 0.5
+        late_tight = make_packet(flow_id="b")
+        sched.enqueue(late_tight, 0.3)  # deadline 0.4
+        assert sched.dequeue(0.3) is late_tight
+
+    def test_set_target(self):
+        sched = EdfScheduler()
+        sched.set_target("x", 0.25)
+        assert sched.deadline_of(make_packet(flow_id="x"), 1.0) == pytest.approx(1.25)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            EdfScheduler(default_target=-1.0)
+        with pytest.raises(ValueError):
+            EdfScheduler(delay_targets={"a": -0.1})
+        sched = EdfScheduler()
+        with pytest.raises(ValueError):
+            sched.set_target("x", -0.5)

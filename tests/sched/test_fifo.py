@@ -1,0 +1,52 @@
+"""Tests for the FIFO scheduler."""
+
+from repro.sched.fifo import FifoScheduler
+from tests.conftest import make_packet
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        sched = FifoScheduler()
+        packets = [make_packet(sequence=i) for i in range(5)]
+        for p in packets:
+            sched.enqueue(p, 0.0)
+        out = [sched.dequeue(0.0) for _ in range(5)]
+        assert out == packets
+
+    def test_empty_dequeue_returns_none(self):
+        assert FifoScheduler().dequeue(0.0) is None
+
+    def test_len(self):
+        sched = FifoScheduler()
+        assert len(sched) == 0
+        sched.enqueue(make_packet(), 0.0)
+        sched.enqueue(make_packet(), 0.0)
+        assert len(sched) == 2
+        sched.dequeue(0.0)
+        assert len(sched) == 1
+
+    def test_interleaved_operations(self):
+        sched = FifoScheduler()
+        a, b, c = (make_packet(sequence=i) for i in range(3))
+        sched.enqueue(a, 0.0)
+        assert sched.dequeue(0.0) is a
+        sched.enqueue(b, 1.0)
+        sched.enqueue(c, 2.0)
+        assert sched.dequeue(2.0) is b
+        assert sched.dequeue(2.0) is c
+
+    def test_evict_tail_removes_newest(self):
+        sched = FifoScheduler()
+        a, b = make_packet(sequence=0), make_packet(sequence=1)
+        sched.enqueue(a, 0.0)
+        sched.enqueue(b, 0.0)
+        assert sched.evict_tail() is b
+        assert sched.dequeue(0.0) is a
+
+    def test_evict_tail_empty(self):
+        assert FifoScheduler().evict_tail() is None
+
+    def test_no_push_out_by_default(self):
+        sched = FifoScheduler()
+        sched.enqueue(make_packet(), 0.0)
+        assert sched.select_push_out(make_packet()) is None

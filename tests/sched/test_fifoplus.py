@@ -1,0 +1,135 @@
+"""Tests for FIFO+ (Section 6)."""
+
+import pytest
+
+from repro.sched.fifoplus import ClassDelayTracker, FifoPlusScheduler
+from tests.conftest import make_packet
+
+
+class TestClassDelayTracker:
+    def test_per_class_averages_are_separate(self):
+        tracker = ClassDelayTracker(gain=1.0)
+        tracker.record(0, 1.0)
+        tracker.record(1, 9.0)
+        assert tracker.average(0) == 1.0
+        assert tracker.average(1) == 9.0
+
+    def test_unseen_class_average_is_zero(self):
+        assert ClassDelayTracker().average(3) == 0.0
+
+
+class TestFifoPlusOrdering:
+    def test_zero_offsets_behave_fifo(self):
+        """First hop: all offsets zero => pure FIFO (Section 6 degeneracy)."""
+        sched = FifoPlusScheduler()
+        packets = []
+        for i in range(5):
+            p = make_packet(sequence=i, enqueued_at=float(i))
+            packets.append(p)
+            sched.enqueue(p, float(i))
+        out = [sched.dequeue(10.0) for _ in range(5)]
+        assert [p.sequence for p in out] == [0, 1, 2, 3, 4]
+
+    def test_positive_offset_jumps_queue(self):
+        """A packet that was unlucky upstream (positive offset) is treated
+        as if it arrived earlier and overtakes on-time packets."""
+        sched = FifoPlusScheduler()
+        on_time = make_packet(sequence=0, enqueued_at=10.0)
+        unlucky = make_packet(sequence=1, enqueued_at=10.5)
+        unlucky.jitter_offset = 2.0  # expected arrival 8.5 < 10.0
+        sched.enqueue(on_time, 10.0)
+        sched.enqueue(unlucky, 10.5)
+        assert sched.dequeue(11.0).sequence == 1
+
+    def test_negative_offset_waits(self):
+        sched = FifoPlusScheduler()
+        lucky = make_packet(sequence=0, enqueued_at=10.0)
+        lucky.jitter_offset = -5.0  # expected arrival 15.0
+        normal = make_packet(sequence=1, enqueued_at=11.0)
+        sched.enqueue(lucky, 10.0)
+        sched.enqueue(normal, 11.0)
+        assert sched.dequeue(12.0).sequence == 1
+
+    def test_ties_resolved_fifo(self):
+        sched = FifoPlusScheduler()
+        a = make_packet(sequence=0, enqueued_at=5.0)
+        b = make_packet(sequence=1, enqueued_at=5.0)
+        sched.enqueue(a, 5.0)
+        sched.enqueue(b, 5.0)
+        assert sched.dequeue(6.0) is a
+
+
+class TestOffsetAccumulation:
+    def test_offset_updated_with_delay_minus_average(self):
+        tracker = ClassDelayTracker(gain=1.0)
+        sched = FifoPlusScheduler(delay_tracker=tracker)
+        # Prime the class average to 1.0s.
+        tracker.record(0, 1.0)
+        packet = make_packet(enqueued_at=0.0)
+        sched.enqueue(packet, 0.0)
+        out = sched.dequeue(3.0)  # waited 3.0 against average 1.0
+        assert out.jitter_offset == pytest.approx(2.0)
+
+    def test_offset_accumulates_across_hops(self):
+        tracker = ClassDelayTracker(gain=1.0)
+        packet = make_packet(enqueued_at=0.0)
+        # Hop 1: waits 2.0, average starts at 0 -> offset +2.
+        hop1 = FifoPlusScheduler(delay_tracker=ClassDelayTracker(gain=1.0))
+        hop1.enqueue(packet, 0.0)
+        hop1.dequeue(2.0)
+        assert packet.jitter_offset == pytest.approx(2.0)
+        # Hop 2: average primed to 3.0; waits 1.0 -> offset 2 + (1-3) = 0.
+        hop2 = FifoPlusScheduler(delay_tracker=tracker)
+        tracker.record(0, 3.0)
+        packet.enqueued_at = 10.0
+        hop2.enqueue(packet, 10.0)
+        hop2.dequeue(11.0)
+        assert packet.jitter_offset == pytest.approx(0.0)
+
+    def test_average_tracks_ewma(self):
+        tracker = ClassDelayTracker(gain=0.5)
+        sched = FifoPlusScheduler(delay_tracker=tracker)
+        p1 = make_packet(enqueued_at=0.0)
+        sched.enqueue(p1, 0.0)
+        sched.dequeue(4.0)  # first sample initialises average to 4.0
+        assert tracker.average(0) == pytest.approx(4.0)
+        p2 = make_packet(enqueued_at=4.0)
+        sched.enqueue(p2, 4.0)
+        sched.dequeue(6.0)  # sample 2.0 -> avg 3.0
+        assert tracker.average(0) == pytest.approx(3.0)
+
+
+class TestStaleDiscard:
+    def test_stale_packet_refused(self):
+        sched = FifoPlusScheduler(stale_offset_threshold=1.0)
+        stale = make_packet()
+        stale.jitter_offset = 2.0
+        assert not sched.enqueue(stale, 0.0)
+        assert sched.stale_discards == 1
+
+    def test_fresh_packet_accepted(self):
+        sched = FifoPlusScheduler(stale_offset_threshold=1.0)
+        fresh = make_packet()
+        fresh.jitter_offset = 0.5
+        assert sched.enqueue(fresh, 0.0)
+
+    def test_disabled_by_default(self):
+        sched = FifoPlusScheduler()
+        very_stale = make_packet()
+        very_stale.jitter_offset = 1e9
+        assert sched.enqueue(very_stale, 0.0)
+
+
+class TestEvictTail:
+    def test_evicts_last_in_schedule(self):
+        sched = FifoPlusScheduler()
+        early = make_packet(sequence=0, enqueued_at=1.0)
+        late = make_packet(sequence=1, enqueued_at=9.0)
+        sched.enqueue(early, 1.0)
+        sched.enqueue(late, 9.0)
+        assert sched.evict_tail() is late
+        assert len(sched) == 1
+        assert sched.dequeue(10.0) is early
+
+    def test_empty(self):
+        assert FifoPlusScheduler().evict_tail() is None

@@ -1,0 +1,110 @@
+"""Tests for the GPS fluid reference model and the P-G bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.gps import FluidArrival, GpsFluidModel
+from repro.traffic.token_bucket import minimal_bucket_depth
+
+
+class TestGpsBasics:
+    def test_single_flow_uses_full_capacity(self):
+        model = GpsFluidModel(1000.0, {"a": 500.0})
+        departures = model.run([FluidArrival(0.0, "a", 1000.0)])
+        # Sole active flow gets the whole link: 1000 bits at 1000 bps.
+        assert departures[0].delay == pytest.approx(1.0)
+
+    def test_two_flows_share_in_proportion(self):
+        model = GpsFluidModel(1000.0, {"a": 750.0, "b": 250.0})
+        departures = model.run(
+            [FluidArrival(0.0, "a", 750.0), FluidArrival(0.0, "b", 250.0)]
+        )
+        # Both drain at their proportional rate; both finish at t=1.
+        assert departures[0].departure_time == pytest.approx(1.0)
+        assert departures[1].departure_time == pytest.approx(1.0)
+
+    def test_departed_flow_speeds_up_survivor(self):
+        model = GpsFluidModel(1000.0, {"a": 500.0, "b": 500.0})
+        departures = model.run(
+            [FluidArrival(0.0, "a", 500.0), FluidArrival(0.0, "b", 2000.0)]
+        )
+        by_flow = {d.arrival.flow_id: d for d in departures}
+        # a: 500 bits at 500 bps -> gone at t=1.  b: 500 bits by t=1, then
+        # full link: (2000-500)/1000 = 1.5 more -> t=2.5.
+        assert by_flow["a"].departure_time == pytest.approx(1.0)
+        assert by_flow["b"].departure_time == pytest.approx(2.5)
+
+    def test_sequential_arrivals_fifo_within_flow(self):
+        model = GpsFluidModel(1000.0, {"a": 1000.0})
+        departures = model.run(
+            [FluidArrival(0.0, "a", 1000.0), FluidArrival(0.5, "a", 1000.0)]
+        )
+        assert departures[0].departure_time == pytest.approx(1.0)
+        assert departures[1].departure_time == pytest.approx(2.0)
+
+    def test_idle_gap_between_arrivals(self):
+        model = GpsFluidModel(1000.0, {"a": 1000.0})
+        departures = model.run(
+            [FluidArrival(0.0, "a", 100.0), FluidArrival(5.0, "a", 100.0)]
+        )
+        assert departures[0].departure_time == pytest.approx(0.1)
+        assert departures[1].departure_time == pytest.approx(5.1)
+
+    def test_unknown_flow_rejected(self):
+        model = GpsFluidModel(1000.0, {"a": 1.0})
+        with pytest.raises(KeyError):
+            model.run([FluidArrival(0.0, "zzz", 1.0)])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GpsFluidModel(0.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            GpsFluidModel(100.0, {"a": 0.0})
+
+
+class TestParekhGallagerBound:
+    """max GPS delay of a flow <= b(r)/r, regardless of cross traffic."""
+
+    @given(
+        st.lists(  # the measured flow's arrivals
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.floats(min_value=10.0, max_value=500.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.lists(  # adversarial cross traffic (unbounded burstiness)
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.floats(min_value=10.0, max_value=2000.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_holds_under_any_cross_traffic(self, flow_raw, cross_raw):
+        capacity = 1000.0
+        rate_a = 400.0
+        rate_b = 600.0
+        flow_arrivals = sorted(flow_raw)
+        depth = minimal_bucket_depth(flow_arrivals, rate_a)
+        arrivals = [FluidArrival(t, "a", s) for t, s in flow_arrivals]
+        arrivals += [FluidArrival(t, "b", s) for t, s in sorted(cross_raw)]
+        model = GpsFluidModel(capacity, {"a": rate_a, "b": rate_b})
+        worst = model.max_delay(arrivals, "a")
+        assert worst <= depth / rate_a + 1e-6
+
+    def test_bound_tight_for_greedy_burst_on_saturated_link(self):
+        capacity = 1000.0
+        model = GpsFluidModel(capacity, {"a": 250.0, "b": 750.0})
+        b = 1000.0
+        arrivals = [
+            FluidArrival(0.0, "a", b),
+            # b keeps the link saturated so a gets exactly its share.
+            FluidArrival(0.0, "b", 50_000.0),
+        ]
+        worst = model.max_delay(arrivals, "a")
+        assert worst == pytest.approx(b / 250.0, rel=1e-6)

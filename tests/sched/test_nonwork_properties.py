@@ -1,0 +1,163 @@
+"""Property-based tests for the non-work-conserving schedulers' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet
+from repro.sched.nonwork import (
+    HrrScheduler,
+    JitterEddScheduler,
+    StopAndGoScheduler,
+)
+from repro.sim.engine import Simulator
+from tests.conftest import make_packet
+
+arrival_times = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+def drain(scheduler, start, step=0.01, horizon=100.0):
+    """Poll dequeue at fixed intervals; returns [(dequeue_time, packet)]."""
+    out = []
+    t = start
+    while len(scheduler) and t < horizon:
+        packet = scheduler.dequeue(t)
+        if packet is not None:
+            out.append((t, packet))
+        else:
+            t += step
+    return out
+
+
+class TestStopAndGoProperties:
+    @given(arrivals=arrival_times, frame=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_never_departs_in_arrival_frame(self, arrivals, frame):
+        """For ANY arrival pattern, no packet leaves before the start of
+        the frame after its arrival frame (Golestani's defining rule)."""
+        sim = Simulator()
+        sched = StopAndGoScheduler(sim, frame_seconds=frame)
+        eligible = {}
+        for i, when in enumerate(sorted(arrivals)):
+            packet = make_packet(sequence=i)
+            sched.enqueue(packet, when)
+            eligible[packet.packet_id] = sched.eligible_time(when)
+        for when, packet in drain(sched, start=0.0, step=frame / 7):
+            assert when >= eligible[packet.packet_id] - 1e-9
+
+    @given(arrivals=arrival_times)
+    @settings(max_examples=30, deadline=None)
+    def test_everything_eventually_departs(self, arrivals):
+        sim = Simulator()
+        sched = StopAndGoScheduler(sim, frame_seconds=0.1)
+        for i, when in enumerate(sorted(arrivals)):
+            sched.enqueue(make_packet(sequence=i), when)
+        served = drain(sched, start=0.0)
+        assert len(served) == len(arrivals)
+        assert len(sched) == 0
+
+    @given(arrivals=arrival_times)
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_among_same_frame_arrivals(self, arrivals):
+        """Packets of the same arrival frame depart in arrival order."""
+        sim = Simulator()
+        frame = 0.1
+        sched = StopAndGoScheduler(sim, frame_seconds=frame)
+        ordered = sorted(arrivals)
+        for i, when in enumerate(ordered):
+            sched.enqueue(make_packet(sequence=i), when)
+        served = [p.sequence for __, p in drain(sched, start=0.0)]
+        frames = [int(ordered[seq] / frame) for seq in range(len(ordered))]
+        for a, b in zip(served, served[1:]):
+            if frames[a] == frames[b]:
+                assert a < b
+
+
+class TestHrrProperties:
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=4),
+        slots=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_per_frame_rate_never_exceeded(self, counts, slots):
+        """In any frame, a flow departs at most ``slots`` packets —
+        regardless of backlog or how often dequeue is polled."""
+        sim = Simulator()
+        frame = 0.1
+        sched = HrrScheduler(sim, frame_seconds=frame, default_slots=slots)
+        total = 0
+        for flow_index, count in enumerate(counts):
+            for seq in range(count):
+                sched.enqueue(
+                    make_packet(flow_id=f"f{flow_index}", sequence=seq), 0.0
+                )
+                total += 1
+        departures = drain(sched, start=0.0, step=frame / 5)
+        assert len(departures) == total
+        per_flow_frame = {}
+        for when, packet in departures:
+            key = (packet.flow_id, int(when / frame + 1e-9))
+            per_flow_frame[key] = per_flow_frame.get(key, 0) + 1
+        assert all(v <= slots for v in per_flow_frame.values())
+
+
+class TestJitterEddProperties:
+    @given(
+        packets=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2.0),  # arrival
+                st.floats(min_value=0.0, max_value=0.5),  # carried offset
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        target=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hold_and_stamp_invariants(self, packets, target):
+        """No packet departs before arrival + its hold, and the stamped
+        ahead time is within [0, target].  Arrivals and dequeue polls are
+        interleaved in time order, as a port would drive them."""
+        sim = Simulator()
+        sched = JitterEddScheduler(sim, default_target=target)
+        pending = sorted(packets)
+        earliest = {}
+        served = 0
+        t = 0.0
+        idx = 0
+        while served < len(pending) and t < 100.0:
+            while idx < len(pending) and pending[idx][0] <= t:
+                when, offset = pending[idx]
+                packet = make_packet(sequence=idx)
+                packet.jitter_offset = offset
+                sched.enqueue(packet, t)
+                earliest[packet.packet_id] = t + offset
+                idx += 1
+            packet = sched.dequeue(t)
+            if packet is not None:
+                served += 1
+                assert t >= earliest[packet.packet_id] - 1e-9
+                assert 0.0 <= packet.jitter_offset <= target + 1e-9
+            else:
+                t += 0.01
+        assert served == len(pending)
+
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=0.2), min_size=2, max_size=15
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, offsets):
+        sim = Simulator()
+        sched = JitterEddScheduler(sim, default_target=0.3)
+        for i, offset in enumerate(offsets):
+            packet = make_packet(sequence=i)
+            packet.jitter_offset = offset
+            sched.enqueue(packet, 0.0)
+        served = drain(sched, start=0.0, step=0.01)
+        assert len(served) == len(offsets)
+        assert len(sched) == 0

@@ -1,0 +1,107 @@
+"""Tests for strict priority scheduling."""
+
+import pytest
+
+from repro.net.packet import ServiceClass
+from repro.sched.fifo import FifoScheduler
+from repro.sched.priority import PriorityScheduler
+from tests.conftest import make_packet
+
+
+class TestStrictPriority:
+    def test_higher_class_always_first(self):
+        sched = PriorityScheduler(num_classes=3)
+        low = make_packet(priority_class=2, sequence=0)
+        high = make_packet(priority_class=0, sequence=1)
+        mid = make_packet(priority_class=1, sequence=2)
+        for p in (low, high, mid):
+            sched.enqueue(p, 0.0)
+        assert sched.dequeue(0.0) is high
+        assert sched.dequeue(0.0) is mid
+        assert sched.dequeue(0.0) is low
+
+    def test_fifo_within_class(self):
+        sched = PriorityScheduler(num_classes=2)
+        packets = [make_packet(priority_class=1, sequence=i) for i in range(4)]
+        for p in packets:
+            sched.enqueue(p, 0.0)
+        assert [sched.dequeue(0.0).sequence for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_priority_clamped_into_range(self):
+        sched = PriorityScheduler(num_classes=2)
+        overflow = make_packet(priority_class=99)
+        negative = make_packet(priority_class=-1)
+        sched.enqueue(overflow, 0.0)
+        sched.enqueue(negative, 0.0)
+        assert sched.classify(overflow) == 1
+        assert sched.classify(negative) == 0
+
+    def test_custom_classifier(self):
+        sched = PriorityScheduler(
+            num_classes=2,
+            classifier=lambda p: 0 if p.service_class.is_realtime else 1,
+        )
+        dg = make_packet(service_class=ServiceClass.DATAGRAM, priority_class=0)
+        rt = make_packet(service_class=ServiceClass.PREDICTED, priority_class=1)
+        sched.enqueue(dg, 0.0)
+        sched.enqueue(rt, 0.0)
+        assert sched.dequeue(0.0) is rt
+
+    def test_len_counts_all_classes(self):
+        sched = PriorityScheduler(num_classes=3)
+        for c in range(3):
+            sched.enqueue(make_packet(priority_class=c), 0.0)
+        assert len(sched) == 3
+        sched.dequeue(0.0)
+        assert len(sched) == 2
+
+    def test_queue_lengths(self):
+        sched = PriorityScheduler(num_classes=2)
+        sched.enqueue(make_packet(priority_class=1), 0.0)
+        sched.enqueue(make_packet(priority_class=1), 0.0)
+        assert sched.queue_lengths() == {0: 0, 1: 2}
+
+    def test_empty_dequeue(self):
+        assert PriorityScheduler(num_classes=1).dequeue(0.0) is None
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            PriorityScheduler(num_classes=0)
+
+
+class TestPushOut:
+    def test_high_priority_evicts_lowest(self):
+        sched = PriorityScheduler(num_classes=3)
+        low = make_packet(priority_class=2)
+        sched.enqueue(low, 0.0)
+        incoming = make_packet(priority_class=0)
+        victim = sched.select_push_out(incoming)
+        assert victim is low
+        assert len(sched) == 0
+
+    def test_no_eviction_of_equal_or_higher(self):
+        sched = PriorityScheduler(num_classes=2)
+        sched.enqueue(make_packet(priority_class=0), 0.0)
+        incoming = make_packet(priority_class=0)
+        assert sched.select_push_out(incoming) is None
+        incoming_low = make_packet(priority_class=1)
+        assert sched.select_push_out(incoming_low) is None
+
+    def test_eviction_takes_newest_of_victim_class(self):
+        sched = PriorityScheduler(num_classes=2)
+        old = make_packet(priority_class=1, sequence=0)
+        new = make_packet(priority_class=1, sequence=1)
+        sched.enqueue(old, 0.0)
+        sched.enqueue(new, 0.0)
+        victim = sched.select_push_out(make_packet(priority_class=0))
+        assert victim is new
+
+    def test_sub_scheduler_factory(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return FifoScheduler()
+
+        PriorityScheduler(num_classes=4, sub_scheduler_factory=factory)
+        assert len(calls) == 4

@@ -1,0 +1,133 @@
+"""Cross-validation of packetized WFQ against the GPS fluid model.
+
+Parekh's single-node theorem (the paper's Section 4 foundation): for the
+same arrivals, clock rates, and link capacity, every packet's departure
+under PGPS/WFQ finishes no later than its GPS fluid departure plus one
+maximum-packet transmission time,
+
+    F_packet <= F_fluid + L_max / C.
+
+Driving both independent implementations (the event-driven packet
+scheduler and the threshold-based fluid solver) with identical random
+inputs and checking the theorem couples them together: a bug in either
+breaks the inequality (or the paired work-conservation checks).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet, ServiceClass
+from repro.sched.gps import FluidArrival, GpsFluidModel
+from repro.sched.wfq import WfqScheduler
+
+CAPACITY = 1_000_000.0
+RATES = {"a": 400_000.0, "b": 350_000.0, "c": 250_000.0}  # sums to C
+L_MAX = 2000.0
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.05),  # inter-arrival gap
+        st.sampled_from(sorted(RATES)),
+        st.integers(min_value=500, max_value=int(L_MAX)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def simulate_wfq(arrivals):
+    """Drive WfqScheduler through an explicit link-service loop.
+
+    Returns departure (last-bit) times aligned with ``arrivals``.
+    """
+    scheduler = WfqScheduler(CAPACITY)
+    for flow, rate in RATES.items():
+        scheduler.register_flow(flow, rate)
+    packets = []
+    for index, (when, flow, size) in enumerate(arrivals):
+        packet = Packet(
+            flow_id=flow,
+            size_bits=size,
+            created_at=when,
+            source="s",
+            destination="d",
+            service_class=ServiceClass.GUARANTEED,
+            sequence=index,
+        )
+        packets.append(packet)
+    departures = {}
+    now = 0.0
+    i = 0
+    n = len(arrivals)
+    while i < n or len(scheduler):
+        if len(scheduler) == 0:
+            now = max(now, arrivals[i][0])
+        while i < n and arrivals[i][0] <= now + 1e-15:
+            packet = packets[i]
+            packet.enqueued_at = arrivals[i][0]
+            assert scheduler.enqueue(packet, arrivals[i][0])
+            i += 1
+        packet = scheduler.dequeue(now)
+        if packet is None:
+            now = arrivals[i][0]
+            continue
+        finish = now + packet.size_bits / CAPACITY
+        departures[packet.sequence] = finish
+        now = finish
+    return [departures[k] for k in range(n)]
+
+
+def simulate_gps(arrivals):
+    model = GpsFluidModel(CAPACITY, RATES)
+    fluid = [
+        FluidArrival(time=when, flow_id=flow, size_bits=float(size))
+        for when, flow, size in arrivals
+    ]
+    return [record.departure_time for record in model.run(fluid)]
+
+
+def normalize(raw):
+    """Turn (gap, flow, size) samples into time-ordered arrivals."""
+    t = 0.0
+    arrivals = []
+    for gap, flow, size in raw:
+        t += gap
+        arrivals.append((t, flow, size))
+    return arrivals
+
+
+class TestParekhLagTheorem:
+    @given(raw=arrival_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_wfq_within_one_packet_of_gps(self, raw):
+        arrivals = normalize(raw)
+        wfq = simulate_wfq(arrivals)
+        gps = simulate_gps(arrivals)
+        slack = L_MAX / CAPACITY
+        for index, (w, g) in enumerate(zip(wfq, gps)):
+            assert w <= g + slack + 1e-9, (
+                f"packet {index}: WFQ finished {w:.6f}, "
+                f"GPS {g:.6f}, allowed lag {slack:.6f}"
+            )
+
+    @given(raw=arrival_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_both_models_conserve_work(self, raw):
+        """Busy periods coincide: the last departure differs by at most the
+        one-packet lag (both systems transmit the same total bits over the
+        same busy intervals)."""
+        arrivals = normalize(raw)
+        wfq_last = max(simulate_wfq(arrivals))
+        gps_last = max(simulate_gps(arrivals))
+        assert math.isclose(
+            wfq_last, gps_last, abs_tol=L_MAX / CAPACITY + 1e-9
+        )
+
+    @given(raw=arrival_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_wfq_departures_after_arrivals(self, raw):
+        arrivals = normalize(raw)
+        for (when, __, size), finish in zip(arrivals, simulate_wfq(arrivals)):
+            assert finish >= when + size / CAPACITY - 1e-9

@@ -1,0 +1,80 @@
+"""Tests for seeded random streams and the Appendix distributions."""
+
+import pytest
+
+from repro.sim.randomness import RandomStreams
+
+
+class TestStreams:
+    def test_same_seed_same_stream_is_deterministic(self):
+        a = RandomStreams(seed=7).stream("x")
+        b = RandomStreams(seed=7).stream("x")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_names_give_different_sequences(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("x")
+        b = streams.stream("y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_different_seeds_give_different_sequences(self):
+        a = RandomStreams(seed=1).stream("x")
+        b = RandomStreams(seed=2).stream("x")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_change_draws(self):
+        one = RandomStreams(seed=3)
+        one.stream("a")
+        x1 = one.stream("b").random()
+        two = RandomStreams(seed=3)
+        two.stream("z")  # different first stream
+        x2 = two.stream("b").random()
+        assert x1 == x2
+
+    def test_contains(self):
+        streams = RandomStreams(seed=1)
+        assert "x" not in streams
+        streams.stream("x")
+        assert "x" in streams
+
+
+class TestGeometric:
+    def test_mean_is_close(self):
+        rng = RandomStreams(seed=11).stream("g")
+        n = 20000
+        mean = sum(rng.geometric(5.0) for _ in range(n)) / n
+        assert mean == pytest.approx(5.0, rel=0.05)
+
+    def test_support_starts_at_one(self):
+        rng = RandomStreams(seed=11).stream("g")
+        assert all(rng.geometric(1.5) >= 1 for _ in range(1000))
+
+    def test_mean_one_is_degenerate(self):
+        rng = RandomStreams(seed=11).stream("g")
+        assert all(rng.geometric(1.0) == 1 for _ in range(100))
+
+    def test_mean_below_one_rejected(self):
+        rng = RandomStreams(seed=11).stream("g")
+        with pytest.raises(ValueError):
+            rng.geometric(0.5)
+
+
+class TestExponential:
+    def test_mean_is_close(self):
+        rng = RandomStreams(seed=13).stream("e")
+        n = 20000
+        mean = sum(rng.exponential(0.25) for _ in range(n)) / n
+        assert mean == pytest.approx(0.25, rel=0.05)
+
+    def test_nonpositive_mean_rejected(self):
+        rng = RandomStreams(seed=13).stream("e")
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_values_positive(self):
+        rng = RandomStreams(seed=13).stream("e")
+        assert all(rng.exponential(1.0) > 0 for _ in range(1000))

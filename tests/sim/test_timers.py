@@ -1,0 +1,44 @@
+"""Tests for PeriodicTimer."""
+
+import pytest
+
+from repro.sim.timers import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_at_fixed_interval(self, sim):
+        times = []
+        PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        sim.run(until=5.5)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_offset(self, sim):
+        times = []
+        PeriodicTimer(sim, 1.0, lambda: times.append(sim.now), start_offset=0.25)
+        sim.run(until=3.0)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not timer.running
+
+    def test_stop_from_inside_action(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (times.append(sim.now), timer.stop()))
+        sim.run(until=10.0)
+        assert times == [1.0]
+
+    def test_stop_is_idempotent(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.stop()
+        timer.stop()
+        sim.run(until=5.0)
+        assert not timer.running
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)

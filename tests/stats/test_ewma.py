@@ -1,0 +1,51 @@
+"""Tests for the EWMA estimator."""
+
+import pytest
+
+from repro.stats.ewma import Ewma
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        ewma = Ewma(gain=0.1)
+        ewma.add(10.0)
+        assert ewma.value == 10.0
+
+    def test_uninitialized_value_is_zero(self):
+        assert Ewma().value == 0.0
+        assert not Ewma().initialized
+
+    def test_update_rule(self):
+        ewma = Ewma(gain=0.5)
+        ewma.add(10.0)
+        ewma.add(20.0)
+        assert ewma.value == pytest.approx(15.0)
+        ewma.add(15.0)
+        assert ewma.value == pytest.approx(15.0)
+
+    def test_converges_to_constant_input(self):
+        ewma = Ewma(gain=0.2)
+        ewma.add(100.0)
+        for _ in range(200):
+            ewma.add(3.0)
+        assert ewma.value == pytest.approx(3.0, abs=1e-6)
+
+    def test_gain_bounds(self):
+        with pytest.raises(ValueError):
+            Ewma(gain=0.0)
+        with pytest.raises(ValueError):
+            Ewma(gain=1.5)
+        Ewma(gain=1.0)  # gain 1 = "last value" is legal
+
+    def test_gain_one_tracks_last_sample(self):
+        ewma = Ewma(gain=1.0)
+        for x in [5.0, 7.0, 2.0]:
+            ewma.add(x)
+        assert ewma.value == 2.0
+
+    def test_reset(self):
+        ewma = Ewma(gain=0.3)
+        ewma.add(4.0)
+        ewma.reset()
+        assert not ewma.initialized
+        assert ewma.count == 0

@@ -1,0 +1,65 @@
+"""Tests for fairness metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.fairness import jain_index, max_min_ratio
+
+
+class TestJainIndex:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_minimally_fair(self):
+        n = 5
+        assert jain_index([1.0, 0.0, 0.0, 0.0, 0.0]) == pytest.approx(1.0 / n)
+
+    def test_known_value(self):
+        # J([1, 2, 3]) = 36 / (3 * 14) = 6/7.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(6.0 / 7.0)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_between_1_over_n_and_1(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20
+        ),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariant(self, values, scale):
+        assert jain_index([v * scale for v in values]) == pytest.approx(
+            jain_index(values), rel=1e-6
+        )
+
+
+class TestMaxMinRatio:
+    def test_equal_is_one(self):
+        assert max_min_ratio([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert max_min_ratio([1.0, 4.0]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            max_min_ratio([1.0, 0.0])
+        with pytest.raises(ValueError):
+            max_min_ratio([])

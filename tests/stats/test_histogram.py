@@ -1,0 +1,66 @@
+"""Tests for the fixed-bin histogram."""
+
+import pytest
+
+from repro.stats.histogram import Histogram
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        hist = Histogram(0.0, 10.0, 10)
+        for x in [0.5, 1.5, 1.6, 9.99]:
+            hist.add(x)
+        counts = hist.counts()
+        assert counts[0] == 1
+        assert counts[1] == 2
+        assert counts[9] == 1
+        assert hist.count == 4
+
+    def test_underflow_overflow(self):
+        hist = Histogram(0.0, 1.0, 4)
+        hist.add(-0.1)
+        hist.add(1.0)  # hi edge is exclusive
+        hist.add(5.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert sum(hist.counts()) == 0
+
+    def test_bin_edges(self):
+        hist = Histogram(0.0, 1.0, 4)
+        assert hist.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_nonzero_bins(self):
+        hist = Histogram(0.0, 4.0, 4)
+        hist.add(0.5)
+        hist.add(2.5)
+        hist.add(2.6)
+        nz = hist.nonzero_bins()
+        assert len(nz) == 2
+        assert nz[0][2] == 1
+        assert nz[1][2] == 2
+
+    def test_cdf(self):
+        hist = Histogram(0.0, 10.0, 10)
+        for x in range(10):
+            hist.add(x + 0.5)
+        assert hist.cdf_at(5.0) == pytest.approx(0.5)
+        assert hist.cdf_at(10.0) == pytest.approx(1.0)
+        assert hist.cdf_at(-1.0) == 0.0
+
+    def test_cdf_empty(self):
+        assert Histogram(0.0, 1.0, 2).cdf_at(0.5) == 0.0
+
+    def test_ascii_render(self):
+        hist = Histogram(0.0, 2.0, 2)
+        hist.add(0.5)
+        art = hist.ascii(width=10)
+        assert "#" in art
+
+    def test_ascii_empty(self):
+        assert "empty" in Histogram(0.0, 1.0, 2).ascii()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)

@@ -1,0 +1,92 @@
+"""Tests for percentile machinery, validated against numpy."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.percentile import PercentileTracker, exact_percentile
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestExactPercentile:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=300),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_numpy_linear(self, values, pct):
+        data = sorted(values)
+        ours = exact_percentile(data, pct)
+        theirs = float(np.percentile(data, pct, method="linear"))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 50.0)
+
+    def test_out_of_range_pct_rejected(self):
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 101.0)
+
+    def test_single_value(self):
+        assert exact_percentile([42.0], 99.9) == 42.0
+
+
+class TestPercentileTracker:
+    def test_median_of_known_data(self):
+        tracker = PercentileTracker()
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            tracker.add(x)
+        assert tracker.percentile(50) == 3.0
+        assert tracker.min == 1.0
+        assert tracker.max == 5.0
+
+    def test_quantiles_batch(self):
+        tracker = PercentileTracker()
+        for x in range(101):
+            tracker.add(float(x))
+        q = tracker.quantiles([0, 50, 100])
+        assert q == [0.0, 50.0, 100.0]
+
+    def test_fraction_above(self):
+        tracker = PercentileTracker()
+        for x in range(10):
+            tracker.add(float(x))
+        assert tracker.fraction_above(4.0) == pytest.approx(0.5)
+        assert tracker.fraction_above(100.0) == 0.0
+        assert tracker.fraction_above(-1.0) == 1.0
+
+    def test_fraction_above_empty(self):
+        assert PercentileTracker().fraction_above(0.0) == 0.0
+
+    def test_interleaved_add_and_query(self):
+        tracker = PercentileTracker()
+        tracker.add(5.0)
+        assert tracker.percentile(50) == 5.0
+        tracker.add(1.0)
+        tracker.add(9.0)
+        assert tracker.percentile(50) == 5.0
+
+    def test_reservoir_requires_rng(self):
+        with pytest.raises(ValueError):
+            PercentileTracker(reservoir_size=10)
+
+    def test_reservoir_caps_memory(self):
+        tracker = PercentileTracker(reservoir_size=100, rng=random.Random(1))
+        for x in range(10_000):
+            tracker.add(float(x))
+        assert len(tracker) == 100
+        assert tracker.count == 10_000
+        # The estimate should land in the right region.
+        assert tracker.percentile(50) == pytest.approx(5000, rel=0.25)
+
+    def test_count_vs_len_without_reservoir(self):
+        tracker = PercentileTracker()
+        for x in range(50):
+            tracker.add(float(x))
+        assert tracker.count == len(tracker) == 50

@@ -1,0 +1,84 @@
+"""Tests for SummaryStats, including a property-based check vs numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summary import SummaryStats
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        stats = SummaryStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert len(stats) == 0
+
+    def test_single_sample(self):
+        stats = SummaryStats()
+        stats.add(3.5)
+        assert stats.mean == 3.5
+        assert stats.min == 3.5
+        assert stats.max == 3.5
+        assert stats.variance == 0.0
+
+    def test_known_values(self):
+        stats = SummaryStats()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stats.add(x)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.total == pytest.approx(40.0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_matches_numpy(self, values):
+        stats = SummaryStats()
+        for v in values:
+            stats.add(v)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-6)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_sample_variance_matches_numpy(self, values):
+        stats = SummaryStats()
+        for v in values:
+            stats.add(v)
+        assert stats.sample_variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-6
+        )
+
+
+class TestMerge:
+    @given(
+        st.lists(finite_floats, min_size=0, max_size=50),
+        st.lists(finite_floats, min_size=0, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        merged = SummaryStats()
+        for v in left:
+            merged.add(v)
+        other = SummaryStats()
+        for v in right:
+            other.add(v)
+        merged.merge(other)
+
+        direct = SummaryStats()
+        for v in left + right:
+            direct.add(v)
+        assert merged.count == direct.count
+        if direct.count:
+            assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-9)
+            assert merged.variance == pytest.approx(
+                direct.variance, rel=1e-6, abs=1e-6
+            )
+            assert merged.min == direct.min
+            assert merged.max == direct.max

@@ -1,0 +1,93 @@
+"""Tests for time-weighted values and rate meters."""
+
+import pytest
+
+from repro.stats.timeseries import RateMeter, TimeWeightedValue
+
+
+class TestTimeWeightedValue:
+    def test_constant_value(self):
+        tw = TimeWeightedValue(start_time=0.0, initial=2.0)
+        assert tw.average(10.0) == pytest.approx(2.0)
+
+    def test_piecewise_average(self):
+        tw = TimeWeightedValue()
+        tw.update(0.0, 1.0)  # value 1 over [0, 4)
+        tw.update(4.0, 3.0)  # value 3 over [4, 8)
+        assert tw.average(8.0) == pytest.approx(2.0)
+
+    def test_busy_fraction_pattern(self):
+        # Link busy accounting: on at 0, off at 1, on at 3, off at 4.
+        tw = TimeWeightedValue()
+        tw.update(0.0, 1.0)
+        tw.update(1.0, 0.0)
+        tw.update(3.0, 1.0)
+        tw.update(4.0, 0.0)
+        assert tw.average(4.0) == pytest.approx(0.5)
+
+    def test_integral(self):
+        tw = TimeWeightedValue()
+        tw.update(0.0, 5.0)
+        assert tw.integral(2.0) == pytest.approx(10.0)
+
+    def test_max_tracked(self):
+        tw = TimeWeightedValue()
+        tw.update(0.0, 1.0)
+        tw.update(1.0, 7.0)
+        tw.update(2.0, 3.0)
+        assert tw.max == 7.0
+
+    def test_backwards_time_rejected(self):
+        tw = TimeWeightedValue()
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 2.0)
+
+    def test_reset_restarts_window(self):
+        tw = TimeWeightedValue()
+        tw.update(0.0, 10.0)
+        tw.update(5.0, 0.0)
+        tw.reset(5.0)
+        assert tw.average(10.0) == pytest.approx(0.0)
+
+    def test_zero_elapsed_average(self):
+        tw = TimeWeightedValue()
+        assert tw.average(0.0) == 0.0
+
+
+class TestRateMeter:
+    def test_cumulative_rate(self):
+        meter = RateMeter(window=1.0)
+        for t in range(10):
+            meter.add(float(t), 100.0)
+        assert meter.cumulative_rate(10.0) == pytest.approx(100.0)
+
+    def test_windowed_rate_counts_recent_only(self):
+        meter = RateMeter(window=2.0)
+        meter.add(0.0, 1000.0)
+        meter.add(9.0, 500.0)
+        meter.add(10.0, 500.0)
+        # Window [8, 10]: 1000 units over 2 s.
+        assert meter.windowed_rate(10.0) == pytest.approx(500.0)
+
+    def test_windowed_rate_before_full_window(self):
+        meter = RateMeter(window=10.0)
+        meter.add(1.0, 100.0)
+        # Only 1 second has elapsed; rate should not be diluted by the
+        # un-elapsed window.
+        assert meter.windowed_rate(1.0) == pytest.approx(100.0)
+
+    def test_total(self):
+        meter = RateMeter(window=1.0)
+        meter.add(0.0, 3.0)
+        meter.add(0.5, 4.0)
+        assert meter.total == 7.0
+
+    def test_empty_rates(self):
+        meter = RateMeter(window=1.0)
+        assert meter.cumulative_rate(0.0) == 0.0
+        assert meter.windowed_rate(5.0) == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RateMeter(window=0.0)

@@ -1,0 +1,75 @@
+"""Tests for sliding-window maxima and statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.windowed import SlidingWindowMax, SlidingWindowStats
+
+
+class TestSlidingWindowMax:
+    def test_max_within_window(self):
+        swm = SlidingWindowMax(window=5.0)
+        swm.add(0.0, 3.0)
+        swm.add(1.0, 7.0)
+        swm.add(2.0, 5.0)
+        assert swm.max(2.0) == 7.0
+
+    def test_old_samples_expire(self):
+        swm = SlidingWindowMax(window=5.0)
+        swm.add(0.0, 100.0)
+        swm.add(4.0, 2.0)
+        assert swm.max(4.0) == 100.0
+        assert swm.max(6.0) == 2.0
+
+    def test_default_when_empty(self):
+        swm = SlidingWindowMax(window=1.0)
+        assert swm.max(10.0, default=-1.0) == -1.0
+        swm.add(0.0, 5.0)
+        assert swm.max(100.0, default=0.0) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_matches_bruteforce(self, raw):
+        samples = sorted(raw)
+        window = 10.0
+        swm = SlidingWindowMax(window=window)
+        for t, v in samples:
+            swm.add(t, v)
+        now = samples[-1][0]
+        expected = [v for t, v in samples if t > now - window]
+        if expected:
+            assert swm.max(now) == max(expected)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMax(0.0)
+
+
+class TestSlidingWindowStats:
+    def test_snapshot_mean_max(self):
+        sws = SlidingWindowStats(window=10.0)
+        sws.add(0.0, 2.0)
+        sws.add(1.0, 4.0)
+        snap = sws.snapshot(1.0)
+        assert snap.mean == pytest.approx(3.0)
+        assert snap.max == 4.0
+
+    def test_expiry(self):
+        sws = SlidingWindowStats(window=2.0)
+        sws.add(0.0, 100.0)
+        sws.add(3.0, 1.0)
+        assert sws.mean(3.0) == pytest.approx(1.0)
+
+    def test_defaults_when_empty(self):
+        sws = SlidingWindowStats(window=1.0)
+        assert sws.mean(0.0, default=9.0) == 9.0
+        assert sws.max(0.0, default=-3.0) == -3.0

@@ -1,0 +1,75 @@
+"""Tests for the fluid leaky bucket, including the b/r bound argument.
+
+Section 4's intuition for the Parekh-Gallager bound: a flow conforming to
+an (r, b) token bucket, drained through a leaky bucket of rate r, suffers
+at most b/r delay.  The property test generates arbitrary arrivals,
+computes their minimal conforming depth b(r), and checks the bound.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.leaky_bucket import FluidLeakyBucket, leaky_bucket_delays
+from repro.traffic.token_bucket import minimal_bucket_depth
+
+
+class TestFluidLeakyBucket:
+    def test_single_arrival_delay(self):
+        bucket = FluidLeakyBucket(rate_bps=100.0)
+        assert bucket.offer(50.0, 0.0) == pytest.approx(0.5)
+
+    def test_backlog_drains_linearly(self):
+        bucket = FluidLeakyBucket(rate_bps=100.0)
+        bucket.offer(100.0, 0.0)
+        assert bucket.backlog_at(0.5) == pytest.approx(50.0)
+        assert bucket.backlog_at(2.0) == 0.0
+
+    def test_backlog_accumulates(self):
+        bucket = FluidLeakyBucket(rate_bps=100.0)
+        bucket.offer(100.0, 0.0)
+        delay = bucket.offer(100.0, 0.5)
+        # 50 bits left + 100 new = 150 bits -> 1.5 s for the last bit.
+        assert delay == pytest.approx(1.5)
+
+    def test_backwards_time_rejected(self):
+        bucket = FluidLeakyBucket(rate_bps=1.0)
+        bucket.offer(1.0, 5.0)
+        with pytest.raises(ValueError):
+            bucket.backlog_at(4.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FluidLeakyBucket(rate_bps=0.0)
+
+    def test_delays_helper(self):
+        delays = leaky_bucket_delays([(0.0, 100.0), (0.0, 100.0)], 100.0)
+        assert delays == pytest.approx([1.0, 2.0])
+
+
+class TestBoverRBound:
+    """The paper's leaky-bucket argument for the P-G bound."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+    def test_max_delay_bounded_by_b_over_r(self, raw, rate):
+        arrivals = sorted(raw)
+        depth = minimal_bucket_depth(arrivals, rate)
+        bucket = FluidLeakyBucket(rate_bps=rate)
+        worst = bucket.max_delay(arrivals)
+        assert worst <= depth / rate + 1e-9
+
+    def test_bound_is_tight_for_greedy_burst(self):
+        """A greedy source (full burst of b at once) achieves exactly b/r."""
+        rate, depth = 100.0, 700.0
+        bucket = FluidLeakyBucket(rate_bps=rate)
+        assert bucket.offer(depth, 0.0) == pytest.approx(depth / rate)

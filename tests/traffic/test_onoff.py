@@ -1,0 +1,151 @@
+"""Tests for the two-state Markov on/off source (the Appendix workload)."""
+
+import pytest
+
+from repro.net.node import Host, Switch
+from repro.net.packet import ServiceClass
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource, OnOffParams
+from repro.traffic.token_bucket import minimal_bucket_depth
+
+
+class RecordingSwitch(Switch):
+    """A switch that records (time, packet) instead of forwarding."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "S")
+        self.record = []
+
+    def receive(self, packet):
+        self.record.append((self.sim.now, packet))
+
+
+def build_source(sim, seed=1, average_rate=85.0, use_paper_filter=False, duration=60.0):
+    switch = RecordingSwitch(sim)
+    host = Host(sim, "H")
+    host.attach(switch)
+    rng = RandomStreams(seed=seed).stream("s")
+    if use_paper_filter:
+        source = OnOffMarkovSource.paper_source(
+            sim, host, "f", "dst", rng, average_rate_pps=average_rate
+        )
+    else:
+        source = OnOffMarkovSource(
+            sim, host, "f", "dst", OnOffParams.paper_workload(average_rate), rng
+        )
+    sim.run(until=duration)
+    return source, switch.record
+
+
+class TestParams:
+    def test_idle_mean_formula(self):
+        # 1/A = I/B + 1/P  =>  I = B/(2A) when P = 2A.
+        params = OnOffParams.paper_workload(85.0)
+        assert params.mean_idle_seconds == pytest.approx(5.0 / (2 * 85.0))
+
+    def test_peak_defaults_to_twice_average(self):
+        params = OnOffParams(average_rate_pps=100.0)
+        assert params.resolved_peak_rate == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffParams(average_rate_pps=0.0)
+        with pytest.raises(ValueError):
+            OnOffParams(average_rate_pps=100.0, peak_rate_pps=50.0)
+        with pytest.raises(ValueError):
+            OnOffParams(average_rate_pps=10.0, mean_burst_packets=0.5)
+
+
+class TestGeneration:
+    def test_average_rate_close_to_A(self):
+        sim = Simulator()
+        source, record = build_source(sim, seed=3, duration=120.0)
+        rate = source.generated / 120.0
+        assert rate == pytest.approx(85.0, rel=0.1)
+
+    def test_burst_spacing_is_peak_rate(self):
+        sim = Simulator()
+        __, record = build_source(sim, seed=4, duration=30.0)
+        gaps = [b - a for (a, _), (b, _) in zip(record, record[1:])]
+        spacing = 1.0 / 170.0
+        # Every gap is either the in-burst spacing or a larger inter-burst
+        # gap of at least spacing + idle; never shorter than 1/P.
+        assert min(gaps) == pytest.approx(spacing, rel=1e-6)
+        for gap in gaps:
+            assert gap >= spacing - 1e-12
+
+    def test_emission_conforms_to_peak_rate_one_packet_bucket(self):
+        """The generation process conforms to (P, 1 packet) — this is what
+        makes clock-rate-= peak guaranteed service have bound p/r per hop
+        (Table 3's Peak rows)."""
+        sim = Simulator()
+        __, record = build_source(sim, seed=5, duration=60.0)
+        arrivals = [(t, float(p.size_bits)) for t, p in record]
+        depth = minimal_bucket_depth(arrivals, 170.0 * 1000.0)
+        assert depth <= 1000.0 + 1e-6
+
+    def test_paper_filter_drops_about_two_percent(self):
+        sim = Simulator()
+        source, __ = build_source(sim, seed=6, use_paper_filter=True, duration=300.0)
+        drop_fraction = source.filtered / source.generated
+        # The paper reports "about 2%"; accept a generous band.
+        assert 0.002 < drop_fraction < 0.06
+
+    def test_filtered_stream_conforms_to_declared_bucket(self):
+        sim = Simulator()
+        __, record = build_source(sim, seed=7, use_paper_filter=True, duration=120.0)
+        arrivals = [(t, float(p.size_bits)) for t, p in record]
+        depth = minimal_bucket_depth(arrivals, 85.0 * 1000.0)
+        assert depth <= 50.0 * 1000.0 + 1e-6
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        switch = RecordingSwitch(sim)
+        host = Host(sim, "H")
+        host.attach(switch)
+        rng = RandomStreams(seed=8).stream("s")
+        source = OnOffMarkovSource(
+            sim, host, "f", "dst", OnOffParams.paper_workload(85.0), rng
+        )
+        sim.schedule(5.0, source.stop)
+        sim.run(until=30.0)
+        assert source.stopped
+        assert all(t <= 5.0 for t, _ in switch.record)
+
+    def test_sequence_numbers_increase(self):
+        sim = Simulator()
+        __, record = build_source(sim, seed=9, duration=10.0)
+        seqs = [p.sequence for _, p in record]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_service_class_stamped(self):
+        sim = Simulator()
+        switch = RecordingSwitch(sim)
+        host = Host(sim, "H")
+        host.attach(switch)
+        rng = RandomStreams(seed=10).stream("s")
+        OnOffMarkovSource(
+            sim,
+            host,
+            "f",
+            "dst",
+            OnOffParams.paper_workload(85.0),
+            rng,
+            service_class=ServiceClass.PREDICTED,
+            priority_class=1,
+        )
+        sim.run(until=5.0)
+        assert switch.record
+        assert all(
+            p.service_class is ServiceClass.PREDICTED and p.priority_class == 1
+            for _, p in switch.record
+        )
+
+    def test_deterministic_given_seed(self):
+        sim1 = Simulator()
+        __, record1 = build_source(sim1, seed=11, duration=20.0)
+        sim2 = Simulator()
+        __, record2 = build_source(sim2, seed=11, duration=20.0)
+        assert [t for t, _ in record1] == [t for t, _ in record2]

@@ -1,0 +1,132 @@
+"""Tests for CBR, Poisson, trace sources, and the recording sink."""
+
+import pytest
+
+from repro.net.node import Host, Switch
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.sink import DelayRecordingSink
+from repro.traffic.trace import TraceSource
+
+
+class RecordingSwitch(Switch):
+    def __init__(self, sim):
+        super().__init__(sim, "S")
+        self.record = []
+
+    def receive(self, packet):
+        self.record.append((self.sim.now, packet))
+
+
+def rig(sim):
+    switch = RecordingSwitch(sim)
+    host = Host(sim, "H")
+    host.attach(switch)
+    return host, switch
+
+
+class TestCbr:
+    def test_exact_spacing(self, sim):
+        host, switch = rig(sim)
+        CbrSource(sim, host, "f", "dst", rate_pps=10.0)
+        sim.run(until=1.0)
+        times = [t for t, _ in switch.record]
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+
+    def test_start_offset(self, sim):
+        host, switch = rig(sim)
+        CbrSource(sim, host, "f", "dst", rate_pps=10.0, start_offset=0.05)
+        sim.run(until=0.3)
+        assert switch.record[0][0] == pytest.approx(0.05)
+
+    def test_invalid_rate(self, sim):
+        host, __ = rig(sim)
+        with pytest.raises(ValueError):
+            CbrSource(sim, host, "f", "dst", rate_pps=0.0)
+
+
+class TestPoisson:
+    def test_mean_rate(self, sim):
+        host, switch = rig(sim)
+        rng = RandomStreams(seed=2).stream("p")
+        source = PoissonSource(sim, host, "f", "dst", rate_pps=200.0, rng=rng)
+        sim.run(until=60.0)
+        assert source.sent / 60.0 == pytest.approx(200.0, rel=0.1)
+
+    def test_gaps_are_variable(self, sim):
+        host, switch = rig(sim)
+        rng = RandomStreams(seed=2).stream("p")
+        PoissonSource(sim, host, "f", "dst", rate_pps=100.0, rng=rng)
+        sim.run(until=5.0)
+        gaps = {
+            round(b - a, 9)
+            for (a, _), (b, _) in zip(switch.record, switch.record[1:])
+        }
+        assert len(gaps) > 10  # not CBR
+
+
+class TestTrace:
+    def test_replays_schedule(self, sim):
+        host, switch = rig(sim)
+        schedule = [(0.5, 100), (0.1, 200), (0.9, 300)]
+        TraceSource(sim, host, "f", "dst", schedule)
+        sim.run_until_idle()
+        assert [(t, p.size_bits) for t, p in switch.record] == [
+            (0.1, 200), (0.5, 100), (0.9, 300),
+        ]
+
+    def test_past_entries_rejected(self, sim):
+        host, __ = rig(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            TraceSource(sim, host, "f", "dst", [(0.5, 100)])
+
+    def test_invalid_sizes_rejected(self, sim):
+        host, __ = rig(sim)
+        with pytest.raises(ValueError):
+            TraceSource(sim, host, "f", "dst", [(0.5, 0)])
+
+
+class TestSink:
+    def test_records_queueing_delay(self, sim):
+        host, __ = rig(sim)
+        sink = DelayRecordingSink(sim, host, "f")
+        from tests.conftest import make_packet
+
+        packet = make_packet(flow_id="f")
+        packet.queueing_delay = 0.005
+        sim.schedule(1.0, lambda: host.receive(packet))
+        sim.run_until_idle()
+        assert sink.recorded == 1
+        assert sink.mean_queueing(0.001) == pytest.approx(5.0)
+        assert sink.end_to_end.mean == pytest.approx(1.0)
+
+    def test_warmup_excludes_early_packets(self, sim):
+        host, __ = rig(sim)
+        sink = DelayRecordingSink(sim, host, "f", warmup=10.0)
+        from tests.conftest import make_packet
+
+        early = make_packet(flow_id="f")
+        late = make_packet(flow_id="f")
+        late.queueing_delay = 0.002
+        sim.schedule(1.0, lambda: host.receive(early))
+        sim.schedule(11.0, lambda: host.receive(late))
+        sim.run_until_idle()
+        assert sink.received == 2
+        assert sink.recorded == 1
+        assert sink.mean_queueing(0.001) == pytest.approx(2.0)
+
+    def test_percentile_and_max(self, sim):
+        host, __ = rig(sim)
+        sink = DelayRecordingSink(sim, host, "f")
+        from tests.conftest import make_packet
+
+        for i in range(100):
+            packet = make_packet(flow_id="f")
+            packet.queueing_delay = i * 0.001
+            host.receive(packet)
+        assert sink.max_queueing(0.001) == pytest.approx(99.0)
+        assert sink.percentile_queueing(50, 0.001) == pytest.approx(49.5)

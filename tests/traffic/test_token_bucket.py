@@ -1,0 +1,152 @@
+"""Tests for token bucket filters, including property-based conformance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet
+from repro.traffic.token_bucket import (
+    NonconformingPolicy,
+    TokenBucket,
+    TokenBucketFilter,
+    conforms,
+    minimal_bucket_depth,
+)
+from tests.conftest import make_packet
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0)
+        assert bucket.tokens_at(0.0) == 500.0
+
+    def test_consume_depletes(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0)
+        assert bucket.try_consume(300.0, 0.0)
+        assert bucket.tokens_at(0.0) == pytest.approx(200.0)
+
+    def test_refill_rate(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0)
+        bucket.try_consume(500.0, 0.0)
+        assert bucket.tokens_at(2.0) == pytest.approx(200.0)
+
+    def test_refill_caps_at_depth(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0)
+        bucket.try_consume(100.0, 0.0)
+        assert bucket.tokens_at(100.0) == 500.0
+
+    def test_nonconforming_consumes_nothing(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0)
+        assert not bucket.try_consume(600.0, 0.0)
+        assert bucket.tokens_at(0.0) == 500.0
+
+    def test_paper_recurrence(self):
+        """n_i = MIN[b, n_{i-1} + (t_i - t_{i-1}) r - p_i] stays >= 0 for a
+        conforming sequence; our bucket agrees packet by packet."""
+        r, b, p = 10.0, 50.0, 10.0
+        times = [0.0, 1.0, 1.5, 4.0, 4.1, 4.2, 4.3, 4.4]
+        bucket = TokenBucket(rate_bps=r, depth_bits=b)
+        n = b
+        for i, t in enumerate(times):
+            if i > 0:
+                n = min(b, n + (t - times[i - 1]) * r)
+            expected_ok = n >= p
+            assert bucket.try_consume(p, t) == expected_ok
+            if expected_ok:
+                n -= p
+
+    def test_backwards_time_rejected(self):
+        bucket = TokenBucket(rate_bps=1.0, depth_bits=1.0)
+        bucket.try_consume(0.5, 5.0)
+        with pytest.raises(ValueError):
+            bucket.tokens_at(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=0.0, depth_bits=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=1.0, depth_bits=0.0)
+
+    def test_start_empty(self):
+        bucket = TokenBucket(rate_bps=100.0, depth_bits=500.0, full_at_start=False)
+        assert not bucket.try_consume(1.0, 0.0)
+        assert bucket.try_consume(100.0, 1.0)
+
+
+class TestFilter:
+    def test_drop_policy(self):
+        filt = TokenBucketFilter(100.0, 1000.0, NonconformingPolicy.DROP)
+        assert filt.check(make_packet(size_bits=1000), 0.0)
+        assert not filt.check(make_packet(size_bits=1000), 0.0)
+        assert filt.conforming == 1
+        assert filt.nonconforming == 1
+        assert filt.drop_fraction == pytest.approx(0.5)
+
+    def test_tag_policy_passes_but_marks(self):
+        filt = TokenBucketFilter(100.0, 1000.0, NonconformingPolicy.TAG)
+        first = make_packet(size_bits=1000)
+        second = make_packet(size_bits=1000)
+        assert filt.check(first, 0.0)
+        assert filt.check(second, 0.0)
+        assert not first.tagged
+        assert second.tagged
+
+
+class TestMinimalDepth:
+    def test_single_packet(self):
+        assert minimal_bucket_depth([(0.0, 100.0)], 10.0) == 100.0
+
+    def test_burst_needs_sum(self):
+        arrivals = [(0.0, 100.0), (0.0, 100.0), (0.0, 100.0)]
+        assert minimal_bucket_depth(arrivals, 10.0) == 300.0
+
+    def test_spaced_arrivals_need_one_packet(self):
+        # Packets exactly at the token rate: depth of one packet suffices.
+        arrivals = [(float(i), 10.0) for i in range(100)]
+        assert minimal_bucket_depth(arrivals, 10.0) == pytest.approx(10.0)
+
+    def test_non_increasing_in_rate(self):
+        arrivals = [(0.0, 50.0), (1.0, 50.0), (1.1, 50.0), (5.0, 10.0)]
+        depths = [minimal_bucket_depth(arrivals, r) for r in (1.0, 5.0, 25.0, 100.0)]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_bucket_depth([(1.0, 10.0), (0.0, 10.0)], 1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.5, max_value=1000.0, allow_nan=False),
+    )
+    def test_depth_is_exactly_sufficient(self, raw, rate):
+        """b(r) conforms, and (1-eps) * b(r) does not (property)."""
+        arrivals = sorted(raw)
+        depth = minimal_bucket_depth(arrivals, rate)
+        assert conforms(arrivals, rate, depth)
+        if depth > max(size for _, size in arrivals):
+            assert not conforms(arrivals, rate, depth * 0.99 - 1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+    )
+    def test_depth_matches_bucket_simulation(self, raw, rate):
+        """A fresh bucket of depth b(r) accepts every packet (property)."""
+        arrivals = sorted(raw)
+        depth = minimal_bucket_depth(arrivals, rate)
+        bucket = TokenBucket(rate_bps=rate, depth_bits=depth + 1e-6)
+        assert all(bucket.try_consume(size, t) for t, size in arrivals)
