@@ -10,18 +10,19 @@ of the experiments (and >99 % total with datagram filler).
 Guaranteed-only: each paper source needs r = 2A (peak) for a tight bound,
 so a 1 Mbit/s link under the 90 % quota admits floor(900k/170k) = 5 flows
 -> ~42.5 % of the link carrying real-time bits.  Predicted: all 10 flows
-fit, ~85 %.  We simulate both and report delivered utilization.
+fit, ~85 %.  Both arms are declarative scenarios — the guaranteed arm's
+clock-rate reservations ride each flow's :class:`GuaranteedRequest`.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
 from repro.net.packet import ServiceClass
-from repro.net.topology import single_link_topology
-from repro.sched.unified import UnifiedConfig, UnifiedScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import (
+    DisciplineSpec,
+    GuaranteedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
+)
 
 PEAK_CLOCK_BPS = 2 * common.AVERAGE_RATE_PPS * common.PACKET_BITS
 QUOTA = 0.9
@@ -29,50 +30,36 @@ DURATION = 45.0
 WARMUP = 5.0
 
 
-def run_scenario(scenario, seed):
-    """Returns (num_flows, realtime utilization, sample p999 in tx units)."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    schedulers = []
-
-    def factory(name, link):
-        sched = UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=1)
-        )
-        schedulers.append(sched)
-        return sched
-
-    net = single_link_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
+def scenario_for(scenario: str, seed: int):
+    builder = (
+        ScenarioBuilder(f"ablation-utilization-{scenario}")
+        .single_link()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=1))
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+    )
     if scenario == "guaranteed-only":
         # Admit guaranteed flows at their peak clock rate until the 90 %
         # quota refuses the next one — the paper's "clock rate equal to
         # peak generation rate" sizing.
         num_flows = int(QUOTA * common.LINK_RATE_BPS // PEAK_CLOCK_BPS)
-        service_class, priority = ServiceClass.GUARANTEED, 0
-        for i in range(num_flows):
-            schedulers[0].install_guaranteed_flow(f"flow-{i}", PEAK_CLOCK_BPS)
+        builder.paper_flows(
+            num_flows,
+            request=GuaranteedRequest(clock_rate_bps=PEAK_CLOCK_BPS),
+        )
     else:
         num_flows = 10  # the Table-1 population, all predicted.
-        service_class, priority = ServiceClass.PREDICTED, 0
-    sinks = {}
-    for i in range(num_flows):
-        flow_id = f"flow-{i}"
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(f"source:{flow_id}"),
-            average_rate_pps=common.AVERAGE_RATE_PPS,
-            service_class=service_class,
-            priority_class=priority,
-        )
-        sinks[flow_id] = DelayRecordingSink(
-            sim, net.hosts["dst-host"], flow_id, warmup=WARMUP
-        )
-    sim.run(until=DURATION)
-    utilization = net.links["A->B"].utilization()
-    p999 = sinks["flow-0"].percentile_queueing(99.9, common.TX_TIME_SECONDS)
+        builder.paper_flows(num_flows, service_class=ServiceClass.PREDICTED)
+    return builder.build(), num_flows
+
+
+def run_scenario(scenario, seed):
+    """Returns (num_flows, realtime utilization, sample p999 in tx units)."""
+    spec, num_flows = scenario_for(scenario, seed)
+    run = ScenarioRunner(spec).run_discipline()
+    utilization = run.utilization("A->B")
+    p999 = run.flow("flow-0").percentile_in(99.9, common.TX_TIME_SECONDS)
     return num_flows, utilization, p999
 
 

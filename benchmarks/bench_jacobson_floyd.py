@@ -7,99 +7,86 @@ architecture it discusses:
    workload, CSZ's FIFO multiplexes bursts so "the post facto jitter is
    smaller for everyone"; round-robin re-isolates flows inside the class,
    pushing each burster's tail back up — measurably worse 99.9 %iles.
+   Declared as one two-discipline scenario spec.
 
 2. **Edge-only vs per-switch filter enforcement.**  CSZ checks token-
    bucket conformance only at the first switch because "any later
    violation would be due to the scheduling policies and load dynamics of
    the network and not the generation behavior of the source" (§8).  We
-   police the same declared (A, 50) filters at every switch of the chain:
-   packets that conformed at their source get dropped inside the network,
-   and the count grows fast as the policer tightens.
+   police the same declared (A, 50) filters at every switch of the chain
+   (via the live :class:`~repro.scenario.ScenarioContext`, which exposes
+   the built schedulers): packets that conformed at their source get
+   dropped inside the network, and the count grows fast as the policer
+   tightens.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
 from repro.net.packet import ServiceClass
-from repro.net.topology import paper_figure1_topology, single_link_topology
-from repro.sched.fifo import FifoScheduler
-from repro.sched.jacobson_floyd import JacobsonFloydScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 NUM_FLOWS = 10
 DURATION = 45.0
 WARMUP = 5.0
 POLICER_DEPTHS = (50.0, 40.0, 30.0)
 
+SHARING_DISCIPLINES = (
+    DisciplineSpec.fifo(name="CSZ (FIFO in class)"),
+    DisciplineSpec.jacobson_floyd(name="J-F (RR in class)", num_classes=1),
+)
 
-def run_sharing_style(kind, seed):
-    """FIFO vs RR within one predicted class; returns mean of per-flow
-    p999s (tx units)."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    if kind == "CSZ (FIFO in class)":
-        factory = lambda n, l: FifoScheduler()
-    else:
-        factory = lambda n, l: JacobsonFloydScheduler(num_classes=1)
-    net = single_link_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    sinks = []
-    for i in range(NUM_FLOWS):
-        flow_id = f"flow-{i}"
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(f"source:{flow_id}"),
-            service_class=ServiceClass.PREDICTED,
-        )
-        sinks.append(
-            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id,
-                               warmup=WARMUP)
-        )
-    sim.run(until=DURATION)
+
+def run_sharing_styles(seed):
+    """FIFO vs RR within one predicted class; returns per-discipline mean
+    of per-flow p999s (tx units)."""
+    spec = (
+        ScenarioBuilder("jf-sharing")
+        .single_link()
+        .paper_flows(NUM_FLOWS, service_class=ServiceClass.PREDICTED)
+        .disciplines(*SHARING_DISCIPLINES)
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
+    )
+    result = ScenarioRunner(spec).run()
     unit = common.TX_TIME_SECONDS
-    p999s = [sink.percentile_queueing(99.9, unit) for sink in sinks]
-    return sum(p999s) / len(p999s)
+    out = {}
+    for run in result.runs:
+        p999s = [f.percentile_in(99.9, unit) for f in run.flows]
+        out[run.discipline] = sum(p999s) / len(p999s)
+    return out
 
 
 def run_per_switch_policing(depth_packets, seed):
     """Police the declared (A, depth) bucket at EVERY switch of the
     Figure-1 chain; returns the number of in-network policed drops of
     traffic that conformed at its source."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    schedulers = []
-
-    def factory(name, link):
-        scheduler = JacobsonFloydScheduler(num_classes=1)
-        schedulers.append(scheduler)
-        return scheduler
-
-    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    placements = common.figure1_flow_placements()
-    common.attach_paper_flows(
-        sim, net, streams, placements, WARMUP,
-        service_class=ServiceClass.PREDICTED,
+    spec = (
+        ScenarioBuilder("jf-policing")
+        .paper_chain()
+        .figure1_flows(service_class=ServiceClass.PREDICTED)
+        .discipline(DisciplineSpec.jacobson_floyd(num_classes=1))
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
     )
+    context = ScenarioRunner(spec).build()
+    schedulers = [port.scheduler for port in context.net.ports.values()]
     for scheduler in schedulers:
-        for placement in placements:
+        for flow in spec.flows:
             scheduler.add_policer(
-                placement.name,
+                flow.name,
                 common.AVERAGE_RATE_PPS * common.PACKET_BITS,
                 depth_packets * common.PACKET_BITS,
             )
-    sim.run(until=DURATION)
+    context.run()
     return sum(s.policed_drops for s in schedulers)
 
 
 def run_comparison(seed: int = BENCH_SEED):
-    sharing = {
-        kind: run_sharing_style(kind, seed)
-        for kind in ("CSZ (FIFO in class)", "J-F (RR in class)")
-    }
+    sharing = run_sharing_styles(seed)
     policing = {
         depth: run_per_switch_policing(depth, seed)
         for depth in POLICER_DEPTHS

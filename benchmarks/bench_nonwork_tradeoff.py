@@ -5,9 +5,10 @@ packets are not allowed to leave early.  These algorithms typically
 deliver higher average delays in return for lower jitter."
 
 We run the Table-2 workload (Figure-1 chain, 22 flows) under FIFO,
-Stop-and-Go (frame 50 ms), and Jitter-EDD (80 ms per-hop target) and
-report the 4-hop flow's mean, 99.9 %ile, and spread (p99.9 - p1 — the
-post facto jitter a play-back client must buffer for):
+Stop-and-Go (frame 50 ms), and Jitter-EDD (80 ms per-hop target) — one
+scenario spec, three disciplines — and report the 4-hop flow's mean,
+99.9 %ile, and spread (p99.9 - p1 — the post facto jitter a play-back
+client must buffer for):
 
 * FIFO: tiny mean, spread limited only by queueing luck;
 * Stop-and-Go: mean inflated by ~half a frame per hop, spread bounded by
@@ -19,49 +20,45 @@ post facto jitter a play-back client must buffer for):
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
-from repro.net.topology import paper_figure1_topology
-from repro.sched.fifo import FifoScheduler
-from repro.sched.nonwork import JitterEddScheduler, StopAndGoScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 DURATION = 45.0
 WARMUP = 5.0
 FRAME_SECONDS = 0.05
 JEDD_TARGET = 0.08
 FOUR_HOP_FLOW = "i1"
+CDF_POINTS = (1.0, 99.9)
 
 
-def run_discipline(kind, seed):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    if kind == "FIFO":
-        factory = lambda n, l: FifoScheduler()
-    elif kind == "Stop-and-Go":
-        factory = lambda n, l: StopAndGoScheduler(
-            sim, frame_seconds=FRAME_SECONDS
+def tradeoff_spec(seed: int = BENCH_SEED):
+    return (
+        ScenarioBuilder("nonwork-tradeoff")
+        .paper_chain()
+        .figure1_flows()
+        .disciplines(
+            DisciplineSpec.fifo(),
+            DisciplineSpec.stop_and_go(frame_seconds=FRAME_SECONDS),
+            DisciplineSpec.jitter_edd(default_target=JEDD_TARGET),
         )
-    else:
-        factory = lambda n, l: JitterEddScheduler(
-            sim, default_target=JEDD_TARGET
-        )
-    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    placements = common.figure1_flow_placements()
-    sinks = common.attach_paper_flows(sim, net, streams, placements, WARMUP)
-    sim.run(until=DURATION)
-    unit = common.TX_TIME_SECONDS
-    sink = sinks[FOUR_HOP_FLOW]
-    mean = sink.mean_queueing(unit)
-    p999 = sink.percentile_queueing(99.9, unit)
-    spread = p999 - sink.percentile_queueing(1.0, unit)
-    return mean, p999, spread
+        .percentiles(*CDF_POINTS)
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
+    )
 
 
 def run_comparison(seed: int = BENCH_SEED):
-    return {
-        kind: run_discipline(kind, seed)
-        for kind in ("FIFO", "Stop-and-Go", "Jitter-EDD")
-    }
+    result = ScenarioRunner(tradeoff_spec(seed)).run()
+    unit = common.TX_TIME_SECONDS
+    out = {}
+    for run in result.runs:
+        sink = run.flow(FOUR_HOP_FLOW)
+        mean = sink.mean_in(unit)
+        p999 = sink.percentile_in(99.9, unit)
+        spread = p999 - sink.percentile_in(1.0, unit)
+        out[run.discipline] = (mean, p999, spread)
+    return out
 
 
 def test_bench_nonwork_tradeoff(benchmark):

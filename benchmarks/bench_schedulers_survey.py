@@ -7,76 +7,53 @@ expect: the isolating schedulers (WFQ, VirtualClock, round-robins) cluster
 together with large tails; the sharing schedulers (FIFO, FIFO+ — identical
 on one hop — and EDF with uniform targets, which *is* FIFO per Section 5)
 cluster with small tails.
+
+One declarative scenario, seven disciplines: the whole survey is a single
+:class:`~repro.scenario.ScenarioSpec` fed to the runner.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
-from repro.net.topology import single_link_topology
-from repro.sched.edf import EdfScheduler
-from repro.sched.fifo import FifoScheduler
-from repro.sched.fifoplus import FifoPlusScheduler
-from repro.sched.round_robin import (
-    DeficitRoundRobinScheduler,
-    RoundRobinScheduler,
-)
-from repro.sched.virtual_clock import VirtualClockScheduler
-from repro.sched.wfq import WfqScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 NUM_FLOWS = 10
 DURATION = 45.0
 WARMUP = 5.0
 
-FACTORIES = {
-    "FIFO": lambda link: FifoScheduler(),
-    "FIFO+": lambda link: FifoPlusScheduler(),
-    "WFQ": lambda link: WfqScheduler(
-        link.rate_bps, auto_register_rate=link.rate_bps / NUM_FLOWS
-    ),
-    "VirtualClock": lambda link: VirtualClockScheduler(
-        auto_register_rate=link.rate_bps / NUM_FLOWS
-    ),
-    "RR": lambda link: RoundRobinScheduler(),
-    "DRR": lambda link: DeficitRoundRobinScheduler(quantum_bits=1000),
-    "EDF": lambda link: EdfScheduler(default_target=0.1),
-}
+DISCIPLINES = (
+    DisciplineSpec.fifo(),
+    DisciplineSpec.fifoplus(),
+    DisciplineSpec.wfq(equal_share_flows=NUM_FLOWS),
+    DisciplineSpec.virtual_clock(equal_share_flows=NUM_FLOWS),
+    DisciplineSpec.round_robin(),
+    DisciplineSpec.drr(quantum_bits=1000),
+    DisciplineSpec.edf(default_target=0.1),
+)
 
 
-def run_discipline(name, seed):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim,
-        lambda n, link: FACTORIES[name](link),
-        rate_bps=common.LINK_RATE_BPS,
-    )
-    sinks = []
-    for i in range(NUM_FLOWS):
-        flow_id = f"flow-{i}"
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(f"source:{flow_id}"),
-            average_rate_pps=common.AVERAGE_RATE_PPS,
-        )
-        sinks.append(
-            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id, warmup=WARMUP)
-        )
-    sim.run(until=DURATION)
-    unit = common.TX_TIME_SECONDS
+def survey_spec(seed: int = BENCH_SEED):
     return (
-        sinks[0].mean_queueing(unit),
-        sinks[0].percentile_queueing(99.9, unit),
+        ScenarioBuilder("schedulers-survey")
+        .single_link()
+        .paper_flows(NUM_FLOWS)
+        .disciplines(*DISCIPLINES)
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
     )
 
 
 def run_survey(seed: int = BENCH_SEED):
-    return {name: run_discipline(name, seed) for name in FACTORIES}
+    result = ScenarioRunner(survey_spec(seed)).run()
+    unit = common.TX_TIME_SECONDS
+    return {
+        run.discipline: (
+            run.flow("flow-0").mean_in(unit),
+            run.flow("flow-0").percentile_in(99.9, unit),
+        )
+        for run in result.runs
+    }
 
 
 def test_bench_schedulers_survey(benchmark):

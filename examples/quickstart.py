@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's core claim on one shared link in ~40 lines.
+"""Quickstart: the paper's core claim on one shared link, declaratively.
 
-Ten bursty voice-like sources share a 1 Mbit/s link at ~83.5 % load.  We
-run the identical arrival process under WFQ (isolation) and FIFO (sharing)
-and print each discipline's mean and 99.9th-percentile queueing delay.
+Ten bursty voice-like sources share a 1 Mbit/s link at ~83.5 % load.  The
+whole experiment is one :class:`ScenarioSpec` — topology, flows, and both
+disciplines; the runner executes the identical arrival process under WFQ
+(isolation) and FIFO (sharing) and returns structured per-flow results.
 
 Expected shape (Table 1 of the paper): the means match, but FIFO's tail is
 far smaller — when every client is in the same boat, sharing the jitter
@@ -12,65 +13,40 @@ beats isolating it.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DelayRecordingSink,
-    FifoScheduler,
-    OnOffMarkovSource,
-    RandomStreams,
-    Simulator,
-    WfqScheduler,
-    single_link_topology,
-)
+from repro import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 NUM_FLOWS = 10
-LINK_BPS = 1_000_000
-TX_TIME = 1000 / LINK_BPS  # one packet transmission time = 1 ms
+TX_TIME = 0.001  # one packet transmission time on a 1 Mbit/s link
 DURATION = 120.0  # simulated seconds
 SEED = 42
 
-
-def run(discipline: str) -> tuple[float, float]:
-    """Simulate one discipline; returns (mean, p99.9) in tx-time units."""
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)  # same seed -> same arrivals
-
-    if discipline == "WFQ":
-        factory = lambda name, link: WfqScheduler(
-            link.rate_bps, auto_register_rate=link.rate_bps / NUM_FLOWS
-        )
-    else:
-        factory = lambda name, link: FifoScheduler()
-
-    net = single_link_topology(sim, factory, rate_bps=LINK_BPS)
-    sinks = []
-    for i in range(NUM_FLOWS):
-        flow_id = f"voice-{i}"
-        # The paper's source: two-state Markov, A = 85 pkt/s, bursts of
-        # mean 5 packets at twice the average rate, (A, 50) token bucket.
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(flow_id),
-        )
-        sinks.append(
-            DelayRecordingSink(sim, net.hosts["dst-host"], flow_id, warmup=5.0)
-        )
-    sim.run(until=DURATION)
-    sample = sinks[0]
-    return (
-        sample.mean_queueing(TX_TIME),
-        sample.percentile_queueing(99.9, TX_TIME),
+# The paper's workload in one declaration: the Table-1 bottleneck link and
+# ten Appendix sources (two-state Markov, A = 85 pkt/s, bursts of mean 5
+# packets at twice the average rate, (A, 50) token bucket).
+SPEC = (
+    ScenarioBuilder("quickstart")
+    .single_link()
+    .paper_flows(NUM_FLOWS, prefix="voice-")
+    .disciplines(
+        DisciplineSpec.wfq(equal_share_flows=NUM_FLOWS),
+        DisciplineSpec.fifo(),
     )
+    .duration(DURATION)
+    .seed(SEED)  # same seed -> same arrivals under every discipline
+    .build()
+)
 
 
 def main() -> None:
     print(f"10 bursty flows on one 1 Mbit/s link, {DURATION:.0f} s simulated")
     print(f"{'discipline':>10}  {'mean':>6}  {'99.9 %ile':>9}   (tx times)")
-    for discipline in ("WFQ", "FIFO"):
-        mean, p999 = run(discipline)
-        print(f"{discipline:>10}  {mean:6.2f}  {p999:9.2f}")
+    result = ScenarioRunner(SPEC).run()
+    for run in result.runs:
+        sample = run.flow("voice-0")
+        print(
+            f"{run.discipline:>10}  {sample.mean_in(TX_TIME):6.2f}  "
+            f"{sample.percentile_in(99.9, TX_TIME):9.2f}"
+        )
     print("\npaper (Table 1):  WFQ 3.16 / 53.86   FIFO 3.17 / 34.72")
     print("shape to notice: equal means, but FIFO's tail is much smaller.")
 

@@ -6,12 +6,15 @@ clients (think the 1992 VAT packet-voice tool) request *predicted* service
 instead of guaranteed, and set their play-back point from measured delays
 rather than the network's a priori bound.
 
-This example drives the full architecture end to end:
+This example drives the full architecture end to end through the scenario
+API:
 
-1. build the Figure-1 five-switch chain with unified CSZ schedulers;
-2. establish 8 predicted-service voice flows through measurement-based
-   admission control (token bucket declared, (D, L) target requested,
-   conformance filter installed at each flow's first switch);
+1. declare the Figure-1 five-switch chain with unified CSZ schedulers and
+   measurement-based admission control as a :class:`ScenarioSpec`;
+2. admit 8 predicted-service voice flows through the live
+   :class:`ScenarioContext` — each carries a :class:`PredictedRequest`
+   (token bucket declared, (D, L) target requested), and the conformance
+   filter lands at its first switch;
 3. attach an AdaptivePlayback receiver to each flow and a RigidPlayback
    receiver to one control flow that ignores measurements and sits at the
    network's advertised a priori bound;
@@ -27,21 +30,13 @@ Run:  python examples/voice_conference.py
 
 from repro import (
     AdaptivePlayback,
-    AdmissionConfig,
-    AdmissionController,
-    FlowSpec,
-    OnOffMarkovSource,
-    PredictedServiceSpec,
-    RandomStreams,
+    DisciplineSpec,
+    PredictedRequest,
     RigidPlayback,
-    ServiceClass,
-    SignalingAgent,
-    Simulator,
-    UnifiedConfig,
-    UnifiedScheduler,
-    paper_figure1_topology,
+    ScenarioBuilder,
+    ScenarioRunner,
 )
-from repro.core.measurement import SwitchMeasurement
+from repro.scenario import FlowSpec
 
 PACKET_BITS = 1000
 VOICE_RATE_PPS = 85.0  # the paper's A
@@ -63,115 +58,87 @@ CALLS = [
 ]
 
 
-def main() -> None:
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)
-
-    net = paper_figure1_topology(
-        sim,
-        lambda name, link: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
+def call_spec(flow_id: str, src: str, dst: str, target_delay: float) -> FlowSpec:
+    """One voice call: the Appendix source plus a predicted-service request."""
+    return FlowSpec(
+        name=flow_id,
+        source_host=src,
+        dest_host=dst,
+        request=PredictedRequest(
+            token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
+            bucket_depth_bits=BUCKET_PACKETS * PACKET_BITS,
+            target_delay_seconds=target_delay,
+            target_loss_rate=0.01,
         ),
     )
 
-    admission = AdmissionController(
-        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+
+def main() -> None:
+    spec = (
+        ScenarioBuilder("voice-conference")
+        .paper_chain()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .admission(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+        .duration(DURATION)
+        .seed(SEED)
+        .build()
     )
-    for link_name, port in net.ports.items():
-        admission.attach_measurement(link_name, SwitchMeasurement(port))
-    signaling = SignalingAgent(net, admission)
+    context = ScenarioRunner(spec).build()
+
+    def adaptive_receiver(ctx, flow):
+        return AdaptivePlayback(
+            ctx.sim,
+            ctx.net.hosts[flow.dest_host],
+            flow.name,
+            target_loss=0.01,
+            initial_offset=ctx.grants[flow.name].advertised_bound_seconds,
+        )
 
     # --- establish every call through admission control ---------------
-    grants = {}
     for flow_id, src, dst, hops in CALLS:
-        grants[flow_id] = signaling.establish(
-            FlowSpec(
-                flow_id=flow_id,
-                source=src,
-                destination=dst,
-                spec=PredictedServiceSpec(
-                    token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
-                    bucket_depth_bits=BUCKET_PACKETS * PACKET_BITS,
-                    target_delay_seconds=0.15 * hops,  # ride the high class
-                    target_loss_rate=0.01,
-                ),
-            )
-        )
-
-    # --- traffic + receivers -------------------------------------------
-    receivers = {}
-    for flow_id, src, dst, hops in CALLS:
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts[src],
-            flow_id,
-            dst,
-            streams.stream(flow_id),
-            average_rate_pps=VOICE_RATE_PPS,
-            service_class=ServiceClass.PREDICTED,
-            priority_class=grants[flow_id].priority_class,
-        )
-        receivers[flow_id] = AdaptivePlayback(
-            sim,
-            net.hosts[dst],
-            flow_id,
-            target_loss=0.01,
-            initial_offset=grants[flow_id].advertised_bound_seconds,
+        context.add_flow(
+            call_spec(flow_id, src, dst, 0.15 * hops),  # ride the high class
+            sink_factory=adaptive_receiver,
         )
 
     # A rigid control client on an identical extra flow: parks its
     # play-back point at the advertised bound and never moves.
-    control_id = "rigid-control"
-    control_grant = signaling.establish(
-        FlowSpec(
-            flow_id=control_id,
-            source="Host-1",
-            destination="Host-5",
-            spec=PredictedServiceSpec(
-                token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
-                bucket_depth_bits=BUCKET_PACKETS * PACKET_BITS,
-                target_delay_seconds=0.6,
-            ),
+    def rigid_receiver(ctx, flow):
+        return RigidPlayback(
+            ctx.sim,
+            ctx.net.hosts[flow.dest_host],
+            flow.name,
+            a_priori_bound=ctx.grants[flow.name].advertised_bound_seconds,
         )
-    )
-    OnOffMarkovSource.paper_source(
-        sim,
-        net.hosts["Host-1"],
-        control_id,
-        "Host-5",
-        streams.stream(control_id),
-        average_rate_pps=VOICE_RATE_PPS,
-        service_class=ServiceClass.PREDICTED,
-        priority_class=control_grant.priority_class,
-    )
-    rigid = RigidPlayback(
-        sim,
-        net.hosts["Host-5"],
-        control_id,
-        a_priori_bound=control_grant.advertised_bound_seconds,
+
+    control_id = "rigid-control"
+    context.add_flow(
+        call_spec(control_id, "Host-1", "Host-5", 0.6),
+        sink_factory=rigid_receiver,
     )
 
-    print(f"established {len(grants) + 1} predicted-service voice flows; "
+    print(f"established {len(CALLS) + 1} predicted-service voice flows; "
           f"simulating {DURATION:.0f} s ...")
-    sim.run(until=DURATION)
+    context.run()
 
     # --- report ----------------------------------------------------------
     print(f"\n{'call':>14} {'hops':>4} {'advertised':>11} {'play-back':>10} "
           f"{'saved':>6} {'loss':>6}")
     for flow_id, __, __, hops in CALLS:
-        app = receivers[flow_id]
+        app = context.receivers[flow_id]
         stats = app.stats()
-        advertised = grants[flow_id].advertised_bound_seconds
+        advertised = context.grants[flow_id].advertised_bound_seconds
         saved = advertised - stats.final_offset
         print(
             f"{flow_id:>14} {hops:>4} {advertised * 1e3:>9.0f}ms "
             f"{stats.final_offset * 1e3:>8.1f}ms {saved * 1e3:>5.0f}ms "
             f"{stats.loss_fraction:>6.2%}"
         )
-    rigid_stats = rigid.stats()
+    rigid_stats = context.receivers[control_id].stats()
+    control_bound = context.grants[control_id].advertised_bound_seconds
     print(
         f"{control_id:>14} {4:>4} "
-        f"{control_grant.advertised_bound_seconds * 1e3:>9.0f}ms "
+        f"{control_bound * 1e3:>9.0f}ms "
         f"{rigid_stats.final_offset * 1e3:>8.1f}ms {0:>5.0f}ms "
         f"{rigid_stats.loss_fraction:>6.2%}   (rigid: never adapts)"
     )

@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of Clark/Shenker/Zhang SIGCOMM'92: real-time services "
         "in an ISPN"

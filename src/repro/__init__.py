@@ -16,14 +16,41 @@ The library provides, from scratch:
   measurement-based admission control, signaling, rigid/adaptive playback
   applications (:mod:`repro.core`);
 * a simplified TCP for datagram load (:mod:`repro.transport`);
-* runnable experiments regenerating every table and figure
-  (:mod:`repro.experiments`).
+* a declarative scenario API — one frozen spec describes topology, flows,
+  service commitments, and disciplines; a runner builds and executes it
+  with paired arrivals and returns structured, JSON-exportable results;
+  sweeps fan out across processes (:mod:`repro.scenario`);
+* runnable experiments regenerating every table and figure, founded on
+  the scenario API (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart — declare a scenario, run it under two disciplines (identical
+arrivals), and read structured results::
+
+    from repro import DisciplineSpec, ScenarioBuilder, ScenarioRunner
+
+    spec = (ScenarioBuilder("quickstart")
+            .single_link()                  # the Table-1 bottleneck
+            .paper_flows(10)                # ten Appendix on/off sources
+            .disciplines(DisciplineSpec.wfq(equal_share_flows=10),
+                         DisciplineSpec.fifo())
+            .duration(60.0).seed(1)
+            .build())
+    result = ScenarioRunner(spec).run()
+    unit = 0.001  # one packet transmission time
+    for run in result.runs:
+        sample = run.flow("flow-0")
+        print(run.discipline, sample.mean_in(unit),
+              sample.percentile_in(99.9, unit))
+
+Sweep the same spec over seeds, in parallel, with paired arrivals::
+
+    from repro import sweep
+    results = sweep(spec, seeds=range(8), workers=4)
+
+Or regenerate a paper table directly::
 
     from repro.experiments import table1
-    result = table1.run(duration=60.0, seed=1)
-    print(result.render())
+    print(table1.run(duration=60.0, seed=1).render())
 """
 
 from repro.sim import Simulator, RandomStreams
@@ -55,9 +82,22 @@ from repro.core import (
     parekh_gallager_fluid_bound,
     parekh_gallager_packet_bound,
 )
+from repro.scenario import (
+    AdmissionSpec,
+    DisciplineSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    TcpSpec,
+    TopologySpec,
+    sweep,
+)
 from repro.transport import TcpConnection
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",
@@ -87,6 +127,17 @@ __all__ = [
     "AdaptivePlayback",
     "parekh_gallager_fluid_bound",
     "parekh_gallager_packet_bound",
+    "AdmissionSpec",
+    "DisciplineSpec",
+    "GuaranteedRequest",
+    "PredictedRequest",
+    "ScenarioBuilder",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TcpSpec",
+    "TopologySpec",
+    "sweep",
     "TcpConnection",
     "__version__",
 ]

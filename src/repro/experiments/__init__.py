@@ -13,6 +13,12 @@
 Each module exposes ``run(...) -> result`` with a ``render()`` string that
 prints the same rows the paper reports, and the module is runnable via
 ``python -m repro.experiments <name>``.
+
+Every experiment is founded on :mod:`repro.scenario`: its workload is one
+declarative :class:`~repro.scenario.ScenarioSpec` (exposed as the module's
+``scenario_spec(...)``), executed by :class:`~repro.scenario.ScenarioRunner`
+with paired arrivals across disciplines; ``run()`` wraps the structured
+:class:`~repro.scenario.ScenarioResult` in the historical result types.
 """
 
 from repro.experiments import (

@@ -8,11 +8,16 @@ Usage::
     python -m repro.experiments table3 [--duration 600] [--seed 1]
     python -m repro.experiments dynamics [--duration 600] [--seed 1]
     python -m repro.experiments all [--duration 600] [--seed 1]
+
+``--workers N`` fans the per-discipline simulations of an experiment out
+over N processes; ``--json PATH`` writes the structured
+``ScenarioResult.to_dict()`` payloads alongside the rendered tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -26,6 +31,8 @@ from repro.experiments import (
     topology,
 )
 
+EXPERIMENTS = ("fig1", "table1", "table2", "table3", "dynamics", "distributions")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -33,13 +40,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the tables and figure of Clark/Shenker/Zhang "
         "SIGCOMM'92.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=[
-            "fig1", "table1", "table2", "table3", "dynamics",
-            "distributions", "all",
-        ],
-    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
     parser.add_argument(
         "--duration",
         type=float,
@@ -47,36 +48,63 @@ def main(argv: list[str] | None = None) -> int:
         help="simulated seconds (paper: 600)",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for per-discipline fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write structured ScenarioResult payloads to this file",
+    )
     args = parser.parse_args(argv)
 
-    todo = (
-        ["fig1", "table1", "table2", "table3", "dynamics", "distributions"]
-        if args.experiment == "all"
-        else [args.experiment]
-    )
+    todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    payloads: dict = {}
     for name in todo:
         started = time.monotonic()
         if name == "fig1":
-            print(topology.run().render())
+            result = topology.run()
+            print(result.render())
+            payloads[name] = result.to_dict()
         elif name == "table1":
-            print(table1.run(duration=args.duration, seed=args.seed).render())
+            result = table1.run(
+                duration=args.duration, seed=args.seed, workers=args.workers
+            )
+            print(result.render())
+            payloads[name] = result.scenario.to_dict()
         elif name == "table2":
-            print(table2.run(duration=args.duration, seed=args.seed).render())
+            result = table2.run(
+                duration=args.duration, seed=args.seed, workers=args.workers
+            )
+            print(result.render())
+            payloads[name] = result.scenario.to_dict()
         elif name == "table3":
-            print(table3.run(duration=args.duration, seed=args.seed).render())
+            result = table3.run(duration=args.duration, seed=args.seed)
+            print(result.render())
+            payloads[name] = result.scenario.to_dict()
         elif name == "distributions":
-            print(
-                distributions.run(
-                    duration=args.duration, seed=args.seed
-                ).render()
+            result = distributions.run(
+                duration=args.duration, seed=args.seed, workers=args.workers
             )
+            print(result.render())
+            payloads[name] = result.scenario.to_dict()
         elif name == "dynamics":
-            print(
-                dynamics.run(
-                    phase_seconds=args.duration / 3.0, seed=args.seed
-                ).render()
+            result = dynamics.run(
+                phase_seconds=args.duration / 3.0, seed=args.seed
             )
+            print(result.render())
+            payloads[name] = result.to_dict()
         print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump({"experiments": payloads}, handle, indent=1)
+        print(f"[structured results written to {args.json_path}]")
     return 0
 
 

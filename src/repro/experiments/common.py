@@ -1,39 +1,39 @@
 """Shared workload recipes and reporting helpers (the paper's Appendix).
 
-Constants here are the Appendix's exactly: 1000-bit packets, 1 Mbit/s
-inter-switch links (so the delay unit — one packet transmission time — is
-1 ms), 200-packet switch buffers, on/off sources with A = 85 packets/s,
-B = 5, P = 2A, an (A, 50) token bucket at each source, and 10-minute runs.
+The constants live in :mod:`repro.scenario.paper` (the scenario subsystem
+is the single source of truth); this module re-exports them under their
+historical names and keeps the placement/reporting helpers the experiment
+and benchmark layers use.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.net.network import Network
 from repro.net.packet import ServiceClass
+from repro.scenario import paper
+from repro.scenario.paper import (  # noqa: F401  (re-exported Appendix constants)
+    AVERAGE_RATE_PPS,
+    BUCKET_PACKETS,
+    BUFFER_PACKETS,
+    DEFAULT_WARMUP_SECONDS,
+    GUARANTEED_AVERAGE_FLOWS,
+    GUARANTEED_PEAK_FLOWS,
+    LINK_RATE_BPS,
+    PACKET_BITS,
+    PAPER_DURATION_SECONDS,
+    PREDICTED_HIGH_FLOWS,
+    PREDICTED_LOW_FLOWS,
+    TABLE3_SAMPLES,
+    TX_TIME_SECONDS,
+    in_tx_units,
+)
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.traffic.onoff import OnOffMarkovSource
 from repro.traffic.sink import DelayRecordingSink
-
-PACKET_BITS = 1000
-LINK_RATE_BPS = 1_000_000
-TX_TIME_SECONDS = PACKET_BITS / LINK_RATE_BPS  # 1 ms, the paper's delay unit
-BUFFER_PACKETS = 200
-AVERAGE_RATE_PPS = 85.0
-BUCKET_PACKETS = 50.0
-PAPER_DURATION_SECONDS = 600.0  # "10 minutes of simulated time"
-DEFAULT_WARMUP_SECONDS = 5.0
-
-# ----------------------------------------------------------------------
-# The Table 2 / Table 3 flow layout on the Figure 1 chain.
-#
-# 22 flows chosen so each of the four inter-switch links carries exactly
-# 10: 12 one-hop, 4 two-hop, 4 three-hop, 2 four-hop (Appendix).  "Hops"
-# counts inter-switch links, the paper's path length.
-# ----------------------------------------------------------------------
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,54 +48,10 @@ class FlowPlacement:
 
 def figure1_flow_placements() -> List[FlowPlacement]:
     """The 22-flow layout: each inter-switch link is shared by 10 flows."""
-    placements = []
-
-    def add(count: int, prefix: str, src: int, dst: int) -> None:
-        hops = dst - src
-        for k in range(count):
-            placements.append(
-                FlowPlacement(
-                    name=f"{prefix}{k + 1}",
-                    source_host=f"Host-{src}",
-                    dest_host=f"Host-{dst}",
-                    hops=hops,
-                )
-            )
-
-    add(4, "a", 1, 2)  # one-hop on link 1
-    add(2, "b", 2, 3)  # one-hop on link 2
-    add(2, "c", 3, 4)  # one-hop on link 3
-    add(4, "d", 4, 5)  # one-hop on link 4
-    add(2, "e", 1, 3)  # two-hop (links 1-2)
-    add(2, "f", 3, 5)  # two-hop (links 3-4)
-    add(2, "g", 1, 4)  # three-hop (links 1-3)
-    add(2, "h", 2, 5)  # three-hop (links 2-4)
-    add(2, "i", 1, 5)  # four-hop (links 1-4)
-    assert len(placements) == 22
-    return placements
-
-
-# Table 3's commitment assignment.  Chosen so that every link carries
-# exactly 2 Guaranteed-Peak, 1 Guaranteed-Average, 3 Predicted-High, and
-# 4 Predicted-Low flows — the per-link census the paper states — and so
-# that the sampled (type, path length) combinations of Table 3 all exist:
-# Peak/4, Peak/2, Avg/3, Avg/1, High/4, High/2, Low/3, Low/1.
-GUARANTEED_PEAK_FLOWS = ("e1", "f1", "i1")
-GUARANTEED_AVERAGE_FLOWS = ("g1", "d1")
-PREDICTED_HIGH_FLOWS = ("i2", "e2", "f2", "a1", "b1", "c1", "d2")
-PREDICTED_LOW_FLOWS = ("a2", "a3", "a4", "b2", "c2", "d3", "d4", "g2", "h1", "h2")
-
-# The Table 3 sample rows, exactly as the paper lists them.
-TABLE3_SAMPLES: Tuple[Tuple[str, str, int], ...] = (
-    ("Peak", "i1", 4),
-    ("Peak", "e1", 2),
-    ("Average", "g1", 3),
-    ("Average", "d1", 1),
-    ("High", "i2", 4),
-    ("High", "e2", 2),
-    ("Low", "h1", 3),
-    ("Low", "a2", 1),
-)
+    return [
+        FlowPlacement(name=name, source_host=src, dest_host=dst, hops=hops)
+        for name, src, dst, hops in paper.FIGURE1_PLACEMENTS
+    ]
 
 
 def attach_paper_flows(
@@ -109,6 +65,9 @@ def attach_paper_flows(
     class_of: Optional[Dict[str, ServiceClass]] = None,
 ) -> Dict[str, DelayRecordingSink]:
     """Create the paper's on/off source + recording sink for each placement.
+
+    Kept for benchmarks that wire networks by hand; spec-driven code uses
+    :class:`repro.scenario.ScenarioRunner` instead.
 
     Args:
         priority_of: optional per-flow predicted priority class.
@@ -143,11 +102,6 @@ def attach_paper_flows(
 # ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
-
-
-def in_tx_units(seconds: float) -> float:
-    """Convert seconds to the paper's unit (packet transmission times)."""
-    return seconds / TX_TIME_SECONDS
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -7,14 +7,18 @@ ASCII plot, plus Jain's fairness index over the per-flow 99.9th
 percentiles — a compact statement of §5's isolation/sharing contrast
 (FIFO: jitter shared evenly, high fairness; WFQ: jitter pinned on the
 flows that caused it).
+
+Runs the same :class:`~repro.scenario.ScenarioSpec` as Table 1 — only the
+collected percentile points differ.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import common, table1
+from repro.scenario import ScenarioResult, ScenarioRunner
 from repro.stats.fairness import jain_index
 
 CDF_POINTS = (50.0, 90.0, 99.0, 99.9, 99.99)
@@ -37,6 +41,7 @@ class DistributionsResult:
     rows: List[DistributionRow]
     duration: float
     seed: int
+    scenario: Optional[ScenarioResult] = None
 
     def row(self, scheduling: str) -> DistributionRow:
         for row in self.rows:
@@ -86,55 +91,32 @@ def run(
     duration: float = common.PAPER_DURATION_SECONDS,
     seed: int = 1,
     disciplines: Sequence[str] = ("WFQ", "FIFO"),
+    workers: Optional[int] = None,
+    sample_flow: int = 0,
 ) -> DistributionsResult:
     """Run the Table-1 workload once per discipline and expose the full
     delay distributions (paired arrivals across disciplines, same seed)."""
-    rows = [
-        _run_discipline(name, duration, seed) for name in disciplines
-    ]
-    return DistributionsResult(rows=rows, duration=duration, seed=seed)
-
-
-def _run_discipline(
-    scheduling: str, duration: float, seed: int, sample_flow: int = 0
-) -> DistributionRow:
-    from repro.net.topology import single_link_topology
-    from repro.sim.engine import Simulator
-    from repro.sim.randomness import RandomStreams
-    from repro.traffic.onoff import OnOffMarkovSource
-    from repro.traffic.sink import DelayRecordingSink
-
-    factory = table1.scheduler_factories()[scheduling]
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim, factory, rate_bps=common.LINK_RATE_BPS,
-        buffer_packets=common.BUFFER_PACKETS,
-    )
-    sinks = []
-    for i in range(table1.NUM_FLOWS):
-        flow_id = f"flow-{i}"
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(f"source:{flow_id}"),
-            average_rate_pps=common.AVERAGE_RATE_PPS,
-        )
-        sinks.append(
-            DelayRecordingSink(
-                sim, net.hosts["dst-host"], flow_id,
-                warmup=common.DEFAULT_WARMUP_SECONDS,
+    spec = table1.scenario_spec(
+        duration, seed, disciplines=tuple(disciplines)
+    ).replace(percentile_points=CDF_POINTS)
+    result = ScenarioRunner(spec).run(workers=workers)
+    unit = common.TX_TIME_SECONDS
+    rows = []
+    for name in disciplines:
+        run_result = result.run(name)
+        sample = run_result.flow(f"flow-{sample_flow}")
+        rows.append(
+            DistributionRow(
+                scheduling=name,
+                percentiles={
+                    pct: sample.percentile_in(pct, unit) for pct in CDF_POINTS
+                },
+                flow_p999s=[
+                    run_result.flow(f"flow-{i}").percentile_in(99.9, unit)
+                    for i in range(table1.NUM_FLOWS)
+                ],
             )
         )
-    sim.run(until=duration)
-    unit = common.TX_TIME_SECONDS
-    sink = sinks[sample_flow]
-    return DistributionRow(
-        scheduling=scheduling,
-        percentiles={
-            pct: sink.percentile_queueing(pct, unit) for pct in CDF_POINTS
-        },
-        flow_p999s=[s.percentile_queueing(99.9, unit) for s in sinks],
+    return DistributionsResult(
+        rows=rows, duration=duration, seed=seed, scenario=result
     )

@@ -15,6 +15,11 @@ clients."  This experiment supplies that environment:
   play-back points back down, recovering latency a rigid client would
   keep paying until renegotiation.
 
+The static part of the workload is a :class:`~repro.scenario.ScenarioSpec`;
+the phase orchestration uses the live :class:`~repro.scenario.ScenarioContext`
+(``add_flow`` / ``remove_flow``) to admit and tear down the wave through
+the real signaling machinery mid-run.
+
 The result records, per phase: the sample client's loss rate, mean
 play-back offset, and the measured post facto delay bound — enough to
 verify the narrative quantitatively (losses concentrate in the transition
@@ -24,20 +29,18 @@ into Phase B; offsets track the delivered service in both directions).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.core.admission import AdmissionConfig, AdmissionController
-from repro.core.measurement import SwitchMeasurement
 from repro.core.playback import AdaptivePlayback
-from repro.core.service import FlowSpec, PredictedServiceSpec
-from repro.core.signaling import SignalingAgent
 from repro.experiments import common
-from repro.net.packet import ServiceClass
-from repro.net.topology import single_link_topology
-from repro.sched.unified import UnifiedConfig, UnifiedScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
+from repro.scenario import (
+    DisciplineSpec,
+    FlowSpec,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
+    ScenarioSpec,
+)
 
 BASE_FLOWS = 6
 WAVE_FLOWS = 4
@@ -83,6 +86,15 @@ class DynamicsResult:
                 break
             current = offset
         return current
+
+    def to_dict(self) -> dict:
+        return {
+            "phases": [dataclasses.asdict(p) for p in self.phases],
+            "offset_history": [list(entry) for entry in self.offset_history],
+            "adaptations": self.adaptations,
+            "duration": self.duration,
+            "seed": self.seed,
+        }
 
     def render(self) -> str:
         body = [
@@ -132,109 +144,88 @@ class _PhaseRecorder:
         )
 
 
+def scenario_spec(phase_seconds: float = 60.0, seed: int = 1) -> ScenarioSpec:
+    """The static bottleneck scenario the phases play out on.
+
+    Flows are added through the live context (phase orchestration), so the
+    spec declares topology, discipline, and admission only.
+    """
+    return (
+        ScenarioBuilder("dynamics")
+        .single_link()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=len(CLASS_BOUNDS)))
+        .admission(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+        .duration(3 * phase_seconds)
+        .seed(seed)
+        .build()
+    )
+
+
+def _voice_flow(flow_id: str) -> FlowSpec:
+    """One adaptive packet-voice flow over predicted service."""
+    return FlowSpec(
+        name=flow_id,
+        source_host="src-host",
+        dest_host="dst-host",
+        request=PredictedRequest(
+            token_rate_bps=common.AVERAGE_RATE_PPS * common.PACKET_BITS,
+            bucket_depth_bits=common.BUCKET_PACKETS * common.PACKET_BITS,
+            target_delay_seconds=CLASS_BOUNDS[1],
+            target_loss_rate=TARGET_LOSS,
+        ),
+        record=False,
+    )
+
+
 def run(
     phase_seconds: float = 60.0,
     seed: int = 1,
     sample_flow: str = "base-0",
 ) -> DynamicsResult:
     """Run the three-phase scenario; phases are ``phase_seconds`` each."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim,
-        lambda name, link: UnifiedScheduler(
-            UnifiedConfig(
-                capacity_bps=link.rate_bps,
-                num_predicted_classes=len(CLASS_BOUNDS),
-            )
-        ),
-        rate_bps=common.LINK_RATE_BPS,
-        buffer_packets=common.BUFFER_PACKETS,
-    )
-    admission = AdmissionController(
-        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
-    )
-    admission.attach_measurement(
-        "A->B", SwitchMeasurement(net.port_for_link("A->B"))
-    )
-    signaling = SignalingAgent(net, admission)
+    context = ScenarioRunner(scenario_spec(phase_seconds, seed)).build()
+    sim = context.sim
 
-    def establish(flow_id: str) -> None:
-        signaling.establish(
-            FlowSpec(
-                flow_id=flow_id,
-                source="src-host",
-                destination="dst-host",
-                spec=PredictedServiceSpec(
-                    token_rate_bps=common.AVERAGE_RATE_PPS * common.PACKET_BITS,
-                    bucket_depth_bits=common.BUCKET_PACKETS * common.PACKET_BITS,
-                    target_delay_seconds=CLASS_BOUNDS[1],
-                    target_loss_rate=TARGET_LOSS,
-                ),
-            )
-        )
-
-    def start_source(flow_id: str) -> OnOffMarkovSource:
-        return OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(f"source:{flow_id}"),
-            average_rate_pps=common.AVERAGE_RATE_PPS,
-            service_class=ServiceClass.PREDICTED,
-            priority_class=1,
+    def playback_sink(ctx, flow):
+        return AdaptivePlayback(
+            ctx.sim,
+            ctx.net.hosts[flow.dest_host],
+            flow.name,
+            target_loss=TARGET_LOSS,
+            window=300,
+            margin=1.1,
+            initial_offset=2 * CLASS_BOUNDS[1],
+            adapt_every=25,
         )
 
     # --- phase A population --------------------------------------------
-    apps: Dict[str, AdaptivePlayback] = {}
     for i in range(BASE_FLOWS):
         flow_id = f"base-{i}"
-        establish(flow_id)
-        start_source(flow_id)
-        if flow_id == sample_flow:
-            apps[flow_id] = AdaptivePlayback(
-                sim,
-                net.hosts["dst-host"],
-                flow_id,
-                target_loss=TARGET_LOSS,
-                window=300,
-                margin=1.1,
-                initial_offset=2 * CLASS_BOUNDS[1],
-                adapt_every=25,
-            )
-        else:
-            net.hosts["dst-host"].register_flow_handler(
-                flow_id, lambda packet: None
-            )
-    sample_app = apps[sample_flow]
+        context.add_flow(
+            _voice_flow(flow_id),
+            sink_factory=playback_sink if flow_id == sample_flow else None,
+        )
+    sample_app = context.receivers[sample_flow]
     recorder = _PhaseRecorder(sample_app)
     phases: List[PhaseStats] = []
-    wave_sources: List[OnOffMarkovSource] = []
 
     # --- phase transitions ----------------------------------------------
     def enter_phase_b() -> None:
         phases.append(recorder.snapshot("A", 0.0, phase_seconds))
         for i in range(WAVE_FLOWS):
-            flow_id = f"wave-{i}"
-            establish(flow_id)
-            wave_sources.append(start_source(flow_id))
-            net.hosts["dst-host"].register_flow_handler(
-                flow_id, lambda packet: None
-            )
+            context.add_flow(_voice_flow(f"wave-{i}"))
 
     def enter_phase_c() -> None:
         phases.append(
             recorder.snapshot("B", phase_seconds, 2 * phase_seconds)
         )
-        for i, source in enumerate(wave_sources):
-            source.stop()
-            signaling.teardown(f"wave-{i}")
+        for i in range(WAVE_FLOWS):
+            context.remove_flow(f"wave-{i}")
 
     sim.schedule(phase_seconds, enter_phase_b)
     sim.schedule(2 * phase_seconds, enter_phase_c)
     duration = 3 * phase_seconds
-    sim.run(until=duration)
+    context.run(until=duration)
     phases.append(recorder.snapshot("C", 2 * phase_seconds, duration))
 
     return DynamicsResult(

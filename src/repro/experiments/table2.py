@@ -12,22 +12,27 @@ queueing delays of one sample flow per path length:
 Shape criteria: means comparable across disciplines and growing ~linearly
 with hops; the 99.9 %ile grows with hops everywhere but much more slowly
 under FIFO+ (multi-hop sharing), with FIFO between FIFO+ and WFQ.
+
+Declared once as a :class:`repro.scenario.ScenarioSpec` (the Figure-1
+placement lives in :mod:`repro.scenario.paper`); ``run()`` keeps the
+historical result types with numbers bit-identical to the pre-scenario
+implementation at the same seed.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments import common
-from repro.net.link import Link
-from repro.net.topology import paper_figure1_topology
-from repro.sched.base import Scheduler
-from repro.sched.fifo import FifoScheduler
-from repro.sched.fifoplus import FifoPlusScheduler
-from repro.sched.wfq import WfqScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
+from repro.scenario import (
+    DisciplineRunResult,
+    DisciplineSpec,
+    ScenarioBuilder,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+)
 
 FLOWS_PER_LINK = 10
 
@@ -63,6 +68,7 @@ class Table2Result:
     link_utilizations: Dict[str, float]
     duration: float
     seed: int
+    scenario: Optional[ScenarioResult] = None
 
     def row(self, scheduling: str) -> Table2Row:
         for row in self.rows:
@@ -94,15 +100,50 @@ class Table2Result:
         )
 
 
-def scheduler_factories() -> Dict[str, Callable[[str, Link], Scheduler]]:
+def discipline_specs() -> Dict[str, DisciplineSpec]:
     """Table 2 disciplines.  WFQ uses equal clock rates (paper's note)."""
     return {
-        "WFQ": lambda name, link: WfqScheduler(
-            link.rate_bps, auto_register_rate=link.rate_bps / FLOWS_PER_LINK
-        ),
-        "FIFO": lambda name, link: FifoScheduler(),
-        "FIFO+": lambda name, link: FifoPlusScheduler(),
+        "WFQ": DisciplineSpec.wfq(equal_share_flows=FLOWS_PER_LINK),
+        "FIFO": DisciplineSpec.fifo(),
+        "FIFO+": DisciplineSpec.fifoplus(),
     }
+
+
+def scenario_spec(
+    duration: float = common.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    warmup: float = common.DEFAULT_WARMUP_SECONDS,
+    disciplines: tuple = ("WFQ", "FIFO", "FIFO+"),
+) -> ScenarioSpec:
+    """The full Table-2 experiment as one declarative spec."""
+    specs = discipline_specs()
+    return (
+        ScenarioBuilder("table2")
+        .paper_chain()
+        .figure1_flows()
+        .disciplines(*(specs[name] for name in disciplines))
+        .duration(duration)
+        .seed(seed)
+        .warmup(warmup)
+        .build()
+    )
+
+
+def _row_from(run: DisciplineRunResult) -> Table2Row:
+    unit = common.TX_TIME_SECONDS
+    by_hops = {
+        hops: Table2Cell(
+            mean=run.flow(flow).mean_in(unit),
+            p999=run.flow(flow).percentile_in(99.9, unit),
+        )
+        for hops, flow in SAMPLE_BY_HOPS.items()
+    }
+    return Table2Row(
+        scheduling=run.discipline,
+        by_hops=by_hops,
+        all_means={f.name: f.mean_in(unit) for f in run.flows},
+        all_p999s={f.name: f.percentile_in(99.9, unit) for f in run.flows},
+    )
 
 
 def run_single(
@@ -112,32 +153,8 @@ def run_single(
     warmup: float = common.DEFAULT_WARMUP_SECONDS,
 ) -> Table2Row:
     """One discipline over the full Figure-1 workload."""
-    factory = scheduler_factories()[scheduling]
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = paper_figure1_topology(
-        sim, factory, rate_bps=common.LINK_RATE_BPS,
-        buffer_packets=common.BUFFER_PACKETS,
-    )
-    placements = common.figure1_flow_placements()
-    sinks = common.attach_paper_flows(sim, net, streams, placements, warmup)
-    sim.run(until=duration)
-    unit = common.TX_TIME_SECONDS
-    by_hops = {}
-    for hops, flow in SAMPLE_BY_HOPS.items():
-        sink = sinks[flow]
-        by_hops[hops] = Table2Cell(
-            mean=sink.mean_queueing(unit),
-            p999=sink.percentile_queueing(99.9, unit),
-        )
-    return Table2Row(
-        scheduling=scheduling,
-        by_hops=by_hops,
-        all_means={f: s.mean_queueing(unit) for f, s in sinks.items()},
-        all_p999s={
-            f: s.percentile_queueing(99.9, unit) for f, s in sinks.items()
-        },
-    )
+    spec = scenario_spec(duration, seed, warmup, disciplines=(scheduling,))
+    return _row_from(ScenarioRunner(spec).run_discipline())
 
 
 def run(
@@ -145,24 +162,24 @@ def run(
     seed: int = 1,
     warmup: float = common.DEFAULT_WARMUP_SECONDS,
     disciplines: tuple = ("WFQ", "FIFO", "FIFO+"),
+    workers: Optional[int] = None,
 ) -> Table2Result:
-    """Reproduce Table 2 with paired arrivals across disciplines."""
-    rows = [run_single(name, duration, seed, warmup) for name in disciplines]
-    # Measure utilization once (work conservation makes it
-    # scheduler-independent up to end effects).
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = paper_figure1_topology(
-        sim, lambda n, l: FifoScheduler(), rate_bps=common.LINK_RATE_BPS
+    """Reproduce Table 2 with paired arrivals across disciplines.
+
+    Utilization comes from the FIFO run (work conservation makes it
+    scheduler-independent up to end effects); with FIFO absent from
+    ``disciplines`` the first run is used instead.
+    """
+    result = ScenarioRunner(
+        scenario_spec(duration, seed, warmup, disciplines)
+    ).run(workers=workers)
+    util_run = (
+        result.run("FIFO") if "FIFO" in result.disciplines else result.runs[0]
     )
-    placements = common.figure1_flow_placements()
-    common.attach_paper_flows(sim, net, streams, placements, warmup)
-    sim.run(until=duration)
     return Table2Result(
-        rows=rows,
-        link_utilizations={
-            name: link.utilization() for name, link in net.links.items()
-        },
+        rows=[_row_from(result.run(name)) for name in disciplines],
+        link_utilizations=dict(util_run.link_utilizations),
         duration=duration,
         seed=seed,
+        scenario=result,
     )

@@ -14,7 +14,11 @@ service classes and two TCP connections supply datagram load:
 Flows are established through the real signaling/admission machinery
 (guaranteed clock rates installed in the per-port unified schedulers;
 predicted flows assigned priority classes from their (D, L) requests with
-the token-bucket conformance check installed at their first switch).
+the token-bucket conformance check installed at their first switch).  The
+whole run — commitments, TCP load, per-link accounting — is one
+declarative :class:`repro.scenario.ScenarioSpec`; the spec's
+``establish_order`` encodes the paper's discipline of reserving
+guaranteed flows before admitting predicted ones.
 
 Paper's sample results (delay in transmission times):
 
@@ -35,22 +39,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-from repro.core.admission import AdmissionConfig, AdmissionController
 from repro.core.bounds import parekh_gallager_paper_bound
-from repro.core.measurement import MeasurementConfig, SwitchMeasurement
-from repro.core.service import (
-    FlowSpec,
-    GuaranteedServiceSpec,
-    PredictedServiceSpec,
-)
-from repro.core.signaling import SignalingAgent
 from repro.experiments import common
-from repro.net.packet import Packet, ServiceClass
-from repro.net.topology import paper_figure1_topology
-from repro.sched.unified import UnifiedConfig, UnifiedScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.transport.tcp import TcpConfig, TcpConnection
+from repro.scenario import (
+    DisciplineSpec,
+    FlowSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+)
 
 PEAK_CLOCK_BPS = 2 * common.AVERAGE_RATE_PPS * common.PACKET_BITS  # 170 kbit/s
 AVG_CLOCK_BPS = common.AVERAGE_RATE_PPS * common.PACKET_BITS  # 85 kbit/s
@@ -69,6 +69,15 @@ PAPER_VALUES = {
     ("Low", 3): {"mean": 19.22, "p999": 104.83, "max": 148.7},
     ("Low", 1): {"mean": 7.43, "p999": 79.57, "max": 108.56},
 }
+
+# Guaranteed first (reservations make later admission checks conservative),
+# then predicted — the order the legacy implementation established in.
+ESTABLISH_ORDER = (
+    common.GUARANTEED_PEAK_FLOWS
+    + common.GUARANTEED_AVERAGE_FLOWS
+    + common.PREDICTED_HIGH_FLOWS
+    + common.PREDICTED_LOW_FLOWS
+)
 
 
 @dataclasses.dataclass
@@ -94,6 +103,7 @@ class Table3Result:
     tcp_goodput_bps: Dict[str, float]
     duration: float
     seed: int
+    scenario: Optional[ScenarioResult] = None
 
     @property
     def datagram_drop_rate(self) -> float:
@@ -145,6 +155,63 @@ def _flow_type(name: str) -> str:
     return "Low"
 
 
+def _request_for(name: str, hops: int):
+    """The Table-3 service request of one Figure-1 flow."""
+    if name in common.GUARANTEED_PEAK_FLOWS:
+        return GuaranteedRequest(clock_rate_bps=PEAK_CLOCK_BPS)
+    if name in common.GUARANTEED_AVERAGE_FLOWS:
+        return GuaranteedRequest(clock_rate_bps=AVG_CLOCK_BPS)
+    per_switch = (
+        CLASS_BOUNDS_SECONDS[0]
+        if name in common.PREDICTED_HIGH_FLOWS
+        else CLASS_BOUNDS_SECONDS[1]
+    )
+    return PredictedRequest(
+        token_rate_bps=common.AVERAGE_RATE_PPS * common.PACKET_BITS,
+        bucket_depth_bits=common.BUCKET_PACKETS * common.PACKET_BITS,
+        target_delay_seconds=per_switch * hops,
+        target_loss_rate=0.01,
+    )
+
+
+def scenario_spec(
+    duration: float = common.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    warmup: float = common.DEFAULT_WARMUP_SECONDS,
+    tcp_max_cwnd: float = 64.0,
+) -> ScenarioSpec:
+    """Table 3 end to end — commitments, TCP load, accounting — as a spec."""
+    builder = (
+        ScenarioBuilder("table3")
+        # Duplex chain: TCP needs a reverse path for ACKs.
+        .paper_chain(duplex=True)
+        .discipline(
+            DisciplineSpec.unified(
+                name="CSZ", num_predicted_classes=len(CLASS_BOUNDS_SECONDS)
+            )
+        )
+        .admission(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS_SECONDS)
+        .establish_order(*ESTABLISH_ORDER)
+        .tcp("tcp-1", "Host-1", "Host-3", max_cwnd=tcp_max_cwnd)
+        .tcp("tcp-2", "Host-3", "Host-5", max_cwnd=tcp_max_cwnd)
+        .link_accounting()
+        .duration(duration)
+        .seed(seed)
+        .warmup(warmup)
+    )
+    for placement in common.figure1_flow_placements():
+        builder.flow(
+            FlowSpec(
+                name=placement.name,
+                source_host=placement.source_host,
+                dest_host=placement.dest_host,
+                request=_request_for(placement.name, placement.hops),
+                hops=placement.hops,
+            )
+        )
+    return builder.build()
+
+
 def run(
     duration: float = common.PAPER_DURATION_SECONDS,
     seed: int = 1,
@@ -152,140 +219,18 @@ def run(
     tcp_max_cwnd: float = 64.0,
 ) -> Table3Result:
     """Reproduce Table 3 end to end (signaling included)."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
+    spec = scenario_spec(duration, seed, warmup, tcp_max_cwnd)
+    result = ScenarioRunner(spec).run()
+    run_result = result.runs[0]
 
-    def factory(name, link):
-        return UnifiedScheduler(
-            UnifiedConfig(
-                capacity_bps=link.rate_bps,
-                num_predicted_classes=len(CLASS_BOUNDS_SECONDS),
-            )
-        )
-
-    # Duplex chain: TCP needs a reverse path for ACKs.
-    net = paper_figure1_topology(
-        sim,
-        factory,
-        rate_bps=common.LINK_RATE_BPS,
-        buffer_packets=common.BUFFER_PACKETS,
-        duplex=True,
-    )
-
-    # --- measurement + admission + signaling --------------------------
-    admission = AdmissionController(
-        AdmissionConfig(
-            realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS_SECONDS
-        )
-    )
-    for link_name, port in net.ports.items():
-        admission.attach_measurement(
-            link_name, SwitchMeasurement(port, MeasurementConfig())
-        )
-    signaling = SignalingAgent(net, admission)
-
-    placements = {p.name: p for p in common.figure1_flow_placements()}
-    class_of: Dict[str, ServiceClass] = {}
-    priority_of: Dict[str, int] = {}
-
-    # Establish guaranteed flows first (their reservations make later
-    # admission checks conservative), then predicted flows.
-    for name in common.GUARANTEED_PEAK_FLOWS + common.GUARANTEED_AVERAGE_FLOWS:
-        placement = placements[name]
-        rate = (
-            PEAK_CLOCK_BPS if name in common.GUARANTEED_PEAK_FLOWS else AVG_CLOCK_BPS
-        )
-        signaling.establish(
-            FlowSpec(
-                flow_id=name,
-                source=placement.source_host,
-                destination=placement.dest_host,
-                spec=GuaranteedServiceSpec(clock_rate_bps=rate),
-            )
-        )
-        class_of[name] = ServiceClass.GUARANTEED
-    for name in common.PREDICTED_HIGH_FLOWS + common.PREDICTED_LOW_FLOWS:
-        placement = placements[name]
-        per_switch = (
-            CLASS_BOUNDS_SECONDS[0]
-            if name in common.PREDICTED_HIGH_FLOWS
-            else CLASS_BOUNDS_SECONDS[1]
-        )
-        grant = signaling.establish(
-            FlowSpec(
-                flow_id=name,
-                source=placement.source_host,
-                destination=placement.dest_host,
-                spec=PredictedServiceSpec(
-                    token_rate_bps=common.AVERAGE_RATE_PPS * common.PACKET_BITS,
-                    bucket_depth_bits=common.BUCKET_PACKETS * common.PACKET_BITS,
-                    target_delay_seconds=per_switch * placement.hops,
-                    target_loss_rate=0.01,
-                ),
-            )
-        )
-        class_of[name] = ServiceClass.PREDICTED
-        priority_of[name] = grant.priority_class
-
-    # --- traffic -------------------------------------------------------
-    sinks = common.attach_paper_flows(
-        sim,
-        net,
-        streams,
-        list(placements.values()),
-        warmup,
-        priority_of=priority_of,
-        class_of=class_of,
-    )
-
-    tcp_config = TcpConfig(max_cwnd=tcp_max_cwnd)
-    tcps = {
-        "tcp-1": TcpConnection(
-            sim, net.hosts["Host-1"], net.hosts["Host-3"], "tcp-1", tcp_config
-        ),
-        "tcp-2": TcpConnection(
-            sim, net.hosts["Host-3"], net.hosts["Host-5"], "tcp-2", tcp_config
-        ),
-    }
-
-    # --- accounting ------------------------------------------------------
-    datagram_dropped = 0
-    realtime_bits: Dict[str, int] = {}
-    total_bits: Dict[str, int] = {}
-
-    def make_listeners(link_name: str):
-        realtime_bits[link_name] = 0
-        total_bits[link_name] = 0
-
-        def on_depart(packet: Packet, now: float, wait: float) -> None:
-            total_bits[link_name] += packet.size_bits
-            if packet.service_class.is_realtime:
-                realtime_bits[link_name] += packet.size_bits
-
-        def on_drop(packet: Packet, now: float) -> None:
-            nonlocal datagram_dropped
-            if packet.service_class is ServiceClass.DATAGRAM:
-                datagram_dropped += 1
-
-        return on_depart, on_drop
-
-    forward_links = [f"S-{i}->S-{i + 1}" for i in range(1, 5)]
-    for link_name in net.ports:
-        on_depart, on_drop = make_listeners(link_name)
-        net.ports[link_name].on_depart.append(on_depart)
-        net.ports[link_name].on_drop.append(on_drop)
-
-    sim.run(until=duration)
-
-    # --- results ---------------------------------------------------------
     unit = common.TX_TIME_SECONDS
-    rows = []
+    placements = {p.name: p for p in common.figure1_flow_placements()}
     all_max: Dict[str, float] = {}
     pg_by_flow: Dict[str, float] = {}
     for name, placement in placements.items():
-        sink = sinks[name]
-        if sink.recorded:
-            all_max[name] = sink.max_queueing(unit)
+        stats = run_result.flow(name)
+        if stats.recorded:
+            all_max[name] = stats.max_in(unit)
         flow_type = _flow_type(name)
         if flow_type == "Peak":
             pg_by_flow[name] = (
@@ -305,38 +250,34 @@ def run(
                 )
                 / unit
             )
+    rows = []
     for flow_type, flow, hops in common.TABLE3_SAMPLES:
-        sink = sinks[flow]
+        stats = run_result.flow(flow)
         rows.append(
             Table3Row(
                 flow_type=flow_type,
                 flow=flow,
                 hops=hops,
-                mean=sink.mean_queueing(unit),
-                p999=sink.percentile_queueing(99.9, unit),
-                max=sink.max_queueing(unit),
+                mean=stats.mean_in(unit),
+                p999=stats.percentile_in(99.9, unit),
+                max=stats.max_in(unit),
                 pg_bound=pg_by_flow.get(flow),
             )
         )
-    datagram_sent = sum(t.segments_sent for t in tcps.values()) + sum(
-        t.acks_sent for t in tcps.values()
-    )
+    forward_links = [f"S-{i}->S-{i + 1}" for i in range(1, 5)]
+    realtime = dict(run_result.realtime_fraction)
     return Table3Result(
         rows=rows,
         all_max_by_flow=all_max,
         pg_bound_by_flow=pg_by_flow,
         link_utilizations={
-            name: net.links[name].utilization() for name in forward_links
+            name: run_result.utilization(name) for name in forward_links
         },
-        realtime_fraction={
-            name: (realtime_bits[name] / total_bits[name] if total_bits[name] else 0.0)
-            for name in forward_links
-        },
-        datagram_sent=datagram_sent,
-        datagram_dropped=datagram_dropped,
-        tcp_goodput_bps={
-            name: tcp.goodput_bps(duration) for name, tcp in tcps.items()
-        },
+        realtime_fraction={name: realtime[name] for name in forward_links},
+        datagram_sent=run_result.datagram_sent,
+        datagram_dropped=run_result.datagram_dropped,
+        tcp_goodput_bps={t.name: t.goodput_bps for t in run_result.tcp_stats},
         duration=duration,
         seed=seed,
+        scenario=result,
     )

@@ -1,10 +1,11 @@
 """Figure 1: the experiment network itself.
 
 Figure 1 is the paper's only figure — the 5-switch chain used by Tables 2
-and 3.  "Reproducing" it means building the network programmatically,
-verifying its structural invariants (10 flows per inter-switch link; the
-12/4/4/2 path-length census), and rendering it.  The checks here are also
-what guards the Table 2/3 workloads against placement regressions.
+and 3.  "Reproducing" it means building the network programmatically from
+its :class:`~repro.scenario.TopologySpec`, verifying its structural
+invariants (10 flows per inter-switch link; the 12/4/4/2 path-length
+census), and rendering it.  The checks here are also what guards the
+Table 2/3 workloads against placement regressions.
 """
 
 from __future__ import annotations
@@ -12,15 +13,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
-from repro.experiments import common
-from repro.net.topology import (
-    FIGURE1_HOSTS,
-    FIGURE1_SWITCHES,
-    figure1_ascii,
-    paper_figure1_topology,
-)
-from repro.sched.fifo import FifoScheduler
-from repro.sim.engine import Simulator
+from repro.net.topology import FIGURE1_HOSTS, FIGURE1_SWITCHES, figure1_ascii
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 
 @dataclasses.dataclass
@@ -31,6 +25,9 @@ class TopologyReport:
     flows_per_link: Dict[str, int]
     flows_per_path_length: Dict[int, int]
     ascii_art: str
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
     def render(self) -> str:
         census = ", ".join(
@@ -52,17 +49,24 @@ class TopologyReport:
 
 def build_report() -> TopologyReport:
     """Construct the Figure-1 network and verify the workload layout."""
-    sim = Simulator()
-    net = paper_figure1_topology(sim, lambda name, link: FifoScheduler())
-    placements = common.figure1_flow_placements()
+    spec = (
+        ScenarioBuilder("fig1")
+        .paper_chain()
+        .figure1_flows()
+        .discipline(DisciplineSpec.fifo())
+        .duration(1.0)
+        .build()
+    )
+    context = ScenarioRunner(spec).build()
+    net = context.net
     flows_per_link: Dict[str, int] = {name: 0 for name in net.links}
-    for placement in placements:
-        for link in net.links_on_path(placement.source_host, placement.dest_host):
+    for flow in spec.flows:
+        for link in net.links_on_path(flow.source_host, flow.dest_host):
             flows_per_link[link.name] += 1
     flows_per_path_length: Dict[int, int] = {}
-    for placement in placements:
-        flows_per_path_length[placement.hops] = (
-            flows_per_path_length.get(placement.hops, 0) + 1
+    for flow in spec.flows:
+        flows_per_path_length[flow.hops] = (
+            flows_per_path_length.get(flow.hops, 0) + 1
         )
     return TopologyReport(
         switches=list(FIGURE1_SWITCHES),

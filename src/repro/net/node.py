@@ -65,6 +65,11 @@ class Host(Node):
             raise ValueError(f"flow {flow_id} already has a handler on {self.name}")
         self._flow_handlers[flow_id] = handler
 
+    def unregister_flow_handler(self, flow_id: str) -> None:
+        """Remove a flow's handler (flow teardown); late packets fall back
+        to ``default_handler``.  Unknown flows are a no-op."""
+        self._flow_handlers.pop(flow_id, None)
+
     def send(self, packet: Packet) -> None:
         """Inject a packet into the network via the attached switch.
 

@@ -1,0 +1,63 @@
+"""Declarative scenarios: one spec → build → run → structured results.
+
+The subsystem the experiment layer is founded on:
+
+* :mod:`repro.scenario.spec` — frozen dataclasses fully describing a run
+  (:class:`TopologySpec`, :class:`FlowSpec`, :class:`DisciplineSpec`,
+  :class:`ScenarioSpec`, service requests, TCP load, admission control);
+* :mod:`repro.scenario.builder` — fluent construction with the paper's
+  Appendix constants baked in (``paper_chain()``, ``paper_flows()``);
+* :mod:`repro.scenario.runner` — :class:`ScenarioRunner` builds and runs
+  one simulation per discipline with paired arrivals guaranteed by
+  construction, returning a JSON-exportable :class:`ScenarioResult`;
+* :mod:`repro.scenario.sweep` — parameter/seed sweeps with multiprocess
+  fan-out, bit-identical to serial execution;
+* :mod:`repro.scenario.paper` — the Appendix constants and the Figure-1
+  placement tables, the single source of truth.
+"""
+
+from repro.scenario import paper
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.disciplines import build_scheduler, discipline_kinds
+from repro.scenario.runner import (
+    DisciplineRunResult,
+    FlowStats,
+    ScenarioContext,
+    ScenarioResult,
+    ScenarioRunner,
+    TcpStats,
+)
+from repro.scenario.spec import (
+    AdmissionSpec,
+    DisciplineSpec,
+    FlowSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioSpec,
+    TcpSpec,
+    TopologySpec,
+)
+from repro.scenario.sweep import expand, sweep
+
+__all__ = [
+    "paper",
+    "AdmissionSpec",
+    "DisciplineSpec",
+    "DisciplineRunResult",
+    "FlowSpec",
+    "FlowStats",
+    "GuaranteedRequest",
+    "PredictedRequest",
+    "ScenarioBuilder",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TcpSpec",
+    "TcpStats",
+    "TopologySpec",
+    "build_scheduler",
+    "discipline_kinds",
+    "expand",
+    "sweep",
+]

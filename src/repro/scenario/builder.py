@@ -1,0 +1,168 @@
+"""Fluent construction of :class:`ScenarioSpec` objects.
+
+The builder encodes the Appendix's constants once: ``single_link()`` is
+the Table-1 bottleneck, ``paper_chain()`` the Figure-1 network,
+``paper_flows(n)`` the homogeneous on/off population, and
+``figure1_flows()`` the 22-flow placement whose per-link census the paper
+states.  Everything returns ``self`` so specs read as one expression::
+
+    spec = (ScenarioBuilder("table1")
+            .single_link()
+            .paper_flows(10)
+            .disciplines(DisciplineSpec.wfq(equal_share_flows=10),
+                         DisciplineSpec.fifo())
+            .duration(600.0).seed(1)
+            .build())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.scenario import paper
+from repro.scenario.spec import (
+    AdmissionSpec,
+    DisciplineSpec,
+    FlowSpec,
+    ScenarioSpec,
+    TcpSpec,
+    TopologySpec,
+)
+
+
+class ScenarioBuilder:
+    """Accumulates the pieces of a :class:`ScenarioSpec`."""
+
+    def __init__(self, name: str = "scenario"):
+        self._name = name
+        self._topology: Optional[TopologySpec] = None
+        self._flows: list = []
+        self._disciplines: list = []
+        self._tcps: list = []
+        self._admission: Optional[AdmissionSpec] = None
+        self._establish_order: Optional[Tuple[str, ...]] = None
+        self._duration = paper.PAPER_DURATION_SECONDS
+        self._warmup = paper.DEFAULT_WARMUP_SECONDS
+        self._seed = 1
+        self._percentiles: Optional[Tuple[float, ...]] = None
+        self._link_accounting = False
+
+    # -- topology ------------------------------------------------------
+    def topology(self, spec: TopologySpec) -> "ScenarioBuilder":
+        self._topology = spec
+        return self
+
+    def single_link(self, **kwargs) -> "ScenarioBuilder":
+        """The Table-1 configuration: one 1 Mbit/s bottleneck link."""
+        return self.topology(TopologySpec.single_link(**kwargs))
+
+    def chain(self, num_switches: int, **kwargs) -> "ScenarioBuilder":
+        return self.topology(TopologySpec.chain(num_switches, **kwargs))
+
+    def paper_chain(self, duplex: bool = False, **kwargs) -> "ScenarioBuilder":
+        """Figure 1: five switches, four 1 Mbit/s links (duplex for TCP)."""
+        return self.topology(TopologySpec.figure1(duplex=duplex, **kwargs))
+
+    # -- flows ---------------------------------------------------------
+    def flow(self, flow: FlowSpec) -> "ScenarioBuilder":
+        self._flows.append(flow)
+        return self
+
+    def add_flow(self, name: str, source_host: str, dest_host: str, **kwargs) -> "ScenarioBuilder":
+        return self.flow(FlowSpec(name, source_host, dest_host, **kwargs))
+
+    def paper_flows(
+        self,
+        count: int = 10,
+        prefix: str = "flow-",
+        source_host: str = "src-host",
+        dest_host: str = "dst-host",
+        **kwargs,
+    ) -> "ScenarioBuilder":
+        """``count`` identical Appendix sources sharing one bottleneck —
+        the Table-1 workload at 83.5 % load for count=10."""
+        for i in range(count):
+            self.add_flow(f"{prefix}{i}", source_host, dest_host, **kwargs)
+        return self
+
+    def figure1_flows(self, **kwargs) -> "ScenarioBuilder":
+        """The 22-flow Figure-1 placement (10 flows per inter-switch link;
+        12/4/4/2 by path length).  ``kwargs`` apply to every flow."""
+        for name, src, dst, hops in paper.FIGURE1_PLACEMENTS:
+            self.add_flow(name, src, dst, hops=hops, **kwargs)
+        return self
+
+    # -- disciplines / service ----------------------------------------
+    def discipline(self, spec: DisciplineSpec) -> "ScenarioBuilder":
+        self._disciplines.append(spec)
+        return self
+
+    def disciplines(self, *specs: DisciplineSpec) -> "ScenarioBuilder":
+        self._disciplines.extend(specs)
+        return self
+
+    def admission(
+        self,
+        realtime_quota: float = 0.9,
+        class_bounds_seconds: Sequence[float] = (0.15, 1.5),
+    ) -> "ScenarioBuilder":
+        self._admission = AdmissionSpec(
+            realtime_quota=realtime_quota,
+            class_bounds_seconds=tuple(class_bounds_seconds),
+        )
+        return self
+
+    def establish_order(self, *names: str) -> "ScenarioBuilder":
+        self._establish_order = tuple(names)
+        return self
+
+    def tcp(
+        self, name: str, source_host: str, dest_host: str, max_cwnd: float = 64.0
+    ) -> "ScenarioBuilder":
+        self._tcps.append(TcpSpec(name, source_host, dest_host, max_cwnd=max_cwnd))
+        return self
+
+    # -- run parameters ------------------------------------------------
+    def duration(self, seconds: float) -> "ScenarioBuilder":
+        self._duration = seconds
+        return self
+
+    def warmup(self, seconds: float) -> "ScenarioBuilder":
+        self._warmup = seconds
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        self._seed = seed
+        return self
+
+    def percentiles(self, *points: float) -> "ScenarioBuilder":
+        self._percentiles = tuple(points)
+        return self
+
+    def link_accounting(self, enabled: bool = True) -> "ScenarioBuilder":
+        self._link_accounting = enabled
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> ScenarioSpec:
+        if self._topology is None:
+            raise ValueError("a topology is required (single_link/chain/paper_chain)")
+        if not self._disciplines:
+            raise ValueError("at least one discipline is required")
+        kwargs = {}
+        if self._percentiles is not None:
+            kwargs["percentile_points"] = self._percentiles
+        return ScenarioSpec(
+            name=self._name,
+            topology=self._topology,
+            flows=tuple(self._flows),
+            disciplines=tuple(self._disciplines),
+            tcps=tuple(self._tcps),
+            admission=self._admission,
+            establish_order=self._establish_order,
+            duration=self._duration,
+            warmup=self._warmup,
+            seed=self._seed,
+            link_accounting=self._link_accounting,
+            **kwargs,
+        )

@@ -1,0 +1,98 @@
+"""Registry turning :class:`DisciplineSpec` kinds into live schedulers.
+
+Each builder receives the spec's parameters, the simulator (some
+disciplines — Stop-and-Go, Jitter-EDD — need the clock), and the link the
+port will feed (rate-aware disciplines size themselves off the link speed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.net.link import Link
+from repro.scenario.spec import DisciplineSpec
+from repro.sched.base import Scheduler
+from repro.sched.edf import EdfScheduler
+from repro.sched.fifo import FifoScheduler
+from repro.sched.fifoplus import FifoPlusScheduler
+from repro.sched.jacobson_floyd import JacobsonFloydScheduler
+from repro.sched.nonwork import JitterEddScheduler, StopAndGoScheduler
+from repro.sched.priority import PriorityScheduler
+from repro.sched.round_robin import (
+    DeficitRoundRobinScheduler,
+    RoundRobinScheduler,
+)
+from repro.sched.unified import UnifiedConfig, UnifiedScheduler
+from repro.sched.virtual_clock import VirtualClockScheduler
+from repro.sched.wfq import WfqScheduler
+from repro.sim.engine import Simulator
+
+
+def _share_rate(params: Mapping[str, Any], link: Link) -> float | None:
+    """Resolve the auto-register rate from either parameter spelling."""
+    flows = params.get("equal_share_flows")
+    if flows:
+        return link.rate_bps / flows
+    return params.get("auto_register_rate_bps")
+
+
+def _build_wfq(params, sim, link):
+    return WfqScheduler(link.rate_bps, auto_register_rate=_share_rate(params, link))
+
+
+def _build_virtual_clock(params, sim, link):
+    return VirtualClockScheduler(auto_register_rate=_share_rate(params, link))
+
+
+def _build_unified(params, sim, link):
+    return UnifiedScheduler(
+        UnifiedConfig(
+            capacity_bps=link.rate_bps,
+            num_predicted_classes=params.get("num_predicted_classes", 2),
+        )
+    )
+
+
+_REGISTRY: Dict[str, Callable[[Mapping[str, Any], Simulator, Link], Scheduler]] = {
+    "fifo": lambda params, sim, link: FifoScheduler(),
+    "fifoplus": lambda params, sim, link: FifoPlusScheduler(),
+    "wfq": _build_wfq,
+    "priority": lambda params, sim, link: PriorityScheduler(**dict(params)),
+    "unified": _build_unified,
+    "virtual_clock": _build_virtual_clock,
+    "round_robin": lambda params, sim, link: RoundRobinScheduler(),
+    "drr": lambda params, sim, link: DeficitRoundRobinScheduler(
+        quantum_bits=params.get("quantum_bits", 1000)
+    ),
+    "edf": lambda params, sim, link: EdfScheduler(
+        default_target=params.get("default_target", 0.1)
+    ),
+    "jacobson_floyd": lambda params, sim, link: JacobsonFloydScheduler(
+        num_classes=params.get("num_classes", 1)
+    ),
+    "stop_and_go": lambda params, sim, link: StopAndGoScheduler(
+        sim, frame_seconds=params.get("frame_seconds", 0.05)
+    ),
+    "jitter_edd": lambda params, sim, link: JitterEddScheduler(
+        sim, default_target=params.get("default_target", 0.08)
+    ),
+}
+
+
+def discipline_kinds() -> tuple:
+    """The registered kinds (plus ``custom`` via a factory)."""
+    return tuple(sorted(_REGISTRY)) + ("custom",)
+
+
+def build_scheduler(
+    spec: DisciplineSpec, sim: Simulator, port_name: str, link: Link
+) -> Scheduler:
+    """Instantiate the scheduler a :class:`DisciplineSpec` describes."""
+    if spec.factory is not None:
+        return spec.factory(sim, port_name, link)
+    builder = _REGISTRY.get(spec.kind)
+    if builder is None:
+        raise ValueError(
+            f"unknown discipline kind {spec.kind!r}; known: {discipline_kinds()}"
+        )
+    return builder(spec.param_dict, sim, link)

@@ -1,0 +1,618 @@
+"""Build and run scenarios; return structured, serializable results.
+
+:class:`ScenarioRunner` turns a :class:`ScenarioSpec` into live simulations
+— one per discipline — and collects a :class:`ScenarioResult`.  Two
+properties are guaranteed by construction:
+
+* **Paired arrivals.**  Every source draws from a random stream keyed only
+  by its flow name (``source:<name>``), so all disciplines of one spec see
+  the identical packet arrival process — the paper's A/B methodology.
+* **Determinism.**  Components are constructed in spec order, admission
+  requests are processed in ``establish_order``, and neither signaling nor
+  measurement schedules events, so results are bit-identical across
+  repeated runs and across serial vs multiprocess execution.
+
+:meth:`ScenarioRunner.build` exposes the live :class:`ScenarioContext` for
+scenarios that need mid-run orchestration (the dynamics experiment admits
+and tears down flows at phase boundaries) or custom receivers (playback
+applications instead of delay sinks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.admission import AdmissionConfig, AdmissionController
+from repro.core.measurement import MeasurementConfig, SwitchMeasurement
+from repro.core.service import (
+    FlowSpec as CoreFlowSpec,
+    GuaranteedServiceSpec,
+    PredictedServiceSpec,
+)
+from repro.core.signaling import FlowGrant, SignalingAgent
+from repro.net.packet import Packet, ServiceClass
+from repro.scenario.disciplines import build_scheduler
+from repro.scenario.spec import (
+    DisciplineSpec,
+    FlowSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioSpec,
+)
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.onoff import OnOffMarkovSource, OnOffParams
+from repro.traffic.sink import DelayRecordingSink
+from repro.traffic.token_bucket import TokenBucketFilter
+from repro.transport.tcp import TcpConfig, TcpConnection
+
+SOURCE_STREAM_PREFIX = "source:"
+
+
+# ----------------------------------------------------------------------
+# Structured results
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowStats:
+    """Queueing-delay statistics of one recorded flow (seconds).
+
+    ``percentiles`` holds the spec's requested points.  ``generated`` /
+    ``emitted`` / ``filtered`` describe the source side (the arrival
+    process — identical across disciplines of one spec); ``received`` /
+    ``recorded`` the sink side (``recorded`` excludes warm-up samples).
+    """
+
+    name: str
+    generated: int
+    emitted: int
+    filtered: int
+    received: int
+    recorded: int
+    mean_seconds: float
+    max_seconds: float
+    percentiles: Tuple[Tuple[float, float], ...]  # (pct, delay seconds)
+
+    # -- unit conversion (the paper reports packet transmission times) --
+    def mean_in(self, unit_seconds: float) -> float:
+        return self.mean_seconds / unit_seconds
+
+    def max_in(self, unit_seconds: float) -> float:
+        return self.max_seconds / unit_seconds
+
+    def percentile_in(self, pct: float, unit_seconds: float = 1.0) -> float:
+        for point, value in self.percentiles:
+            if point == pct:
+                return value / unit_seconds
+        raise KeyError(f"percentile {pct} was not collected")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "generated": self.generated,
+            "emitted": self.emitted,
+            "filtered": self.filtered,
+            "received": self.received,
+            "recorded": self.recorded,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+            "percentiles": {str(pct): value for pct, value in self.percentiles},
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TcpStats:
+    name: str
+    segments_sent: int
+    acks_sent: int
+    goodput_bps: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class DisciplineRunResult:
+    """Everything measured in one discipline's simulation."""
+
+    discipline: str
+    flows: Tuple[FlowStats, ...]
+    link_utilizations: Tuple[Tuple[str, float], ...]
+    link_drops: Tuple[Tuple[str, int], ...]
+    realtime_fraction: Tuple[Tuple[str, float], ...]  # link accounting only
+    datagram_dropped: int
+    tcp_stats: Tuple[TcpStats, ...]
+    events_processed: int
+    wall_seconds: float
+    worker_pid: int
+
+    @property
+    def total_drops(self) -> int:
+        return sum(count for _, count in self.link_drops)
+
+    @property
+    def datagram_sent(self) -> int:
+        """Datagram packets injected (TCP segments + ACKs)."""
+        return sum(t.segments_sent + t.acks_sent for t in self.tcp_stats)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / self.wall_seconds if self.wall_seconds else 0.0
+
+    def flow(self, name: str) -> FlowStats:
+        for stats in self.flows:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def utilization(self, link_name: str) -> float:
+        for name, value in self.link_utilizations:
+            if name == link_name:
+                return value
+        raise KeyError(link_name)
+
+    def tcp(self, name: str) -> TcpStats:
+        for stats in self.tcp_stats:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "discipline": self.discipline,
+            "flows": {stats.name: stats.to_dict() for stats in self.flows},
+            "link_utilizations": dict(self.link_utilizations),
+            "link_drops": dict(self.link_drops),
+            "realtime_fraction": dict(self.realtime_fraction),
+            "datagram_dropped": self.datagram_dropped,
+            "datagram_sent": self.datagram_sent,
+            "tcp": {stats.name: stats.to_dict() for stats in self.tcp_stats},
+            "events_processed": self.events_processed,
+            "runtime": {
+                "wall_seconds": self.wall_seconds,
+                "events_per_second": self.events_per_second,
+                "worker_pid": self.worker_pid,
+            },
+        }
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        """The deterministic payload (runtime/PID stripped) — equal across
+        serial and parallel execution of the same spec."""
+        data = self.to_dict()
+        del data["runtime"]
+        return data
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """All disciplines of one scenario, plus run metadata."""
+
+    scenario: str
+    seed: int
+    duration: float
+    warmup: float
+    runs: Tuple[DisciplineRunResult, ...]
+
+    def run(self, discipline: str) -> DisciplineRunResult:
+        for run in self.runs:
+            if run.discipline == discipline:
+                return run
+        raise KeyError(discipline)
+
+    @property
+    def disciplines(self) -> Tuple[str, ...]:
+        return tuple(run.discipline for run in self.runs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        data = self.to_dict()
+        data["runs"] = [run.comparable_dict() for run in self.runs]
+        return data
+
+
+# ----------------------------------------------------------------------
+# Live context
+# ----------------------------------------------------------------------
+
+# A sink factory receives (context, flow_spec) after the flow's source has
+# been created and returns a receiver object (or None for a no-op handler).
+SinkFactory = Callable[["ScenarioContext", FlowSpec], Any]
+
+
+class ScenarioContext:
+    """One discipline's live simulation, built from a spec.
+
+    Exposes every constructed component (``sim``, ``net``, ``sources``,
+    ``sinks``, ``signaling``, ``grants``) so orchestrated scenarios can
+    admit flows mid-run (:meth:`add_flow`), install custom receivers, or
+    inspect schedulers directly.
+    """
+
+    def __init__(self, spec: ScenarioSpec, discipline: DisciplineSpec):
+        self.spec = spec
+        self.discipline = discipline
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=spec.seed)
+
+        def factory(port_name, link):
+            return build_scheduler(discipline, self.sim, port_name, link)
+
+        self.net = spec.topology.build(self.sim, factory)
+
+        self.admission: Optional[AdmissionController] = None
+        self.signaling: Optional[SignalingAgent] = None
+        if spec.admission is not None:
+            self.admission = AdmissionController(
+                AdmissionConfig(
+                    realtime_quota=spec.admission.realtime_quota,
+                    class_bounds_seconds=spec.admission.class_bounds_seconds,
+                )
+            )
+            for link_name, port in self.net.ports.items():
+                self.admission.attach_measurement(
+                    link_name, SwitchMeasurement(port, MeasurementConfig())
+                )
+            self.signaling = SignalingAgent(self.net, self.admission)
+
+        self.grants: Dict[str, FlowGrant] = {}
+        self.sources: Dict[str, OnOffMarkovSource] = {}
+        self.sinks: Dict[str, DelayRecordingSink] = {}
+        self.receivers: Dict[str, Any] = {}
+        self.tcps: Dict[str, TcpConnection] = {}
+
+        # Guaranteed reservations are installed before any traffic exists,
+        # then predicted classes are assigned — Table 3's establishment
+        # discipline.  Neither step schedules events or consumes random
+        # draws, so batching establishments ahead of source creation is
+        # observationally identical to interleaving them.
+        flows_by_name = {flow.name: flow for flow in spec.flows}
+        order = list(spec.establish_order or ())
+        listed = set(order)
+        # A partial establish_order only *prioritizes*: every remaining
+        # request-bearing flow still visits admission, in spec order.
+        order += [
+            f.name
+            for f in spec.flows
+            if f.request is not None and f.name not in listed
+        ]
+        for name in order:
+            self.establish(flows_by_name[name])
+        for flow in spec.flows:
+            self.add_flow(flow, establish=False)
+        for tcp in spec.tcps:
+            self.tcps[tcp.name] = TcpConnection(
+                self.sim,
+                self.net.hosts[tcp.source_host],
+                self.net.hosts[tcp.dest_host],
+                tcp.name,
+                TcpConfig(max_cwnd=tcp.max_cwnd),
+            )
+
+        self._realtime_bits: Dict[str, int] = {}
+        self._total_bits: Dict[str, int] = {}
+        self._datagram_dropped = 0
+        if spec.link_accounting:
+            for link_name in self.net.ports:
+                self._attach_accounting(link_name)
+
+        self._wall_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def establish(self, flow: FlowSpec) -> Optional[FlowGrant]:
+        """Run the flow's service request through admission/signaling.
+
+        Without an admission-controlled scenario, a guaranteed request is
+        honoured by installing its clock rate directly at every hop.
+        """
+        if flow.request is None:
+            return None
+        if self.signaling is not None:
+            grant = self.signaling.establish(self._core_spec(flow))
+            self.grants[flow.name] = grant
+            return grant
+        if isinstance(flow.request, GuaranteedRequest):
+            # Same installer the signaling path uses, so rate-capable
+            # schedulers (unified, WFQ, virtual clock) are recognized
+            # consistently and anything else is rejected.
+            for link in self.net.links_on_path(flow.source_host, flow.dest_host):
+                SignalingAgent._install_clock_rate(
+                    self.net.port_for_link(link.name),
+                    flow.name,
+                    flow.request.clock_rate_bps,
+                )
+        return None
+
+    @staticmethod
+    def _core_spec(flow: FlowSpec) -> CoreFlowSpec:
+        request = flow.request
+        if isinstance(request, GuaranteedRequest):
+            service = GuaranteedServiceSpec(clock_rate_bps=request.clock_rate_bps)
+        elif isinstance(request, PredictedRequest):
+            service = PredictedServiceSpec(
+                token_rate_bps=request.token_rate_bps,
+                bucket_depth_bits=request.bucket_depth_bits,
+                target_delay_seconds=request.target_delay_seconds,
+                target_loss_rate=request.target_loss_rate,
+            )
+        else:  # pragma: no cover - guarded by FlowSpec typing
+            raise TypeError(f"unknown request type {type(request)!r}")
+        return CoreFlowSpec(
+            flow_id=flow.name,
+            source=flow.source_host,
+            destination=flow.dest_host,
+            spec=service,
+        )
+
+    def _resolve_service(self, flow: FlowSpec) -> Tuple[ServiceClass, int]:
+        """Service class and predicted priority the source should stamp."""
+        grant = self.grants.get(flow.name)
+        if grant is not None:
+            return grant.service_class, grant.priority_class or 0
+        if isinstance(flow.request, GuaranteedRequest):
+            return ServiceClass.GUARANTEED, 0
+        if isinstance(flow.request, PredictedRequest):
+            return ServiceClass.PREDICTED, flow.priority_class
+        return flow.service_class, flow.priority_class
+
+    def add_flow(
+        self,
+        flow: FlowSpec,
+        sink_factory: Optional[SinkFactory] = None,
+        establish: bool = True,
+    ) -> OnOffMarkovSource:
+        """Create a flow's source (and receiver) — at build time or mid-run.
+
+        Mid-run admission (the dynamics experiment's load waves) passes
+        ``establish=True`` so the request visits admission control first.
+        """
+        if flow.name in self.sources:
+            raise ValueError(f"flow {flow.name} already exists")
+        if establish and flow.request is not None:
+            self.establish(flow)
+        service_class, priority_class = self._resolve_service(flow)
+        bucket = None
+        if flow.bucket_packets is not None:
+            bucket = TokenBucketFilter(
+                rate_bps=flow.average_rate_pps * flow.packet_size_bits,
+                depth_bits=flow.bucket_packets * flow.packet_size_bits,
+            )
+        source = OnOffMarkovSource(
+            self.sim,
+            self.net.hosts[flow.source_host],
+            flow.name,
+            flow.dest_host,
+            OnOffParams(
+                average_rate_pps=flow.average_rate_pps,
+                mean_burst_packets=flow.mean_burst_packets,
+                peak_rate_pps=flow.peak_rate_pps,
+            ),
+            self.streams.stream(f"{SOURCE_STREAM_PREFIX}{flow.name}"),
+            packet_size_bits=flow.packet_size_bits,
+            service_class=service_class,
+            priority_class=priority_class,
+            source_filter=bucket,
+        )
+        self.sources[flow.name] = source
+        if sink_factory is not None:
+            receiver = sink_factory(self, flow)
+            if receiver is None:
+                self._register_noop(flow)
+            else:
+                self.receivers[flow.name] = receiver
+        elif flow.record:
+            self.sinks[flow.name] = DelayRecordingSink(
+                self.sim,
+                self.net.hosts[flow.dest_host],
+                flow.name,
+                warmup=self.spec.warmup,
+            )
+        else:
+            self._register_noop(flow)
+        return source
+
+    def _register_noop(self, flow: FlowSpec) -> None:
+        self.net.hosts[flow.dest_host].register_flow_handler(
+            flow.name, lambda packet: None
+        )
+
+    def remove_flow(self, name: str) -> None:
+        """Stop a flow's source, release its commitments, and free its name.
+
+        The flow's sink/receiver is detached too (late packets fall back
+        to the host's default handler), so the name can be re-added by a
+        later load wave.  Snapshot the sink first if its statistics are
+        still needed.
+        """
+        source = self.sources.pop(name, None)
+        if source is not None:
+            source.stop()
+            self.net.hosts[source.destination].unregister_flow_handler(name)
+        self.sinks.pop(name, None)
+        self.receivers.pop(name, None)
+        if self.signaling is not None and name in self.grants:
+            self.signaling.teardown(name)
+            del self.grants[name]
+
+    # ------------------------------------------------------------------
+    def _attach_accounting(self, link_name: str) -> None:
+        self._realtime_bits[link_name] = 0
+        self._total_bits[link_name] = 0
+
+        def on_depart(packet: Packet, now: float, wait: float) -> None:
+            self._total_bits[link_name] += packet.size_bits
+            if packet.service_class.is_realtime:
+                self._realtime_bits[link_name] += packet.size_bits
+
+        def on_drop(packet: Packet, now: float) -> None:
+            if packet.service_class is ServiceClass.DATAGRAM:
+                self._datagram_dropped += 1
+
+        self.net.ports[link_name].on_depart.append(on_depart)
+        self.net.ports[link_name].on_drop.append(on_drop)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> "ScenarioContext":
+        """Advance the simulation (to the spec's duration by default)."""
+        started = time.perf_counter()
+        self.sim.run(until=self.spec.duration if until is None else until)
+        elapsed = time.perf_counter() - started
+        self._wall_seconds = (self._wall_seconds or 0.0) + elapsed
+        return self
+
+    def collect(self) -> DisciplineRunResult:
+        """Snapshot this simulation into a serializable result."""
+        flow_stats = []
+        for flow in self.spec.flows:
+            sink = self.sinks.get(flow.name)
+            if sink is None:
+                continue
+            flow_stats.append(self._flow_stats(flow.name, sink))
+        for name, sink in self.sinks.items():
+            if name not in {s.name for s in flow_stats}:
+                flow_stats.append(self._flow_stats(name, sink))
+        return DisciplineRunResult(
+            discipline=self.discipline.name,
+            flows=tuple(flow_stats),
+            link_utilizations=tuple(
+                (name, link.utilization()) for name, link in self.net.links.items()
+            ),
+            link_drops=tuple(
+                (name, port.packets_dropped)
+                for name, port in self.net.ports.items()
+            ),
+            realtime_fraction=tuple(
+                (
+                    name,
+                    (
+                        self._realtime_bits[name] / self._total_bits[name]
+                        if self._total_bits[name]
+                        else 0.0
+                    ),
+                )
+                for name in self._total_bits
+            ),
+            datagram_dropped=self._datagram_dropped,
+            tcp_stats=tuple(
+                TcpStats(
+                    name=name,
+                    segments_sent=tcp.segments_sent,
+                    acks_sent=tcp.acks_sent,
+                    # sim.now, not spec.duration: partial runs via
+                    # run(until=...) must not dilute the denominator.
+                    goodput_bps=tcp.goodput_bps(self.sim.now),
+                )
+                for name, tcp in self.tcps.items()
+            ),
+            events_processed=self.sim.events_processed,
+            wall_seconds=self._wall_seconds or 0.0,
+            worker_pid=os.getpid(),
+        )
+
+    def _flow_stats(self, name: str, sink: DelayRecordingSink) -> FlowStats:
+        source = self.sources.get(name)
+        recorded = sink.recorded
+        return FlowStats(
+            name=name,
+            generated=source.generated if source else 0,
+            emitted=source.sent if source else 0,
+            filtered=source.filtered if source else 0,
+            received=sink.received,
+            recorded=recorded,
+            mean_seconds=sink.queueing.mean if recorded else 0.0,
+            max_seconds=sink.queueing.max if recorded else 0.0,
+            percentiles=tuple(
+                (pct, sink.queueing_pct.percentile(pct) if recorded else 0.0)
+                for pct in self.spec.percentile_points
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+def _run_one_discipline(spec: ScenarioSpec) -> DisciplineRunResult:
+    """Worker entry point: run a single-discipline spec to completion."""
+    context = ScenarioContext(spec, spec.disciplines[0])
+    context.run()
+    return context.collect()
+
+
+def map_maybe_parallel(fn, items: list, workers: Optional[int]) -> list:
+    """``[fn(x) for x in items]``, fanned out over a process pool when
+    ``workers > 1`` and there is more than one item.
+
+    The single fan-out policy shared by :meth:`ScenarioRunner.run` and
+    :func:`repro.scenario.sweep.sweep`: pool sized to the work, one task
+    per worker dispatch (``chunksize=1``), results in input order.  ``fn``
+    and every item must be picklable (module-level functions, plain
+    specs).
+    """
+    if workers and workers > 1 and len(items) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(workers, len(items))) as pool:
+            return pool.map(fn, items, chunksize=1)
+    return [fn(item) for item in items]
+
+
+class ScenarioRunner:
+    """Runs every discipline of a spec and assembles the result."""
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+
+    def build(
+        self, discipline: Union[str, DisciplineSpec, None] = None
+    ) -> ScenarioContext:
+        """Build (without running) one discipline's live simulation."""
+        return ScenarioContext(self.spec, self._resolve(discipline))
+
+    def run_discipline(
+        self, discipline: Union[str, DisciplineSpec, None] = None
+    ) -> DisciplineRunResult:
+        resolved = self._resolve(discipline)
+        sub = self.spec.replace(disciplines=(resolved,))
+        return _run_one_discipline(sub)
+
+    def run(self, workers: Optional[int] = None) -> ScenarioResult:
+        """Run all disciplines (paired arrivals), serially or in parallel.
+
+        ``workers > 1`` distributes the per-discipline simulations over a
+        process pool; results are bit-identical to the serial path because
+        every simulation is self-contained and deterministic.
+        """
+        subs = [
+            self.spec.replace(disciplines=(discipline,))
+            for discipline in self.spec.disciplines
+        ]
+        runs = map_maybe_parallel(_run_one_discipline, subs, workers)
+        return ScenarioResult(
+            scenario=self.spec.name,
+            seed=self.spec.seed,
+            duration=self.spec.duration,
+            warmup=self.spec.warmup,
+            runs=tuple(runs),
+        )
+
+    def _resolve(
+        self, discipline: Union[str, DisciplineSpec, None]
+    ) -> DisciplineSpec:
+        if discipline is None:
+            return self.spec.disciplines[0]
+        if isinstance(discipline, DisciplineSpec):
+            return discipline
+        return self.spec.discipline(discipline)

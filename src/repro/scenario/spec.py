@@ -1,0 +1,490 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` fully describes one experiment: topology, flows
+(placement + source process + service request), scheduling disciplines to
+compare, optional TCP datagram load, and admission control.  Specs are
+frozen dataclasses — hashable, picklable (so sweeps can fan out across
+processes), and serializable via ``to_dict``/``from_dict``.
+
+The paired-arrival guarantee of the paper's methodology is encoded here:
+every source draws from a random stream keyed *only* by its flow name, so
+the same spec + seed produces the identical packet arrival process under
+every discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.net.network import Network
+from repro.net.packet import ServiceClass
+from repro.net.topology import (
+    chain_topology,
+    paper_figure1_topology,
+    single_link_topology,
+)
+from repro.scenario import paper
+from repro.sim.engine import Simulator
+
+TOPOLOGY_KINDS = ("single_link", "chain", "figure1")
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySpec:
+    """Which network to build, declaratively.
+
+    Attributes:
+        kind: one of ``single_link`` (the Table-1 bottleneck), ``chain``
+            (N switches, one host each), ``figure1`` (the paper's
+            5-switch chain).
+        num_switches: chain length; required for ``chain`` only.
+        duplex: install links in both directions (needed for TCP ACKs).
+    """
+
+    kind: str = "single_link"
+    num_switches: Optional[int] = None
+    rate_bps: float = paper.LINK_RATE_BPS
+    buffer_packets: int = paper.BUFFER_PACKETS
+    duplex: bool = False
+
+    def __post_init__(self):
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{TOPOLOGY_KINDS}"
+            )
+        if self.kind == "chain" and (
+            self.num_switches is None or self.num_switches < 2
+        ):
+            raise ValueError("chain topologies need num_switches >= 2")
+        if self.kind == "single_link" and self.duplex:
+            raise ValueError("single_link topologies are simplex")
+        if self.rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if self.buffer_packets <= 0:
+            raise ValueError("buffer size must be positive")
+
+    @classmethod
+    def single_link(cls, **kwargs) -> "TopologySpec":
+        return cls(kind="single_link", **kwargs)
+
+    @classmethod
+    def chain(cls, num_switches: int, **kwargs) -> "TopologySpec":
+        return cls(kind="chain", num_switches=num_switches, **kwargs)
+
+    @classmethod
+    def figure1(cls, **kwargs) -> "TopologySpec":
+        return cls(kind="figure1", **kwargs)
+
+    def build(self, sim: Simulator, scheduler_factory) -> Network:
+        """Construct the live :class:`Network` this spec describes."""
+        if self.kind == "single_link":
+            return single_link_topology(
+                sim,
+                scheduler_factory,
+                rate_bps=self.rate_bps,
+                buffer_packets=self.buffer_packets,
+            )
+        if self.kind == "figure1":
+            return paper_figure1_topology(
+                sim,
+                scheduler_factory,
+                rate_bps=self.rate_bps,
+                buffer_packets=self.buffer_packets,
+                duplex=self.duplex,
+            )
+        return chain_topology(
+            sim,
+            scheduler_factory,
+            num_switches=self.num_switches,
+            rate_bps=self.rate_bps,
+            buffer_packets=self.buffer_packets,
+            duplex=self.duplex,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class GuaranteedRequest:
+    """Request guaranteed service at a WFQ clock rate (Section 8)."""
+
+    clock_rate_bps: float
+
+    def __post_init__(self):
+        if self.clock_rate_bps <= 0:
+            raise ValueError("clock rate must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"service": "guaranteed", **dataclasses.asdict(self)}
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictedRequest:
+    """Request predicted service with a declared bucket and (D, L) target."""
+
+    token_rate_bps: float
+    bucket_depth_bits: float
+    target_delay_seconds: float
+    target_loss_rate: float = 0.01
+
+    def __post_init__(self):
+        if self.token_rate_bps <= 0 or self.bucket_depth_bits <= 0:
+            raise ValueError("token bucket parameters must be positive")
+        if self.target_delay_seconds <= 0:
+            raise ValueError("target delay must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"service": "predicted", **dataclasses.asdict(self)}
+
+
+ServiceRequest = Union[GuaranteedRequest, PredictedRequest]
+
+
+def _request_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[ServiceRequest]:
+    if data is None:
+        return None
+    payload = dict(data)
+    service = payload.pop("service")
+    if service == "guaranteed":
+        return GuaranteedRequest(**payload)
+    if service == "predicted":
+        return PredictedRequest(**payload)
+    raise ValueError(f"unknown service request kind {service!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowSpec:
+    """One traffic flow: placement, source process, and service terms.
+
+    Defaults are the Appendix source (A = 85 pkt/s, B = 5, P = 2A, an
+    (A, 50) token bucket, 1000-bit packets).  ``bucket_packets=None``
+    removes the source-side filter.
+
+    Attributes:
+        request: optional service request.  With an admission-controlled
+            scenario the flow is established through signaling before any
+            traffic starts and its service class / predicted priority come
+            from the grant; without admission a guaranteed request still
+            installs its clock rate directly at every hop.
+        record: attach a delay-recording sink (the default); ``False``
+            delivers to a no-op handler (background load).
+        hops: optional path-length metadata (Figure-1 placements).
+    """
+
+    name: str
+    source_host: str
+    dest_host: str
+    average_rate_pps: float = paper.AVERAGE_RATE_PPS
+    mean_burst_packets: float = paper.MEAN_BURST_PACKETS
+    peak_rate_pps: Optional[float] = None  # defaults to 2A, as in the paper
+    bucket_packets: Optional[float] = paper.BUCKET_PACKETS
+    packet_size_bits: int = paper.PACKET_BITS
+    service_class: ServiceClass = ServiceClass.DATAGRAM
+    priority_class: int = 0
+    request: Optional[ServiceRequest] = None
+    record: bool = True
+    hops: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("flow name must be non-empty")
+        if self.average_rate_pps <= 0:
+            raise ValueError("average rate must be positive")
+        if self.packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["service_class"] = self.service_class.name
+        data["request"] = self.request.to_dict() if self.request else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowSpec":
+        payload = dict(data)
+        payload["service_class"] = ServiceClass[payload["service_class"]]
+        payload["request"] = _request_from_dict(payload.get("request"))
+        return cls(**payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class DisciplineSpec:
+    """One scheduling discipline, by registry kind plus parameters.
+
+    ``params`` is a sorted tuple of (key, value) pairs so the spec stays
+    hashable; :attr:`param_dict` exposes it as a mapping.  ``factory`` is
+    an escape hatch for disciplines outside the registry — a callable
+    ``(sim, port_name, link) -> Scheduler``; it must be a module-level
+    function to survive pickling into sweep workers.
+    """
+
+    name: str
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    factory: Optional[Callable] = None
+
+    @classmethod
+    def of(cls, name: str, kind: str, **params) -> "DisciplineSpec":
+        return cls(name=name, kind=kind, params=tuple(sorted(params.items())))
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    # -- the disciplines the paper builds or compares ------------------
+    @classmethod
+    def fifo(cls, name: str = "FIFO") -> "DisciplineSpec":
+        return cls.of(name, "fifo")
+
+    @classmethod
+    def fifoplus(cls, name: str = "FIFO+") -> "DisciplineSpec":
+        return cls.of(name, "fifoplus")
+
+    @classmethod
+    def wfq(
+        cls,
+        name: str = "WFQ",
+        equal_share_flows: Optional[int] = None,
+        auto_register_rate_bps: Optional[float] = None,
+    ) -> "DisciplineSpec":
+        """WFQ; ``equal_share_flows=N`` gives unknown flows a clock rate of
+        link_rate/N (the paper's "equal clock rates" configuration)."""
+        return cls.of(
+            name,
+            "wfq",
+            equal_share_flows=equal_share_flows,
+            auto_register_rate_bps=auto_register_rate_bps,
+        )
+
+    @classmethod
+    def unified(
+        cls, name: str = "CSZ", num_predicted_classes: int = 2
+    ) -> "DisciplineSpec":
+        return cls.of(name, "unified", num_predicted_classes=num_predicted_classes)
+
+    @classmethod
+    def priority(cls, name: str = "Priority", **params) -> "DisciplineSpec":
+        return cls.of(name, "priority", **params)
+
+    @classmethod
+    def virtual_clock(
+        cls, name: str = "VirtualClock", equal_share_flows: Optional[int] = None
+    ) -> "DisciplineSpec":
+        return cls.of(name, "virtual_clock", equal_share_flows=equal_share_flows)
+
+    @classmethod
+    def round_robin(cls, name: str = "RR") -> "DisciplineSpec":
+        return cls.of(name, "round_robin")
+
+    @classmethod
+    def drr(cls, name: str = "DRR", quantum_bits: int = 1000) -> "DisciplineSpec":
+        return cls.of(name, "drr", quantum_bits=quantum_bits)
+
+    @classmethod
+    def edf(cls, name: str = "EDF", default_target: float = 0.1) -> "DisciplineSpec":
+        return cls.of(name, "edf", default_target=default_target)
+
+    @classmethod
+    def jacobson_floyd(
+        cls, name: str = "J-F", num_classes: int = 1
+    ) -> "DisciplineSpec":
+        return cls.of(name, "jacobson_floyd", num_classes=num_classes)
+
+    @classmethod
+    def stop_and_go(
+        cls, name: str = "Stop-and-Go", frame_seconds: float = 0.05
+    ) -> "DisciplineSpec":
+        return cls.of(name, "stop_and_go", frame_seconds=frame_seconds)
+
+    @classmethod
+    def jitter_edd(
+        cls, name: str = "Jitter-EDD", default_target: float = 0.08
+    ) -> "DisciplineSpec":
+        return cls.of(name, "jitter_edd", default_target=default_target)
+
+    @classmethod
+    def custom(cls, name: str, factory: Callable) -> "DisciplineSpec":
+        return cls(name=name, kind="custom", factory=factory)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.factory is not None:
+            raise ValueError(
+                f"discipline {self.name!r} uses a custom factory and cannot "
+                "be serialized"
+            )
+        return {"name": self.name, "kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DisciplineSpec":
+        return cls.of(data["name"], data["kind"], **dict(data.get("params", {})))
+
+
+@dataclasses.dataclass(frozen=True)
+class TcpSpec:
+    """A TCP connection supplying datagram background load."""
+
+    name: str
+    source_host: str
+    dest_host: str
+    max_cwnd: float = 64.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TcpSpec":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionSpec:
+    """Measurement-based admission control at every output port."""
+
+    realtime_quota: float = 0.9
+    class_bounds_seconds: Tuple[float, ...] = (0.15, 1.5)
+
+    def __post_init__(self):
+        if not 0 < self.realtime_quota <= 1:
+            raise ValueError("realtime quota must be in (0, 1]")
+        if not self.class_bounds_seconds:
+            raise ValueError("at least one predicted class bound is required")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionSpec":
+        payload = dict(data)
+        payload["class_bounds_seconds"] = tuple(payload["class_bounds_seconds"])
+        return cls(**payload)
+
+
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative experiment: build → run → structured results.
+
+    Attributes:
+        disciplines: one simulation per discipline, each fed the identical
+            arrival process (paired comparison, as in the paper's tables).
+        establish_order: flow names in the order their service requests
+            visit admission control; defaults to spec order.  A partial
+            list only prioritizes — request-bearing flows not listed are
+            established afterwards, in spec order.  Table 3 establishes
+            guaranteed flows before predicted ones so later checks see
+            the reservations.
+        link_accounting: count per-link real-time vs total bits and
+            datagram drops (the Table-3 bookkeeping); off by default to
+            keep the hot path lean.
+        percentile_points: queueing-delay percentiles computed per flow.
+    """
+
+    name: str
+    topology: TopologySpec
+    flows: Tuple[FlowSpec, ...]
+    disciplines: Tuple[DisciplineSpec, ...]
+    tcps: Tuple[TcpSpec, ...] = ()
+    admission: Optional[AdmissionSpec] = None
+    establish_order: Optional[Tuple[str, ...]] = None
+    duration: float = paper.PAPER_DURATION_SECONDS
+    warmup: float = paper.DEFAULT_WARMUP_SECONDS
+    seed: int = 1
+    percentile_points: Tuple[float, ...] = DEFAULT_PERCENTILES
+    link_accounting: bool = False
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup cannot be negative")
+        if not self.disciplines:
+            raise ValueError("at least one discipline is required")
+        flow_names = [flow.name for flow in self.flows]
+        if len(set(flow_names)) != len(flow_names):
+            raise ValueError("flow names must be unique")
+        discipline_names = [d.name for d in self.disciplines]
+        if len(set(discipline_names)) != len(discipline_names):
+            raise ValueError("discipline names must be unique")
+        if self.establish_order is not None:
+            known = set(flow_names)
+            unknown = [n for n in self.establish_order if n not in known]
+            if unknown:
+                raise ValueError(f"establish_order names unknown flows: {unknown}")
+            if len(set(self.establish_order)) != len(self.establish_order):
+                raise ValueError("establish_order must not repeat flow names")
+
+    # ------------------------------------------------------------------
+    def flow(self, name: str) -> FlowSpec:
+        for flow in self.flows:
+            if flow.name == name:
+                return flow
+        raise KeyError(name)
+
+    def discipline(self, name: str) -> DisciplineSpec:
+        for discipline in self.disciplines:
+            if discipline.name == name:
+                return discipline
+        raise KeyError(name)
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A modified copy (frozen specs compose by replacement)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "topology": self.topology.to_dict(),
+            "flows": [flow.to_dict() for flow in self.flows],
+            "disciplines": [d.to_dict() for d in self.disciplines],
+            "tcps": [tcp.to_dict() for tcp in self.tcps],
+            "admission": self.admission.to_dict() if self.admission else None,
+            "establish_order": (
+                list(self.establish_order)
+                if self.establish_order is not None
+                else None
+            ),
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "percentile_points": list(self.percentile_points),
+            "link_accounting": self.link_accounting,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data["name"],
+            topology=TopologySpec.from_dict(data["topology"]),
+            flows=tuple(FlowSpec.from_dict(f) for f in data["flows"]),
+            disciplines=tuple(
+                DisciplineSpec.from_dict(d) for d in data["disciplines"]
+            ),
+            tcps=tuple(TcpSpec.from_dict(t) for t in data.get("tcps", ())),
+            admission=(
+                AdmissionSpec.from_dict(data["admission"])
+                if data.get("admission")
+                else None
+            ),
+            establish_order=(
+                tuple(data["establish_order"])
+                if data.get("establish_order") is not None
+                else None
+            ),
+            duration=data.get("duration", paper.PAPER_DURATION_SECONDS),
+            warmup=data.get("warmup", paper.DEFAULT_WARMUP_SECONDS),
+            seed=data.get("seed", 1),
+            percentile_points=tuple(
+                data.get("percentile_points", DEFAULT_PERCENTILES)
+            ),
+            link_accounting=data.get("link_accounting", False),
+        )

@@ -37,6 +37,46 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["table9"])
 
+    def test_json_export(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        assert main(["table1", "--duration", "15", "--json", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        import json
+
+        payload = json.loads(path.read_text())
+        runs = payload["experiments"]["table1"]["runs"]
+        assert [run["discipline"] for run in runs] == ["WFQ", "FIFO"]
+        assert "flow-0" in runs[0]["flows"]
+        assert runs[0]["flows"]["flow-0"]["recorded"] > 0
+
+    def test_workers_flag_matches_serial(self, capsys, tmp_path):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        assert main(["table1", "--duration", "15", "--json", str(serial)]) == 0
+        assert (
+            main(
+                [
+                    "table1",
+                    "--duration",
+                    "15",
+                    "--workers",
+                    "2",
+                    "--json",
+                    str(parallel),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        import json
+
+        def comparable(path):
+            runs = json.loads(path.read_text())["experiments"]["table1"]["runs"]
+            for run in runs:
+                del run["runtime"]
+            return runs
+
+        assert comparable(serial) == comparable(parallel)
+
     def test_all_runs_everything(self, capsys):
         assert main(["all", "--duration", "15"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Tests for the fluent builder (the Appendix encoded as helpers)."""
+
+import pytest
+
+from repro.scenario import DisciplineSpec, ScenarioBuilder, paper
+
+
+class TestBuilderBasics:
+    def test_requires_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            ScenarioBuilder().disciplines(DisciplineSpec.fifo()).build()
+
+    def test_requires_discipline(self):
+        with pytest.raises(ValueError, match="discipline"):
+            ScenarioBuilder().single_link().build()
+
+    def test_fluent_chain_returns_spec(self):
+        spec = (
+            ScenarioBuilder("x")
+            .single_link()
+            .paper_flows(3)
+            .discipline(DisciplineSpec.fifo())
+            .duration(5.0)
+            .seed(9)
+            .warmup(1.0)
+            .build()
+        )
+        assert spec.name == "x"
+        assert spec.duration == 5.0
+        assert spec.seed == 9
+        assert spec.warmup == 1.0
+
+
+class TestPaperHelpers:
+    def test_paper_flows_names_and_defaults(self):
+        spec = (
+            ScenarioBuilder()
+            .single_link()
+            .paper_flows(10)
+            .discipline(DisciplineSpec.fifo())
+            .build()
+        )
+        assert [f.name for f in spec.flows] == [f"flow-{i}" for i in range(10)]
+        for flow in spec.flows:
+            assert flow.source_host == "src-host"
+            assert flow.dest_host == "dst-host"
+            assert flow.average_rate_pps == paper.AVERAGE_RATE_PPS
+            assert flow.bucket_packets == paper.BUCKET_PACKETS
+
+    def test_paper_chain_is_figure1(self):
+        spec = (
+            ScenarioBuilder()
+            .paper_chain()
+            .discipline(DisciplineSpec.fifo())
+            .build()
+        )
+        assert spec.topology.kind == "figure1"
+        assert spec.topology.rate_bps == paper.LINK_RATE_BPS
+
+    def test_figure1_flows_census(self):
+        """The 22-flow placement: 10 per link, 12/4/4/2 by path length."""
+        spec = (
+            ScenarioBuilder()
+            .paper_chain()
+            .figure1_flows()
+            .discipline(DisciplineSpec.fifo())
+            .build()
+        )
+        assert len(spec.flows) == 22
+        by_hops = {}
+        per_link = {link: 0 for link in range(1, 5)}
+        for flow in spec.flows:
+            by_hops[flow.hops] = by_hops.get(flow.hops, 0) + 1
+            src = int(flow.source_host.split("-")[1])
+            dst = int(flow.dest_host.split("-")[1])
+            assert flow.hops == dst - src
+            for link in range(src, dst):
+                per_link[link] += 1
+        assert by_hops == {1: 12, 2: 4, 3: 4, 4: 2}
+        assert set(per_link.values()) == {10}
+
+    def test_figure1_flows_kwargs_apply_to_all(self):
+        from repro.net.packet import ServiceClass
+
+        spec = (
+            ScenarioBuilder()
+            .paper_chain()
+            .figure1_flows(service_class=ServiceClass.PREDICTED)
+            .discipline(DisciplineSpec.fifo())
+            .build()
+        )
+        assert all(
+            f.service_class is ServiceClass.PREDICTED for f in spec.flows
+        )
+
+    def test_percentiles_and_accounting(self):
+        spec = (
+            ScenarioBuilder()
+            .single_link()
+            .paper_flows(1)
+            .discipline(DisciplineSpec.fifo())
+            .percentiles(5.0, 95.0)
+            .link_accounting()
+            .build()
+        )
+        assert spec.percentile_points == (5.0, 95.0)
+        assert spec.link_accounting
+
+    def test_tcp_and_admission(self):
+        spec = (
+            ScenarioBuilder()
+            .paper_chain(duplex=True)
+            .paper_flows(1, source_host="Host-1", dest_host="Host-5")
+            .discipline(DisciplineSpec.unified())
+            .admission(realtime_quota=0.8, class_bounds_seconds=(0.1, 1.0))
+            .tcp("t", "Host-1", "Host-3", max_cwnd=32.0)
+            .build()
+        )
+        assert spec.admission.realtime_quota == 0.8
+        assert spec.tcps[0].max_cwnd == 32.0

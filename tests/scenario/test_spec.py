@@ -1,0 +1,169 @@
+"""Tests for the declarative spec layer (validation, immutability, JSON)."""
+
+import dataclasses
+
+import pytest
+
+from repro.net.packet import ServiceClass
+from repro.scenario import (
+    AdmissionSpec,
+    DisciplineSpec,
+    FlowSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioSpec,
+    TopologySpec,
+)
+
+
+def minimal_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="t",
+        topology=TopologySpec.single_link(),
+        flows=(FlowSpec("f0", "src-host", "dst-host"),),
+        disciplines=(DisciplineSpec.fifo(),),
+        duration=10.0,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestTopologySpec:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            TopologySpec(kind="torus")
+
+    def test_chain_needs_length(self):
+        with pytest.raises(ValueError, match="num_switches"):
+            TopologySpec.chain(1)
+
+    def test_single_link_is_simplex(self):
+        with pytest.raises(ValueError, match="simplex"):
+            TopologySpec.single_link(duplex=True)
+
+    def test_paper_defaults(self):
+        spec = TopologySpec.figure1()
+        assert spec.rate_bps == 1_000_000
+        assert spec.buffer_packets == 200
+
+    def test_frozen(self):
+        spec = TopologySpec.single_link()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.rate_bps = 2_000_000
+
+
+class TestFlowSpec:
+    def test_paper_defaults(self):
+        flow = FlowSpec("f", "a", "b")
+        assert flow.average_rate_pps == 85.0
+        assert flow.bucket_packets == 50.0
+        assert flow.packet_size_bits == 1000
+        assert flow.service_class is ServiceClass.DATAGRAM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec("", "a", "b")
+        with pytest.raises(ValueError):
+            FlowSpec("f", "a", "b", average_rate_pps=0)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            GuaranteedRequest(clock_rate_bps=0)
+        with pytest.raises(ValueError):
+            PredictedRequest(
+                token_rate_bps=1, bucket_depth_bits=1, target_delay_seconds=0
+            )
+
+
+class TestDisciplineSpec:
+    def test_params_are_hashable_and_sorted(self):
+        spec = DisciplineSpec.of("X", "wfq", b=2, a=1)
+        assert spec.params == (("a", 1), ("b", 2))
+        hash(spec)
+
+    def test_param_dict(self):
+        spec = DisciplineSpec.wfq(equal_share_flows=10)
+        assert spec.param_dict["equal_share_flows"] == 10
+
+    def test_custom_factory_not_serializable(self):
+        spec = DisciplineSpec.custom("X", lambda sim, name, link: None)
+        with pytest.raises(ValueError, match="custom factory"):
+            spec.to_dict()
+
+
+class TestScenarioSpec:
+    def test_duplicate_flow_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            minimal_spec(
+                flows=(
+                    FlowSpec("f0", "src-host", "dst-host"),
+                    FlowSpec("f0", "src-host", "dst-host"),
+                )
+            )
+
+    def test_duplicate_discipline_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            minimal_spec(
+                disciplines=(DisciplineSpec.fifo(), DisciplineSpec.fifo())
+            )
+
+    def test_establish_order_must_name_known_flows(self):
+        with pytest.raises(ValueError, match="unknown flows"):
+            minimal_spec(establish_order=("ghost",))
+
+    def test_establish_order_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="repeat"):
+            minimal_spec(establish_order=("f0", "f0"))
+
+    def test_at_least_one_discipline(self):
+        with pytest.raises(ValueError, match="discipline"):
+            minimal_spec(disciplines=())
+
+    def test_replace_returns_modified_copy(self):
+        spec = minimal_spec()
+        other = spec.replace(seed=99)
+        assert other.seed == 99
+        assert spec.seed == 1
+        assert other.flows == spec.flows
+
+    def test_lookups(self):
+        spec = minimal_spec()
+        assert spec.flow("f0").name == "f0"
+        assert spec.discipline("FIFO").kind == "fifo"
+        with pytest.raises(KeyError):
+            spec.flow("nope")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_spec(self):
+        spec = minimal_spec(
+            flows=(
+                FlowSpec(
+                    "g",
+                    "src-host",
+                    "dst-host",
+                    request=GuaranteedRequest(clock_rate_bps=170_000),
+                    service_class=ServiceClass.GUARANTEED,
+                ),
+                FlowSpec(
+                    "p",
+                    "src-host",
+                    "dst-host",
+                    request=PredictedRequest(
+                        token_rate_bps=85_000,
+                        bucket_depth_bits=50_000,
+                        target_delay_seconds=0.3,
+                    ),
+                ),
+            ),
+            admission=AdmissionSpec(),
+            establish_order=("g", "p"),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        spec = minimal_spec()
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == spec

@@ -1,0 +1,115 @@
+"""Tests for parameter/seed sweeps and multiprocess fan-out."""
+
+import pytest
+
+from repro.scenario import DisciplineSpec, ScenarioBuilder, expand, sweep
+
+
+def base_spec(duration=10.0):
+    return (
+        ScenarioBuilder("sweep-base")
+        .single_link()
+        .paper_flows(3)
+        .disciplines(
+            DisciplineSpec.wfq(equal_share_flows=3), DisciplineSpec.fifo()
+        )
+        .duration(duration)
+        .seed(1)
+        .build()
+    )
+
+
+class TestExpand:
+    def test_seeds_expand_in_order(self):
+        specs = expand(base_spec(), seeds=[4, 5, 6])
+        assert [s.seed for s in specs] == [4, 5, 6]
+
+    def test_overrides_cross_seeds(self):
+        specs = expand(
+            base_spec(), over=[{"duration": 5.0}, {"duration": 7.0}], seeds=[1, 2]
+        )
+        assert [(s.duration, s.seed) for s in specs] == [
+            (5.0, 1),
+            (5.0, 2),
+            (7.0, 1),
+            (7.0, 2),
+        ]
+
+    def test_whole_spec_override(self):
+        other = base_spec().replace(name="other")
+        specs = expand(base_spec(), over=[other], seeds=[9])
+        assert specs[0].name == "other"
+        assert specs[0].seed == 9
+
+    def test_whole_spec_override_keeps_its_own_seed(self):
+        """Without an explicit seed list, a replacement spec's seed must
+        survive expansion rather than being clobbered by the base's."""
+        arm = base_spec().replace(name="arm-b", seed=7)
+        specs = expand(base_spec(), over=[{}, arm])
+        assert [(s.name, s.seed) for s in specs] == [
+            ("sweep-base", 1),
+            ("arm-b", 7),
+        ]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            expand(base_spec(), over=[])
+        with pytest.raises(ValueError):
+            expand(base_spec(), seeds=[])
+
+
+class TestSweepSerial:
+    def test_one_result_per_run_in_order(self):
+        results = sweep(base_spec(), seeds=[3, 4])
+        assert [r.seed for r in results] == [3, 4]
+        for result in results:
+            assert result.disciplines == ("WFQ", "FIFO")
+
+    def test_paired_seeds_across_overrides(self):
+        """Flows with the same names see identical arrivals across
+        overrides that share a seed (streams keyed by flow name only)."""
+        results = sweep(
+            base_spec(),
+            over=[{"name": "arm-a"}, {"name": "arm-b"}],
+            seeds=[7],
+        )
+        a, b = results
+        for flow in ("flow-0", "flow-1", "flow-2"):
+            assert (
+                a.run("FIFO").flow(flow).generated
+                == b.run("FIFO").flow(flow).generated
+            )
+
+
+class TestSweepParallel:
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        spec = base_spec(duration=20.0)
+        seeds = [1, 2, 3, 4, 5, 6, 7, 8]
+        serial = sweep(spec, seeds=seeds)
+        parallel = sweep(spec, seeds=seeds, workers=4)
+        return serial, parallel
+
+    def test_parallel_identical_to_serial(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert [r.comparable_dict() for r in serial] == [
+            r.comparable_dict() for r in parallel
+        ]
+
+    def test_parallel_uses_multiple_processes(self, serial_and_parallel):
+        import os
+
+        __, parallel = serial_and_parallel
+        pids = {
+            run.worker_pid for result in parallel for run in result.runs
+        }
+        assert os.getpid() not in pids  # ran in worker processes...
+        assert len(pids) > 1  # ...and on more than one of them
+
+    def test_serial_runs_in_this_process(self, serial_and_parallel):
+        import os
+
+        serial, __ = serial_and_parallel
+        assert {
+            run.worker_pid for result in serial for run in result.runs
+        } == {os.getpid()}
