@@ -8,36 +8,62 @@ Two views of the Parekh-Gallager bound:
 2. Empirical: a greedy source that dumps its full bucket as one burst into
    a WFQ link with adversarial cross traffic; the measured worst delay must
    approach-but-never-exceed b/r ("these bounds are strict").
+
+The topology/discipline wiring runs through the scenario API: each rate
+point is a declarative single-link spec with a custom WFQ discipline
+carrying the victim/hog reservations, and the adversarial blast traffic is
+driven into the built context (the scenario flow model covers on/off
+sources, not hand-timed full-bucket dumps).
 """
+
+import functools
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.core.bounds import parekh_gallager_fluid_bound
 from repro.experiments import common
 from repro.net.packet import Packet, ServiceClass
-from repro.net.topology import single_link_topology
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 from repro.sched.wfq import WfqScheduler
-from repro.sim.engine import Simulator
 from repro.traffic.sink import DelayRecordingSink
 
 BUCKET_BITS = common.BUCKET_PACKETS * common.PACKET_BITS  # 50 packets
 RATE_MULTIPLES = (1.0, 1.5, 2.0, 4.0)  # x the average rate A
 BASE_RATE_BPS = common.AVERAGE_RATE_PPS * common.PACKET_BITS
+DURATION = 2.0
+
+
+def _wfq_with_reservations(clock_rate_bps, sim, port_name, link):
+    """Custom discipline: WFQ with the victim's guaranteed clock rate and
+    a hog holding the remainder of the link."""
+    scheduler = WfqScheduler(link.rate_bps)
+    scheduler.install_guaranteed("victim", clock_rate_bps)
+    scheduler.install_guaranteed("hog", link.rate_bps - clock_rate_bps)
+    return scheduler
+
+
+def variant_spec(clock_rate_bps, seed):
+    return (
+        ScenarioBuilder("bucket-depth-ablation")
+        .single_link(buffer_packets=400)
+        .discipline(
+            DisciplineSpec.custom(
+                "WFQ+reservations",
+                functools.partial(_wfq_with_reservations, clock_rate_bps),
+            )
+        )
+        .duration(DURATION)
+        .warmup(0.0)
+        .seed(seed)
+        .build()
+    )
 
 
 def measured_burst_delay(clock_rate_bps, seed):
     """Worst measured delay (tx units) of a full-bucket burst under WFQ
     with a greedy competitor saturating the rest of the link."""
-    sim = Simulator()
-
-    def factory(name, link):
-        sched = WfqScheduler(link.rate_bps)
-        sched.register_flow("victim", clock_rate_bps)
-        sched.register_flow("hog", link.rate_bps - clock_rate_bps)
-        return sched
-
-    net = single_link_topology(
-        sim, factory, rate_bps=common.LINK_RATE_BPS, buffer_packets=400
-    )
+    context = ScenarioRunner(variant_spec(clock_rate_bps, seed)).build()
+    sim = context.sim
+    net = context.net
     sink = DelayRecordingSink(sim, net.hosts["dst-host"], "victim", warmup=0.0)
     port = net.port_for_link("A->B")
 
@@ -65,7 +91,7 @@ def measured_burst_delay(clock_rate_bps, seed):
         0.1, lambda: blast("victim", int(common.BUCKET_PACKETS),
                            ServiceClass.GUARANTEED)
     )
-    sim.run(until=2.0)
+    context.run()
     return sink.max_queueing(common.TX_TIME_SECONDS)
 
 

@@ -11,71 +11,67 @@ and run FIFO+ with the stale-offset threshold off and on.  With the
 discard enabled, packets whose accumulated offset marks them hopeless die
 inside the network; the *delivered* packets' tail delay drops — the freed
 bandwidth went to packets that could still make a play-back point.
+
+One declarative scenario, two disciplines (threshold off/on); the contexts
+are built through the scenario runner so both variants see the identical
+clumpy arrival process, and the in-network discard counters are read off
+the live schedulers.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
-from repro.net.topology import paper_figure1_topology
-from repro.sched.fifoplus import FifoPlusScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource, OnOffParams
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 DURATION = 45.0
 WARMUP = 5.0
 THRESHOLD_SECONDS = 0.04
 FOUR_HOP_FLOW = "i1"
-# Same long-run load as the paper workload, but bursts arrive as clumps —
-# the regime where some packets become hopelessly late.
-BURSTY = OnOffParams(
-    average_rate_pps=common.AVERAGE_RATE_PPS,
-    mean_burst_packets=30.0,
-    peak_rate_pps=850.0,
-)
+
+VARIANT_OFF = "no discard"
+VARIANT_ON = f"discard @ {THRESHOLD_SECONDS * 1e3:.0f}ms"
 
 
-def run_variant(threshold, seed):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    schedulers = []
-
-    def factory(name, link):
-        scheduler = FifoPlusScheduler(stale_offset_threshold=threshold)
-        schedulers.append(scheduler)
-        return scheduler
-
-    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    sinks = {}
-    for placement in common.figure1_flow_placements():
-        OnOffMarkovSource(
-            sim,
-            net.hosts[placement.source_host],
-            placement.name,
-            placement.dest_host,
-            BURSTY,
-            streams.stream(f"source:{placement.name}"),
+def ablation_spec(seed: int = BENCH_SEED):
+    return (
+        ScenarioBuilder("stale-discard-ablation")
+        .paper_chain()
+        # Same long-run load as the paper workload, but bursts arrive as
+        # clumps — the regime where some packets become hopelessly late.
+        # No source bucket: the originals injected the raw on/off process.
+        .figure1_flows(
+            mean_burst_packets=30.0,
+            peak_rate_pps=850.0,
+            bucket_packets=None,
         )
-        sinks[placement.name] = DelayRecordingSink(
-            sim, net.hosts[placement.dest_host], placement.name, warmup=WARMUP
+        .disciplines(
+            DisciplineSpec.fifoplus(name=VARIANT_OFF),
+            DisciplineSpec.fifoplus(
+                name=VARIANT_ON, stale_offset_threshold=THRESHOLD_SECONDS
+            ),
         )
-    sim.run(until=DURATION)
-    unit = common.TX_TIME_SECONDS
-    sink = sinks[FOUR_HOP_FLOW]
-    return {
-        "p999": sink.percentile_queueing(99.9, unit),
-        "delivered": sink.recorded,
-        "stale_discards": sum(s.stale_discards for s in schedulers),
-    }
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
+    )
 
 
 def run_ablation(seed: int = BENCH_SEED):
-    return {
-        "no discard": run_variant(None, seed),
-        f"discard @ {THRESHOLD_SECONDS * 1e3:.0f}ms": run_variant(
-            THRESHOLD_SECONDS, seed
-        ),
-    }
+    runner = ScenarioRunner(ablation_spec(seed))
+    unit = common.TX_TIME_SECONDS
+    results = {}
+    for discipline in runner.spec.disciplines:
+        context = runner.build(discipline).run()
+        sink = context.sinks[FOUR_HOP_FLOW]
+        results[discipline.name] = {
+            "p999": sink.percentile_queueing(99.9, unit),
+            "delivered": sink.recorded,
+            "stale_discards": sum(
+                port.scheduler.stale_discards
+                for port in context.net.ports.values()
+            ),
+        }
+    return results
 
 
 def test_bench_ablation_stale_discard(benchmark):
@@ -90,8 +86,8 @@ def test_bench_ablation_stale_discard(benchmark):
             for name, r in results.items()
         ],
     ))
-    off = results["no discard"]
-    on = results[f"discard @ {THRESHOLD_SECONDS * 1e3:.0f}ms"]
+    off = results[VARIANT_OFF]
+    on = results[VARIANT_ON]
     benchmark.extra_info.update(
         {
             "p999_off": round(off["p999"], 1),

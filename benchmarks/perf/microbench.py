@@ -1,0 +1,186 @@
+"""Engine and hot-path microbenchmarks.
+
+Each function runs one tightly-scoped workload and returns a plain dict of
+measurements (rates in operations per *wall-clock* second).  They are the
+raw material for ``tools/perf_report.py``, which assembles the tracked
+``BENCH_core.json`` trajectory, and for the CI perf-smoke step.
+
+The benches deliberately depend only on stable public API so the identical
+workload can be timed against older checkouts of the engine (that is how
+the ``baseline`` block in ``BENCH_core.json`` was captured).  The one
+accommodation is ``_schedule_handle``: engines before the fast-path split
+had a single ``schedule`` that always returned a cancellable handle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.experiments import table1, table3
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
+from repro.sim.engine import Simulator
+
+# Sized so the full suite runs in roughly a minute on a laptop.
+RAW_EVENTS_TOTAL = 400_000
+RAW_EVENT_CHAINS = 64
+TIMER_CHURN_OPS = 150_000
+SCHED_DURATION_SECONDS = 8.0
+SCHED_NUM_FLOWS = 10
+TABLE_DURATION_SECONDS = 15.0
+
+SCHED_DISCIPLINES = (
+    DisciplineSpec.fifo(),
+    DisciplineSpec.fifoplus(),
+    DisciplineSpec.wfq(equal_share_flows=SCHED_NUM_FLOWS),
+    DisciplineSpec.unified(),
+)
+
+
+def _schedule_handle(sim: Simulator) -> Callable:
+    """The cancellable-scheduling entry point, on any engine vintage."""
+    return getattr(sim, "schedule_handle", None) or sim.schedule
+
+
+def bench_raw_events(
+    total_events: int = RAW_EVENTS_TOTAL, chains: int = RAW_EVENT_CHAINS
+) -> Dict[str, float]:
+    """Raw event-loop throughput: self-rescheduling callback chains.
+
+    ``chains`` concurrent callbacks each reschedule themselves at slightly
+    different periods, so the heap stays ``chains`` deep and pushes hit
+    random positions — the steady-state shape of a packet simulation with
+    many independent sources, minus all packet work.
+    """
+    sim = Simulator()
+    budget = [total_events]
+    schedule = sim.schedule
+
+    def make_chain(period: float) -> Callable[[], None]:
+        def fire() -> None:
+            if budget[0] > 0:
+                budget[0] -= 1
+                schedule(period, fire)
+
+        return fire
+
+    for i in range(chains):
+        schedule(0.0, make_chain(0.001 + i * 1e-6))
+    started = time.perf_counter()
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - started
+    return {
+        "events": sim.events_processed,
+        "wall_seconds": elapsed,
+        "events_per_sec": sim.events_processed / elapsed,
+    }
+
+
+def bench_timer_churn(ops: int = TIMER_CHURN_OPS) -> Dict[str, float]:
+    """Cancel/re-arm churn: the retransmission-timer usage pattern.
+
+    Every iteration cancels the previously armed timer (which never fires)
+    and arms a fresh one, while a driving chain advances the clock past the
+    cancelled entries so the lazy-deletion pop path is exercised too.
+    """
+    sim = Simulator()
+    schedule = sim.schedule
+    schedule_handle = _schedule_handle(sim)
+    state = {"handle": None, "remaining": ops}
+
+    def retransmit() -> None:  # pragma: no cover - always cancelled
+        raise AssertionError("cancelled timer fired")
+
+    def fire() -> None:
+        handle = state["handle"]
+        if handle is not None:
+            handle.cancel()
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            state["handle"] = schedule_handle(0.0025, retransmit)
+            schedule(0.001, fire)
+        else:
+            state["handle"] = None
+
+    schedule(0.0, fire)
+    started = time.perf_counter()
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - started
+    return {
+        "ops": ops,
+        "wall_seconds": elapsed,
+        "churn_per_sec": ops / elapsed,
+    }
+
+
+def bench_scheduler_packets(
+    duration: float = SCHED_DURATION_SECONDS, num_flows: int = SCHED_NUM_FLOWS
+) -> Dict[str, Dict[str, float]]:
+    """Per-discipline packets/sec through the Table-1 bottleneck port."""
+    spec = (
+        ScenarioBuilder("perf-sched")
+        .single_link()
+        .paper_flows(num_flows)
+        .disciplines(*SCHED_DISCIPLINES)
+        .duration(duration)
+        .warmup(0.0)
+        .seed(1)
+        .build()
+    )
+    runner = ScenarioRunner(spec)
+    out: Dict[str, Dict[str, float]] = {}
+    for discipline in spec.disciplines:
+        context = runner.build(discipline)
+        started = time.perf_counter()
+        context.run()
+        elapsed = time.perf_counter() - started
+        port = context.net.port_for_link("A->B")
+        out[discipline.name] = {
+            "packets": port.packets_out,
+            "wall_seconds": elapsed,
+            "packets_per_sec": port.packets_out / elapsed,
+            "events_per_sec": context.sim.events_processed / elapsed,
+        }
+    return out
+
+
+def bench_table1(duration: float = TABLE_DURATION_SECONDS) -> Dict[str, float]:
+    """Wall clock of a shortened Table-1 experiment (two full simulations)."""
+    started = time.perf_counter()
+    table1.run(duration=duration, seed=1)
+    elapsed = time.perf_counter() - started
+    return {"duration": duration, "wall_seconds": elapsed}
+
+
+def bench_table3(duration: float = TABLE_DURATION_SECONDS) -> Dict[str, float]:
+    """Wall clock of a shortened Table-3 experiment (unified + admission)."""
+    started = time.perf_counter()
+    table3.run(duration=duration, seed=1)
+    elapsed = time.perf_counter() - started
+    return {"duration": duration, "wall_seconds": elapsed}
+
+
+def run_all(scale: float = 1.0) -> Dict[str, object]:
+    """Run every microbench, optionally scaled down (``scale < 1``) for CI.
+
+    Returns the nested measurement dict that ``tools/perf_report.py``
+    embeds as the ``current`` block of ``BENCH_core.json``.
+    """
+    scale = max(scale, 0.01)
+    return {
+        "raw_events": bench_raw_events(
+            total_events=max(int(RAW_EVENTS_TOTAL * scale), 1000)
+        ),
+        "timer_churn": bench_timer_churn(
+            ops=max(int(TIMER_CHURN_OPS * scale), 1000)
+        ),
+        "scheduler_packets": bench_scheduler_packets(
+            duration=max(SCHED_DURATION_SECONDS * scale, 0.5)
+        ),
+        "table1": bench_table1(
+            duration=max(TABLE_DURATION_SECONDS * scale, 1.0)
+        ),
+        "table3": bench_table3(
+            duration=max(TABLE_DURATION_SECONDS * scale, 1.0)
+        ),
+    }

@@ -24,6 +24,7 @@ from repro.core.service import (
 from repro.net.network import Network
 from repro.net.packet import Packet, ServiceClass
 from repro.net.port import OutputPort
+from repro.sched.base import GuaranteedServiceUnsupported
 from repro.traffic.token_bucket import NonconformingPolicy, TokenBucketFilter
 
 
@@ -150,18 +151,21 @@ class SignalingAgent:
 
     @staticmethod
     def _install_clock_rate(port: OutputPort, flow_id: str, rate_bps: float) -> None:
-        scheduler = port.scheduler
-        install = getattr(scheduler, "install_guaranteed_flow", None)
-        if install is not None:
-            install(flow_id, rate_bps)
-            return
-        register = getattr(scheduler, "register_flow", None)
-        if register is not None:
-            register(flow_id, rate_bps)
-            return
-        raise FlowEstablishmentError(
-            f"scheduler on {port.name} cannot host guaranteed flows", []
-        )
+        """Install a guaranteed clock rate through the explicit capability
+        interface (:meth:`repro.sched.base.Scheduler.install_guaranteed`).
+
+        Disciplines that reserve in other units (e.g. HRR slots/frame)
+        refuse instead of silently reinterpreting bits/s, so the old
+        ``register_flow`` duck-typing mixup cannot recur.
+        """
+        try:
+            port.scheduler.install_guaranteed(flow_id, rate_bps)
+        except GuaranteedServiceUnsupported as exc:
+            raise FlowEstablishmentError(
+                f"scheduler on {port.name} cannot host guaranteed flows: "
+                f"{exc}",
+                [],
+            ) from exc
 
     def _establish_predicted(
         self, flow: FlowSpec, path: List[str], link_names: List[str], now: float

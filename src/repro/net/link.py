@@ -74,6 +74,12 @@ class Link:
         # Called when a transmission completes and the link goes idle; the
         # owning OutputPort uses it to pull the next packet.
         self.on_idle: Optional[Callable[[], None]] = None
+        # Hot-path bindings: the link is simplex and transmits one packet
+        # at a time, so the in-flight packet lives on the link instead of
+        # in a per-packet closure, and the completion callback is one bound
+        # method scheduled through a pre-bound ``schedule``.
+        self._in_flight: Optional[Packet] = None
+        self._schedule = sim.schedule
 
     def connect(self, receiver: "Node") -> None:
         self.receiver = receiver
@@ -94,16 +100,17 @@ class Link:
             raise RuntimeError(f"link {self.name} is not connected")
         self.busy = True
         self._busy_tracker.update(self.sim.now, 1.0)
-        tx_time = self.transmission_time(packet)
-        self.sim.schedule(tx_time, lambda: self._complete(packet))
+        self._in_flight = packet
+        self._schedule(packet.size_bits / self.rate_bps, self._complete)
 
-    def _complete(self, packet: Packet) -> None:
+    def _complete(self) -> None:
+        packet = self._in_flight
+        self._in_flight = None
         self.busy = False
         self._busy_tracker.update(self.sim.now, 0.0)
         self.packets_sent += 1
         self.bits_sent += packet.size_bits
         receiver = self.receiver
-        assert receiver is not None
         if (
             self.loss_probability > 0.0
             and self._loss_rng.random() < self.loss_probability

@@ -80,32 +80,35 @@ class OutputPort:
         """
         now = self.sim.now
         self.packets_in += 1
-        for admission_filter in self.filters:
-            if not admission_filter(packet, now):
-                self._drop(packet, now)
-                return False
-        if len(self.scheduler) >= self.buffer_packets:
-            victim = self.scheduler.select_push_out(packet)
+        if self.filters:
+            for admission_filter in self.filters:
+                if not admission_filter(packet, now):
+                    self._drop(packet, now)
+                    return False
+        scheduler = self.scheduler
+        if len(scheduler) >= self.buffer_packets:
+            victim = scheduler.select_push_out(packet)
             if victim is None:
                 self._drop(packet, now)
                 return False
             # Push-out: the scheduler evicted `victim` to admit `packet`.
             self._drop(victim, now)
         packet.enqueued_at = now
-        accepted = self.scheduler.enqueue(packet, now)
-        if not accepted:
+        if not scheduler.enqueue(packet, now):
             self._drop(packet, now)
             return False
-        for listener in self.on_enqueue:
-            listener(packet, now)
+        if self.on_enqueue:
+            for listener in self.on_enqueue:
+                listener(packet, now)
         if not self.link.busy:
             self._send_next()
         return True
 
     def _drop(self, packet: Packet, now: float) -> None:
         self.packets_dropped += 1
-        for listener in self.on_drop:
-            listener(packet, now)
+        if self.on_drop:
+            for listener in self.on_drop:
+                listener(packet, now)
 
     def _send_next(self) -> None:
         now = self.sim.now
@@ -116,8 +119,9 @@ class OutputPort:
         packet.queueing_delay += wait
         packet.hops += 1
         self.packets_out += 1
-        for listener in self.on_depart:
-            listener(packet, now, wait)
+        if self.on_depart:
+            for listener in self.on_depart:
+                listener(packet, now, wait)
         self.link.transmit(packet)
 
     def _on_link_idle(self) -> None:

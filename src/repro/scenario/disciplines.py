@@ -14,7 +14,7 @@ from repro.scenario.spec import DisciplineSpec
 from repro.sched.base import Scheduler
 from repro.sched.edf import EdfScheduler
 from repro.sched.fifo import FifoScheduler
-from repro.sched.fifoplus import FifoPlusScheduler
+from repro.sched.fifoplus import DEFAULT_EWMA_GAIN, FifoPlusScheduler
 from repro.sched.jacobson_floyd import JacobsonFloydScheduler
 from repro.sched.nonwork import JitterEddScheduler, StopAndGoScheduler
 from repro.sched.priority import PriorityScheduler
@@ -55,7 +55,10 @@ def _build_unified(params, sim, link):
 
 _REGISTRY: Dict[str, Callable[[Mapping[str, Any], Simulator, Link], Scheduler]] = {
     "fifo": lambda params, sim, link: FifoScheduler(),
-    "fifoplus": lambda params, sim, link: FifoPlusScheduler(),
+    "fifoplus": lambda params, sim, link: FifoPlusScheduler(
+        ewma_gain=params.get("ewma_gain", DEFAULT_EWMA_GAIN),
+        stale_offset_threshold=params.get("stale_offset_threshold"),
+    ),
     "wfq": _build_wfq,
     "priority": lambda params, sim, link: PriorityScheduler(**dict(params)),
     "unified": _build_unified,

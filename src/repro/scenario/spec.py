@@ -244,8 +244,20 @@ class DisciplineSpec:
         return cls.of(name, "fifo")
 
     @classmethod
-    def fifoplus(cls, name: str = "FIFO+") -> "DisciplineSpec":
-        return cls.of(name, "fifoplus")
+    def fifoplus(
+        cls,
+        name: str = "FIFO+",
+        ewma_gain: Optional[float] = None,
+        stale_offset_threshold: Optional[float] = None,
+    ) -> "DisciplineSpec":
+        """FIFO+; ``stale_offset_threshold`` enables the Section 10
+        in-network discard of hopelessly late packets."""
+        params = {}
+        if ewma_gain is not None:
+            params["ewma_gain"] = ewma_gain
+        if stale_offset_threshold is not None:
+            params["stale_offset_threshold"] = stale_offset_threshold
+        return cls.of(name, "fifoplus", **params)
 
     @classmethod
     def wfq(

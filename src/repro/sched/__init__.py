@@ -17,7 +17,7 @@ One module per discipline discussed or compared in the paper:
   (Stop-and-Go, Hierarchical Round Robin, Jitter-EDD; Section 11).
 """
 
-from repro.sched.base import Scheduler
+from repro.sched.base import GuaranteedServiceUnsupported, Scheduler
 from repro.sched.fifo import FifoScheduler
 from repro.sched.wfq import WfqScheduler
 from repro.sched.gps import GpsFluidModel
@@ -36,6 +36,7 @@ from repro.sched.jacobson_floyd import JacobsonFloydScheduler
 
 __all__ = [
     "Scheduler",
+    "GuaranteedServiceUnsupported",
     "FifoScheduler",
     "WfqScheduler",
     "GpsFluidModel",

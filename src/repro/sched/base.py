@@ -23,6 +23,17 @@ from typing import Optional
 from repro.net.packet import Packet
 
 
+class GuaranteedServiceUnsupported(RuntimeError):
+    """The scheduler cannot host a guaranteed flow at a bit rate.
+
+    Raised by :meth:`Scheduler.install_guaranteed` when the discipline
+    either has no per-flow reservations at all (FIFO, FIFO+, priority) or
+    reserves in units other than bits/s (slot-based disciplines like HRR),
+    in which case the caller must convert explicitly instead of relying on
+    an ambiguous ``register_flow`` second argument.
+    """
+
+
 class Scheduler(abc.ABC):
     """Abstract packet scheduler."""
 
@@ -40,6 +51,33 @@ class Scheduler(abc.ABC):
 
     def peek_is_empty(self) -> bool:
         return len(self) == 0
+
+    #: Whether :meth:`install_guaranteed` actually reserves a bit rate.
+    #: Rate-capable implementations set this to True alongside overriding
+    #: the method; a scheduler may override the method purely to refuse
+    #: with a more specific message (e.g. HRR pointing at its slots
+    #: converter) and leave this False.
+    supports_guaranteed: bool = False
+
+    def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
+        """Reserve a guaranteed clock rate of ``rate_bps`` bits/s for
+        ``flow_id``.
+
+        This is the *capability interface* the signaling layer uses to
+        install Section 8 guaranteed commitments: rate-capable disciplines
+        (WFQ, VirtualClock, the unified CSZ scheduler) override it; the
+        default refuses, so disciplines that meter in other units (HRR
+        slots, Stop-and-Go frames) can never silently misinterpret a bit
+        rate.
+
+        Raises:
+            GuaranteedServiceUnsupported: if this discipline cannot host
+                guaranteed flows at a bit rate.
+            ValueError: if the rate is invalid or cannot be accommodated.
+        """
+        raise GuaranteedServiceUnsupported(
+            f"{type(self).__name__} has no per-flow bit-rate reservations"
+        )
 
     def select_push_out(self, incoming: Packet) -> Optional[Packet]:
         """When the buffer is full, nominate a queued packet to evict in

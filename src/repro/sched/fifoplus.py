@@ -56,6 +56,20 @@ class ClassDelayTracker:
         ewma = self._per_class.get(priority_class)
         return ewma.value if ewma is not None else 0.0
 
+    def observe(self, priority_class: int, delay: float) -> float:
+        """Return the pre-sample average, then fold ``delay`` in.
+
+        Single-lookup fusion of :meth:`average` + :meth:`record` for the
+        per-packet dequeue path.
+        """
+        ewma = self._per_class.get(priority_class)
+        if ewma is None:
+            ewma = Ewma(self.gain)
+            self._per_class[priority_class] = ewma
+        average = ewma.value
+        ewma.add(delay)
+        return average
+
 
 class FifoPlusScheduler(Scheduler):
     """FIFO+ within a single class (or across everything it is handed).
@@ -83,25 +97,26 @@ class FifoPlusScheduler(Scheduler):
         self.stale_discards = 0
 
     def enqueue(self, packet: Packet, now: float) -> bool:
-        if (
-            self.stale_offset_threshold is not None
-            and packet.jitter_offset > self.stale_offset_threshold
-        ):
+        offset = packet.jitter_offset
+        threshold = self.stale_offset_threshold
+        if threshold is not None and offset > threshold:
             self.stale_discards += 1
             return False
-        key = packet.queueing_key()
-        heapq.heappush(self._heap, (key, self._seq, packet))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        # Key is packet.queueing_key(), inlined: expected arrival time.
+        heapq.heappush(self._heap, (packet.enqueued_at - offset, seq, packet))
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             return None
-        __, __, packet = heapq.heappop(self._heap)
+        packet = heapq.heappop(heap)[2]
         delay = now - packet.enqueued_at
-        average = self.tracker.average(packet.priority_class)
-        self.tracker.record(packet.priority_class, delay)
-        packet.jitter_offset += delay - average
+        packet.jitter_offset += delay - self.tracker.observe(
+            packet.priority_class, delay
+        )
         return packet
 
     def __len__(self) -> int:

@@ -36,7 +36,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
-from repro.sched.base import Scheduler
+from repro.sched.base import GuaranteedServiceUnsupported, Scheduler
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
 
@@ -64,7 +64,7 @@ class _HeldPacketScheduler(Scheduler):
                 return
             self._timer.cancel()
         delay = max(0.0, eligible_at - now)
-        self._timer = self.sim.schedule(delay, self._on_wakeup)
+        self._timer = self.sim.schedule_handle(delay, self._on_wakeup)
 
     def _on_wakeup(self) -> None:
         self._timer = None
@@ -160,6 +160,29 @@ class HrrScheduler(_HeldPacketScheduler):
         if slots < 1:
             raise ValueError("slots must be >= 1")
         self._slots[flow_id] = slots
+
+    def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
+        """HRR reserves *slots per frame*, not bits/s — refuse the ambiguous
+        install so a bit rate is never silently reinterpreted as a slot
+        count.  Callers with a known packet size convert explicitly:
+        ``register_flow(flow, hrr.slots_for_rate(rate_bps, packet_bits))``.
+        """
+        raise GuaranteedServiceUnsupported(
+            "HrrScheduler allocates slots/frame, not bits/s; convert with "
+            "slots_for_rate(rate_bps, packet_size_bits) and call "
+            "register_flow explicitly"
+        )
+
+    def slots_for_rate(self, rate_bps: float, packet_size_bits: int) -> int:
+        """Slots/frame needed to carry ``rate_bps`` of ``packet_size_bits``
+        packets — the explicit bits/s -> slots conversion."""
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_size_bits <= 0:
+            raise ValueError("packet size must be positive")
+        return max(
+            1, math.ceil(rate_bps * self.frame_seconds / packet_size_bits)
+        )
 
     def _frame_of(self, now: float) -> int:
         return math.floor(now / self.frame_seconds + _ELIGIBILITY_EPS)

@@ -39,6 +39,8 @@ from repro.sched.wfq import VirtualTime
 
 PSEUDO_FLOW_0 = "__predicted+datagram__"
 
+_INF = float("inf")
+
 
 @dataclasses.dataclass
 class UnifiedConfig:
@@ -144,6 +146,12 @@ class UnifiedScheduler(Scheduler):
         self.vt.register(flow_id, rate_bps)
         self._reregister_pseudo_flow()
 
+    supports_guaranteed = True
+
+    def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
+        """Capability interface alias for :meth:`install_guaranteed_flow`."""
+        self.install_guaranteed_flow(flow_id, rate_bps)
+
     def remove_guaranteed_flow(self, flow_id: str) -> None:
         """Tear down a guaranteed flow (its queue must be empty)."""
         if self._gqueues.get(flow_id):
@@ -174,15 +182,17 @@ class UnifiedScheduler(Scheduler):
             if queue is None:
                 self.refused_guaranteed += 1
                 return False
-            tag = self.vt.assign_tag(packet.flow_id, packet.size_bits, now)
-            queue.append((tag, packet))
+            queue.append(
+                (self.vt.assign_tag(packet.flow_id, packet.size_bits, now), packet)
+            )
             self._size += 1
             return True
         # Predicted or datagram -> pseudo-flow 0.
         if not self._flow0.enqueue(packet, now):
             return False
-        tag = self.vt.assign_tag(PSEUDO_FLOW_0, packet.size_bits, now)
-        self._flow0_tags.append(tag)
+        self._flow0_tags.append(
+            self.vt.assign_tag(PSEUDO_FLOW_0, packet.size_bits, now)
+        )
         self._size += 1
         return True
 
@@ -192,19 +202,20 @@ class UnifiedScheduler(Scheduler):
         self.vt.advance(now)
         # Pick the logical flow with the smallest head finish tag.
         best_flow: Optional[str] = None
-        best_tag = float("inf")
+        best_tag = _INF
         for flow_id, queue in self._gqueues.items():
             if queue and queue[0][0] < best_tag:
                 best_tag = queue[0][0]
                 best_flow = flow_id
-        if self._flow0_tags and self._flow0_tags[0] < best_tag:
-            best_tag = self._flow0_tags[0]
+        flow0_tags = self._flow0_tags
+        if flow0_tags and flow0_tags[0] < best_tag:
+            best_tag = flow0_tags[0]
             best_flow = PSEUDO_FLOW_0
         if best_flow is None:
             return None  # pragma: no cover - _size said otherwise
         self._size -= 1
         if best_flow == PSEUDO_FLOW_0:
-            self._flow0_tags.popleft()
+            flow0_tags.popleft()
             packet = self._flow0.dequeue(now)
             assert packet is not None, "flow-0 tag/packet books diverged"
             return packet

@@ -50,6 +50,12 @@ class VirtualClockScheduler(Scheduler):
             raise ValueError("rate must be positive")
         self._rates[flow_id] = rate_bps
 
+    supports_guaranteed = True
+
+    def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
+        """Capability interface: VirtualClock rates are bits/s natively."""
+        self.register_flow(flow_id, rate_bps)
+
     def enqueue(self, packet: Packet, now: float) -> bool:
         rate = self._rates.get(packet.flow_id)
         if rate is None:

@@ -92,7 +92,8 @@ class VirtualTime:
         t = self._last_real
         if now <= t:
             return
-        while t < now and self._active:
+        active = self._active
+        while t < now and active:
             flow, f_min = self._peek_min_tag()
             if flow is None:
                 break
@@ -107,7 +108,7 @@ class VirtualTime:
                 self._vtime += (now - t) * slope
                 t = now
         self._last_real = now
-        if not self._active:
+        if not active:
             self._active_sum = 0.0  # cancel any float drift
 
     def _peek_min_tag(self) -> Tuple[Optional[str], float]:
@@ -132,12 +133,14 @@ class VirtualTime:
         packet of ``size_bits`` on ``flow_id``."""
         self.advance(now)
         rate = self._rates[flow_id]
-        start = max(self._vtime, self._last_tag.get(flow_id, 0.0))
-        tag = start + size_bits / rate
+        vtime = self._vtime
+        prev = self._last_tag.get(flow_id, 0.0)
+        tag = (vtime if vtime > prev else prev) + size_bits / rate
         self._last_tag[flow_id] = tag
-        if flow_id not in self._active:
+        active = self._active
+        if flow_id not in active:
             self._active_sum += rate
-        self._active[flow_id] = tag
+        active[flow_id] = tag
         heapq.heappush(self._tag_heap, (tag, flow_id))
         return tag
 
@@ -179,15 +182,24 @@ class WfqScheduler(Scheduler):
     def register_flow(self, flow_id: str, rate_bps: float) -> None:
         self.vt.register(flow_id, rate_bps)
 
+    supports_guaranteed = True
+
+    def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
+        """Capability interface: a WFQ clock rate *is* a guaranteed rate."""
+        self.vt.register(flow_id, rate_bps)
+
     def enqueue(self, packet: Packet, now: float) -> bool:
-        if not self.vt.is_registered(packet.flow_id):
+        vt = self.vt
+        flow_id = packet.flow_id
+        if flow_id not in vt._rates:
             if self.auto_register_rate is None:
                 self.refused += 1
                 return False
-            self.vt.register(packet.flow_id, self.auto_register_rate)
-        tag = self.vt.assign_tag(packet.flow_id, packet.size_bits, now)
-        heapq.heappush(self._heap, (tag, self._seq, packet))
-        self._seq += 1
+            vt.register(flow_id, self.auto_register_rate)
+        tag = vt.assign_tag(flow_id, packet.size_bits, now)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (tag, seq, packet))
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:

@@ -8,14 +8,13 @@ reproduction is replayable bit-for-bit.
 """
 
 from repro.sim.engine import Simulator, SimulationError
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import EventHandle
 from repro.sim.randomness import RandomStreams, StreamRandom
 from repro.sim.timers import PeriodicTimer
 
 __all__ = [
     "Simulator",
     "SimulationError",
-    "Event",
     "EventHandle",
     "RandomStreams",
     "StreamRandom",

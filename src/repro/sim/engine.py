@@ -1,32 +1,45 @@
 """The discrete-event simulation engine.
 
-A deliberately small, fast core: a binary heap of :class:`~repro.sim.events.Event`
-records, a clock, and run-until helpers.  Everything else in the library
-(links, sources, schedulers, measurement) is built as callbacks on top of
-this loop.
+A deliberately small, fast core: a binary heap of plain
+``(time, priority, seq, action)`` tuples, a clock, and run-until helpers.
+Everything else in the library (links, sources, schedulers, measurement) is
+built as callbacks on top of this loop.
 
 Design notes
 ------------
 * **Determinism.**  Events at equal times fire in scheduling order (see
   :mod:`repro.sim.events`).  Combined with seeded random streams
   (:mod:`repro.sim.randomness`) this makes whole experiments replayable.
-* **Lazy cancellation.**  ``EventHandle.cancel()`` marks the event; the heap
-  pop skips cancelled entries.  This keeps cancel O(1) and is the standard
-  trick for timer-heavy network simulations (retransmission timers get
-  cancelled far more often than they fire).
-* **No processes/coroutines.**  The paper's model (sources emitting packets,
-  links transmitting, switches enqueueing) maps naturally onto plain
-  callbacks; avoiding a coroutine layer keeps the hot loop cheap, which
-  matters when reproducing 10-minute runs with ~10^6 packet events.
+* **Two scheduling paths.**  :meth:`Simulator.schedule` /
+  :meth:`Simulator.schedule_at` are the allocation-free fast path: they
+  push one tuple and return nothing.  The minority of callers that need to
+  cancel (retransmission timers, periodic samplers, scheduler wake-ups) use
+  :meth:`Simulator.schedule_handle` / :meth:`Simulator.schedule_handle_at`,
+  which box the callback in a one-cell list and return an
+  :class:`~repro.sim.events.EventHandle`.  Both paths share one sequence
+  counter, so same-time ordering is FIFO across them.
+* **Lazy cancellation.**  ``EventHandle.cancel()`` swaps the cell to
+  ``None``; the heap pop skips such entries.  This keeps cancel O(1) and is
+  the standard trick for timer-heavy network simulations (retransmission
+  timers get cancelled far more often than they fire).
+* **Cheap inner loop.**  Validation (negative/NaN/infinite times) happens
+  once at the public scheduling boundary as a single chained comparison;
+  the run loop itself only pops tuples, advances the clock, and calls.
+  ``heappush``/``heappop`` and the queue are bound to locals inside
+  :meth:`run`.  This matters when reproducing the paper's 10-minute runs
+  with ~10^6 packet events.
+* **No processes/coroutines.**  The paper's model (sources emitting
+  packets, links transmitting, switches enqueueing) maps naturally onto
+  plain callbacks; avoiding a coroutine layer keeps the hot loop cheap.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
+from heapq import heappop, heappush
+from math import inf
 from typing import Any, Callable, Optional
 
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import EventHandle
 
 
 class SimulationError(RuntimeError):
@@ -34,23 +47,22 @@ class SimulationError(RuntimeError):
 
 
 class Simulator:
-    """A discrete-event simulator with a floating-point clock in seconds."""
+    """A discrete-event simulator with a floating-point clock in seconds.
+
+    ``now`` is a plain attribute (not a property) so the per-packet layers
+    read the clock without descriptor overhead; treat it as read-only.
+    """
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
-        self._queue: list[Event] = []
+        self.now = float(start_time)
+        self._queue: list = []
         self._seq = 0
         self._running = False
         self._events_processed = 0
 
     # ------------------------------------------------------------------
-    # Clock
+    # Clock / diagnostics
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
     @property
     def events_processed(self) -> int:
         """Number of events fired so far (diagnostics / benchmarks)."""
@@ -62,15 +74,14 @@ class Simulator:
         return len(self._queue)
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling — fast path (no handle, no allocation beyond the tuple)
     # ------------------------------------------------------------------
     def schedule(
         self,
         delay: float,
         action: Callable[[], Any],
-        *,
         priority: int = 0,
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``action`` to run ``delay`` seconds from now.
 
         Args:
@@ -80,40 +91,79 @@ class Simulator:
             action: zero-argument callable.
             priority: tie-break among same-time events; lower runs first.
 
-        Returns:
-            An :class:`EventHandle` that can cancel the event.
-
         Raises:
-            SimulationError: if ``delay`` is negative or not finite.
+            SimulationError: if ``delay`` is negative, NaN, or infinite.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        if not math.isfinite(delay):
-            raise SimulationError(f"delay must be finite, got {delay}")
-        return self.schedule_at(self._now + delay, action, priority=priority)
+        if not 0.0 <= delay < inf:
+            raise SimulationError(
+                f"delay must be finite and non-negative, got {delay}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self.now + delay, priority, seq, action))
 
     def schedule_at(
         self,
         time: float,
         action: Callable[[], Any],
-        *,
         priority: int = 0,
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``action`` at an absolute simulation time.
 
         Raises:
-            SimulationError: if ``time`` precedes the current time.
+            SimulationError: if ``time`` precedes the current time or is
+                NaN/infinite.
         """
-        if time < self._now:
+        if not self.now <= time < inf:
             raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
+                f"cannot schedule at {time} (current time {self.now})"
             )
-        if not math.isfinite(time):
-            raise SimulationError(f"time must be finite, got {time}")
-        event = Event(time=float(time), priority=priority, seq=self._seq, action=action)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (float(time), priority, seq, action))
+
+    # ------------------------------------------------------------------
+    # Scheduling — cancellable variant
+    # ------------------------------------------------------------------
+    def schedule_handle(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle.
+
+        Use this only where cancellation is actually needed; it allocates a
+        cell and a handle per call.
+        """
+        if not 0.0 <= delay < inf:
+            raise SimulationError(
+                f"delay must be finite and non-negative, got {delay}"
+            )
+        time = self.now + delay
+        cell = [action]
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, priority, seq, cell))
+        return EventHandle(time, cell)
+
+    def schedule_handle_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if not self.now <= time < inf:
+            raise SimulationError(
+                f"cannot schedule at {time} (current time {self.now})"
+            )
+        time = float(time)
+        cell = [action]
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, priority, seq, cell))
+        return EventHandle(time, cell)
 
     # ------------------------------------------------------------------
     # Execution
@@ -124,14 +174,19 @@ class Simulator:
         Returns:
             True if an event fired, False if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            event.cancelled = True  # mark fired so handles report inactive
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            time, _, _, action = heappop(queue)
+            if action.__class__ is list:
+                fn = action[0]
+                if fn is None:
+                    continue  # cancelled; lazy deletion
+                action[0] = None  # mark fired so handles report inactive
+            else:
+                fn = action
+            self.now = time
             self._events_processed += 1
-            event.action()
+            fn()
             return True
         return False
 
@@ -150,28 +205,40 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        queue = self._queue
+        pop = heappop
+        stop = inf if until is None else until
+        limit = inf if max_events is None else max_events
         fired = 0
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
+            while queue:
+                head = queue[0]
+                time = head[0]
+                if time > stop:
                     break
-                heapq.heappop(self._queue)
-                event.cancelled = True
-                self._now = event.time
-                self._events_processed += 1
-                event.action()
+                pop(queue)
+                action = head[3]
+                if action.__class__ is list:
+                    fn = action[0]
+                    if fn is None:
+                        continue  # cancelled; lazy deletion
+                    action[0] = None  # mark fired
+                else:
+                    fn = action
+                self.now = time
                 fired += 1
-                if max_events is not None and fired >= max_events:
+                fn()
+                if fired >= limit:
                     break
         finally:
             self._running = False
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
+            # Added as a delta, not assigned, so events fired by nested
+            # step() calls inside actions stay counted.  The counter is
+            # exact whenever the loop is not executing.
+            self._events_processed += fired
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain.  Guarded by ``max_events``."""
@@ -183,6 +250,6 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"<Simulator t={self._now:.6f} pending={len(self._queue)} "
+            f"<Simulator t={self.now:.6f} pending={len(self._queue)} "
             f"fired={self._events_processed}>"
         )

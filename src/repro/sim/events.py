@@ -1,68 +1,52 @@
-"""Event records and cancellation handles for the simulation engine.
+"""Cancellation handles for the simulation engine.
 
-Events are ordered by (time, priority, sequence).  The sequence number is a
-monotonically increasing counter assigned at scheduling time, which makes the
-ordering *total* and therefore deterministic: two events scheduled for the
-same instant fire in the order they were scheduled (FIFO among equals), which
-is the behaviour packet-level simulators rely on for reproducibility.
+The engine stores pending work as plain ``(time, priority, seq, action)``
+heap tuples.  The sequence number is a monotonically increasing counter
+assigned at scheduling time, which makes the ordering *total* and therefore
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled (FIFO among equals), which is the behaviour
+packet-level simulators rely on for reproducibility.  Because ``seq`` is
+unique, tuple comparison never reaches the ``action`` slot.
+
+Most events are fire-and-forget and carry their callback directly in the
+``action`` slot — scheduling them allocates nothing beyond the tuple.  The
+minority that may be cancelled (retransmission timers, periodic samplers,
+wake-ups) instead carry a **one-cell list** ``[callback]``; cancelling
+swaps the cell to ``None`` and the engine skips such entries when they
+surface at the top of the heap (O(1) cancel, the standard lazy-deletion
+trick).  :class:`EventHandle` is the public face of that cell.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Callable
-
-
-@dataclasses.dataclass(order=True)
-class Event:
-    """A scheduled callback.
-
-    Attributes:
-        time: absolute simulation time (seconds) at which to fire.
-        priority: lower fires first among events at the same time.  Most
-            callers leave this at the default 0; it exists so that control
-            events (e.g. measurement sampling) can be ordered relative to
-            data-path events deliberately.
-        seq: scheduling sequence number; breaks remaining ties FIFO.
-        action: the callback, invoked with no arguments.
-        cancelled: lazily-deleted flag; cancelled events are skipped by the
-            engine rather than removed from the heap (O(1) cancel).
-    """
-
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], Any] = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
-
 
 class EventHandle:
-    """Opaque handle returned by :meth:`Simulator.schedule`.
+    """Opaque handle returned by :meth:`Simulator.schedule_handle`.
 
-    Holds a reference to the underlying event so that callers can cancel it
-    (``handle.cancel()``) or ask when it will fire.  Handles are single-use:
-    once the event has fired or been cancelled, :attr:`active` is False.
+    Wraps the event's mutable cancellation cell so that callers can cancel
+    it (``handle.cancel()``) or ask when it will fire.  Handles are
+    single-use: once the event has fired or been cancelled, :attr:`active`
+    is False.
+
+    Attributes:
+        time: absolute simulation time the event is (or was) scheduled for.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("time", "_cell")
 
-    def __init__(self, event: Event):
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Absolute simulation time the event is (or was) scheduled for."""
-        return self._event.time
+    def __init__(self, time: float, cell: list):
+        self.time = time
+        self._cell = cell
 
     @property
     def active(self) -> bool:
         """True while the event is still pending (not fired, not cancelled)."""
-        return not self._event.cancelled
+        return self._cell[0] is not None
 
     def cancel(self) -> None:
         """Cancel the event.  Idempotent; cancelling a fired event is a no-op."""
-        self._event.cancelled = True
+        self._cell[0] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else "done"
-        return f"<EventHandle t={self._event.time:.6f} {state}>"
+        return f"<EventHandle t={self.time:.6f} {state}>"

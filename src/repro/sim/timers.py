@@ -33,7 +33,7 @@ class PeriodicTimer:
         self._handle: Optional[EventHandle] = None
         self._stopped = False
         first = interval if start_offset is None else start_offset
-        self._handle = sim.schedule(first, self._fire, priority=priority)
+        self._handle = sim.schedule_handle(first, self._fire, priority=priority)
 
     @property
     def interval(self) -> float:
@@ -48,7 +48,7 @@ class PeriodicTimer:
             return
         self._action()
         if not self._stopped:  # action may have called stop()
-            self._handle = self._sim.schedule(
+            self._handle = self._sim.schedule_handle(
                 self._interval, self._fire, priority=self._priority
             )
 

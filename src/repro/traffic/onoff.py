@@ -110,10 +110,14 @@ class OnOffMarkovSource(PacketSource):
         self.rng = rng
         self._burst_remaining = 0
         self.bursts_started = 0
+        # Hoist the per-packet constants out of the emission loop: both are
+        # properties that recompute a formula on every access.
+        self._spacing = 1.0 / params.resolved_peak_rate
+        self._mean_idle_seconds = params.mean_idle_seconds
         delay = (
             start_delay
             if start_delay is not None
-            else rng.exponential(params.mean_idle_seconds)
+            else rng.exponential(self._mean_idle_seconds)
         )
         sim.schedule(delay, self._begin_burst)
 
@@ -129,7 +133,7 @@ class OnOffMarkovSource(PacketSource):
             return
         self.emit()
         self._burst_remaining -= 1
-        spacing = 1.0 / self.params.resolved_peak_rate
+        spacing = self._spacing
         if self._burst_remaining > 0:
             self.sim.schedule(spacing, self._emit_next)
         else:
@@ -140,7 +144,7 @@ class OnOffMarkovSource(PacketSource):
             # conforming to a (P, one-packet) token bucket, which is what
             # makes the clock-rate-equals-peak-rate P-G bound of Table 3
             # equal b(P)/P = one packet time per hop.
-            idle = self.rng.exponential(self.params.mean_idle_seconds)
+            idle = self.rng.exponential(self._mean_idle_seconds)
             self.sim.schedule(spacing + idle, self._begin_burst)
 
     @classmethod

@@ -186,7 +186,7 @@ class TcpConnection:
 
     def _arm_rto(self) -> None:
         self._cancel_rto()
-        self._rto_handle = self.sim.schedule(self.rto, self._on_rto)
+        self._rto_handle = self.sim.schedule_handle(self.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
         if self._rto_handle is not None:

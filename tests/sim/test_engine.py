@@ -75,27 +75,35 @@ class TestScheduling:
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self, sim):
         fired = []
-        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle = sim.schedule_handle(1.0, lambda: fired.append(1))
         handle.cancel()
         sim.run_until_idle()
         assert fired == []
 
     def test_cancel_is_idempotent(self, sim):
-        handle = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule_handle(1.0, lambda: None)
         handle.cancel()
         handle.cancel()
         assert not handle.active
 
     def test_handle_reports_inactive_after_firing(self, sim):
-        handle = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule_handle(1.0, lambda: None)
         assert handle.active
         sim.run_until_idle()
         assert not handle.active
 
     def test_cancel_mid_run(self, sim):
         fired = []
-        later = sim.schedule(2.0, lambda: fired.append("later"))
+        later = sim.schedule_handle(2.0, lambda: fired.append("later"))
         sim.schedule(1.0, lambda: later.cancel())
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_schedule_handle_at_cancellable(self, sim):
+        fired = []
+        handle = sim.schedule_handle_at(2.0, lambda: fired.append(1))
+        assert handle.time == 2.0
+        handle.cancel()
         sim.run_until_idle()
         assert fired == []
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run the perf microbench suite and write the tracked ``BENCH_core.json``.
+
+The report has three blocks:
+
+* ``baseline`` — frozen measurements of the pre-fast-path engine
+  (``benchmarks/perf/baseline_pre_fastpath.json``, captured once on the
+  machine that founded the trajectory; kept so speedup ratios stay
+  meaningful over time).
+* ``current`` — this checkout, measured now.
+* ``speedup`` — headline ratios current/baseline (>1 is faster).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py            # full suite
+    PYTHONPATH=src python tools/perf_report.py --quick    # CI smoke sizing
+    PYTHONPATH=src python tools/perf_report.py --out BENCH_core.json
+
+Absolute numbers are machine-dependent; compare runs from the same host
+(CI uploads its report as an artifact but never gates on timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline_pre_fastpath.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf import microbench  # noqa: E402
+
+
+def speedups(baseline: dict, current: dict) -> dict:
+    """Headline current/baseline ratios (>1 means the checkout is faster)."""
+    base = baseline["measurements"]
+    out = {
+        "raw_events_per_sec": (
+            current["raw_events"]["events_per_sec"]
+            / base["raw_events"]["events_per_sec"]
+        ),
+        "timer_churn_per_sec": (
+            current["timer_churn"]["churn_per_sec"]
+            / base["timer_churn"]["churn_per_sec"]
+        ),
+        "table1_wall_clock": (
+            base["table1"]["wall_seconds"] / current["table1"]["wall_seconds"]
+        ),
+        "table3_wall_clock": (
+            base["table3"]["wall_seconds"] / current["table3"]["wall_seconds"]
+        ),
+    }
+    for name, row in current["scheduler_packets"].items():
+        base_row = base["scheduler_packets"].get(name)
+        if base_row:
+            out[f"packets_per_sec[{name}]"] = (
+                row["packets_per_sec"] / base_row["packets_per_sec"]
+            )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at ~1/8 scale (CI smoke); ratios get noisier",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="report path (default: BENCH_core.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.125 if args.quick else 1.0
+    print(f"running perf microbenches (scale={scale:g}) ...", flush=True)
+    current = microbench.run_all(scale=scale)
+
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": baseline,
+        "current": current,
+        "speedup": speedups(baseline, current),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(f"  raw event loop : {current['raw_events']['events_per_sec']:>12,.0f} events/s "
+          f"({report['speedup']['raw_events_per_sec']:.2f}x baseline)")
+    print(f"  timer churn    : {current['timer_churn']['churn_per_sec']:>12,.0f} ops/s "
+          f"({report['speedup']['timer_churn_per_sec']:.2f}x baseline)")
+    for name, row in current["scheduler_packets"].items():
+        ratio = report["speedup"].get(f"packets_per_sec[{name}]")
+        suffix = f" ({ratio:.2f}x baseline)" if ratio else ""
+        print(f"  {name:<15}: {row['packets_per_sec']:>12,.0f} pkts/s{suffix}")
+    print(f"  table1 wall    : {current['table1']['wall_seconds']:.3f} s "
+          f"({report['speedup']['table1_wall_clock']:.2f}x baseline)")
+    print(f"  table3 wall    : {current['table3']['wall_seconds']:.3f} s "
+          f"({report['speedup']['table3_wall_clock']:.2f}x baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
