@@ -10,6 +10,12 @@ a stream of predicted-service requests (tight 50 ms class, declared
 factor we record: flows admitted, link utilization, and the fraction of
 tight-class packets whose per-switch wait exceeded the advertised D_0.
 
+Each sweep point is one declarative scenario — the safety factor is a
+first-class :class:`~repro.scenario.AdmissionSpec` knob — and the request
+wave is orchestrated mid-run through the live
+:class:`~repro.scenario.ScenarioContext` (the same machinery the dynamics
+experiment uses), so rejected callers simply never inject traffic.
+
 Measured shape: the paper's example criterion (2) is *already*
 conservative — the commitment holds (zero violations) even with no safety
 margin at all — so extra conservatism buys no additional reliability on
@@ -20,17 +26,16 @@ stationary workload, the heuristic alone suffices.
 """
 
 from benchmarks.conftest import run_once
-from repro.core.admission import AdmissionConfig, AdmissionController
-from repro.core.measurement import MeasurementConfig, SwitchMeasurement
-from repro.core.service import FlowSpec, PredictedServiceSpec
-from repro.core.signaling import FlowEstablishmentError, SignalingAgent
+from repro.core.signaling import FlowEstablishmentError
 from repro.experiments import common
 from repro.net.packet import ServiceClass
-from repro.net.topology import single_link_topology
-from repro.sched.unified import UnifiedConfig, UnifiedScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
+from repro.scenario import (
+    DisciplineSpec,
+    FlowSpec,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
+)
 
 CLASS_BOUNDS = (0.05, 0.5)
 SAFETY_FACTORS = (1.0, 1.5, 2.0, 3.0)
@@ -38,35 +43,32 @@ REQUESTS = 20
 REQUEST_SPACING = 10.0
 DURATION = 300.0
 SEED = 2
+BOTTLENECK = "A->B"
+
+
+def conservatism_spec(safety: float, seed: int = SEED):
+    return (
+        ScenarioBuilder("admission-conservatism")
+        .single_link()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .admission(
+            realtime_quota=0.9,
+            class_bounds_seconds=CLASS_BOUNDS,
+            utilization_safety=safety,
+            delay_safety=safety,
+        )
+        .duration(DURATION)
+        .seed(seed)
+        .build()
+    )
 
 
 def run_with_safety(safety, seed=SEED):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim,
-        lambda n, l: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=l.rate_bps, num_predicted_classes=2)
-        ),
-        rate_bps=common.LINK_RATE_BPS,
-    )
-    admission = AdmissionController(
-        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
-    )
-    admission.attach_measurement(
-        "A->B",
-        SwitchMeasurement(
-            net.port_for_link("A->B"),
-            MeasurementConfig(
-                utilization_safety=safety, delay_safety=safety
-            ),
-        ),
-    )
-    signaling = SignalingAgent(net, admission)
+    context = ScenarioRunner(conservatism_spec(safety, seed)).build()
     accepted = [0]
     violations = [0]
     tight_packets = [0]
-    port = net.port_for_link("A->B")
+    port = context.net.port_for_link(BOTTLENECK)
 
     def on_depart(packet, now, wait):
         if (
@@ -80,43 +82,35 @@ def run_with_safety(safety, seed=SEED):
     port.on_depart.append(on_depart)
 
     def try_flow(index):
-        flow_id = f"v{index}"
         try:
-            grant = signaling.establish(
+            context.add_flow(
                 FlowSpec(
-                    flow_id=flow_id,
-                    source="src-host",
-                    destination="dst-host",
-                    spec=PredictedServiceSpec(
+                    name=f"v{index}",
+                    source_host="src-host",
+                    dest_host="dst-host",
+                    request=PredictedRequest(
                         token_rate_bps=85_000,
                         bucket_depth_bits=10_000,
                         target_delay_seconds=CLASS_BOUNDS[0],
                     ),
+                    record=False,
                 )
             )
         except FlowEstablishmentError:
             return
         accepted[0] += 1
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(flow_id),
-            service_class=ServiceClass.PREDICTED,
-            priority_class=grant.priority_class,
-        )
-        net.hosts["dst-host"].default_handler = lambda packet: None
 
     for index in range(REQUESTS):
-        sim.schedule(index * REQUEST_SPACING, lambda i=index: try_flow(i))
-    sim.run(until=DURATION)
+        context.sim.schedule(
+            index * REQUEST_SPACING, lambda i=index: try_flow(i)
+        )
+    context.run()
     violation_rate = (
         violations[0] / tight_packets[0] if tight_packets[0] else 0.0
     )
     return {
         "accepted": accepted[0],
-        "utilization": net.links["A->B"].utilization(),
+        "utilization": context.net.links[BOTTLENECK].utilization(),
         "violation_rate": violation_rate,
     }
 

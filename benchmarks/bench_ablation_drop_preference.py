@@ -11,65 +11,60 @@ class pair) and half unimportant (the lower layer).  Under the unified
 scheduler's push-out rule the overload sheds *only* the unimportant layer:
 important traffic rides through unharmed — the video-coding use case
 (drop enhancement layers, keep base frames) the extension exists for.
+
+The workload is one declarative scenario (single link, 60-packet buffer,
+layered predicted flows); the context is built through the scenario
+runner, with a drop listener on the bottleneck port sorting the shed
+packets by layer.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
 from repro.net.packet import ServiceClass
-from repro.net.topology import single_link_topology
-from repro.sched.unified import UnifiedConfig, UnifiedScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 FLOWS_PER_LAYER = 8  # 16 x 85 = 1360 pkt/s offered against 1000 capacity
 DURATION = 30.0
 BUFFER_PACKETS = 60
+BOTTLENECK = "A->B"
 
 
-def run_overload(seed: int = BENCH_SEED):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim,
-        lambda n, l: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=l.rate_bps, num_predicted_classes=2)
-        ),
-        rate_bps=common.LINK_RATE_BPS,
-        buffer_packets=BUFFER_PACKETS,
+def overload_spec(seed: int = BENCH_SEED):
+    builder = (
+        ScenarioBuilder("drop-preference-overload")
+        .single_link(buffer_packets=BUFFER_PACKETS)
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .duration(DURATION)
+        .warmup(0.0)
+        .seed(seed)
     )
-    drops = {"important": 0, "unimportant": 0}
-    port = net.port_for_link("A->B")
-    port.on_drop.append(
-        lambda packet, now: drops.__setitem__(
-            "important" if packet.priority_class == 0 else "unimportant",
-            drops["important" if packet.priority_class == 0 else "unimportant"]
-            + 1,
-        )
-    )
-    sinks = {}
     for i in range(FLOWS_PER_LAYER):
         for priority, layer in ((0, "important"), (1, "unimportant")):
-            flow_id = f"{layer}-{i}"
-            OnOffMarkovSource.paper_source(
-                sim,
-                net.hosts["src-host"],
-                flow_id,
+            builder.add_flow(
+                f"{layer}-{i}",
+                "src-host",
                 "dst-host",
-                streams.stream(flow_id),
                 service_class=ServiceClass.PREDICTED,
                 priority_class=priority,
             )
-            sinks[flow_id] = DelayRecordingSink(
-                sim, net.hosts["dst-host"], flow_id, warmup=0.0
-            )
-    sim.run(until=DURATION)
+    return builder.build()
+
+
+def run_overload(seed: int = BENCH_SEED):
+    context = ScenarioRunner(overload_spec(seed)).build()
+    drops = {"important": 0, "unimportant": 0}
+
+    def on_drop(packet, now):
+        layer = "important" if packet.priority_class == 0 else "unimportant"
+        drops[layer] += 1
+
+    context.net.port_for_link(BOTTLENECK).on_drop.append(on_drop)
+    run = context.run().collect()
     received = {
         layer: sum(
-            sink.recorded
-            for flow_id, sink in sinks.items()
-            if flow_id.startswith(layer)
+            stats.recorded
+            for stats in run.flows
+            if stats.name.startswith(layer)
         )
         for layer in ("important", "unimportant")
     }

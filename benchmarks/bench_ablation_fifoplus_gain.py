@@ -6,15 +6,15 @@ speed against estimate noise.  This bench sweeps the gain on the Table-2
 workload and reports the 4-hop tail delay: the mechanism should help (vs
 plain FIFO) across a wide band of gains — i.e. the paper's scheme is not a
 knife-edge tuning artifact.
+
+One declarative scenario, one discipline per sweep point: the scenario
+runner's paired-arrival guarantee feeds FIFO and every FIFO+ gain the
+identical clumped arrival process, so the sweep isolates the gain alone.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
-from repro.net.topology import paper_figure1_topology
-from repro.sched.fifo import FifoScheduler
-from repro.sched.fifoplus import FifoPlusScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
+from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
 
 GAINS = (0.001, 0.01, 0.1, 0.5)
 DURATION = 45.0
@@ -22,25 +22,32 @@ WARMUP = 5.0
 FOUR_HOP_FLOW = "i1"
 
 
-def run_with_gain(gain, seed):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    if gain is None:
-        factory = lambda n, l: FifoScheduler()
-    else:
-        factory = lambda n, l: FifoPlusScheduler(ewma_gain=gain)
-    net = paper_figure1_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    placements = common.figure1_flow_placements()
-    sinks = common.attach_paper_flows(sim, net, streams, placements, WARMUP)
-    sim.run(until=DURATION)
-    return sinks[FOUR_HOP_FLOW].percentile_queueing(99.9, common.TX_TIME_SECONDS)
+def sweep_spec(seed: int = BENCH_SEED):
+    return (
+        ScenarioBuilder("fifoplus-gain-sweep")
+        .paper_chain()
+        .figure1_flows()
+        .disciplines(
+            DisciplineSpec.fifo(),
+            *(
+                DisciplineSpec.fifoplus(name=f"gain={gain}", ewma_gain=gain)
+                for gain in GAINS
+            ),
+        )
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
+    )
 
 
 def run_sweep(seed: int = BENCH_SEED):
-    results = {"FIFO": run_with_gain(None, seed)}
-    for gain in GAINS:
-        results[f"gain={gain}"] = run_with_gain(gain, seed)
-    return results
+    result = ScenarioRunner(sweep_spec(seed)).run()
+    unit = common.TX_TIME_SECONDS
+    return {
+        run.discipline: run.flow(FOUR_HOP_FLOW).percentile_in(99.9, unit)
+        for run in result.runs
+    }
 
 
 def test_bench_ablation_fifoplus_gain(benchmark):

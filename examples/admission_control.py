@@ -9,31 +9,29 @@ flows.  The controller applies the paper's two criteria at every hop —
   (2)  b < (D_j - d_hat_j)(mu - nu_hat - r) for every class j at or below
        the requested priority
 
-— where nu_hat and d_hat_j are *measured*, not declared.  The example
-prints every verdict, then the final reservation ledger, demonstrating:
-early requests sail through, the link saturates, late requests are turned
-away with a reason, and teardown makes room again.
+— where nu_hat and d_hat_j are *measured*, not declared.  The whole
+network (topology, unified schedulers, measurement-backed admission) is
+one declarative spec; the request waves, hang-ups, and retry run through
+the live :class:`ScenarioContext`, whose ``add_flow``/``remove_flow`` is
+the same signaling path the dynamics experiment uses.  The example prints
+every verdict, then the final reservation ledger, demonstrating: early
+requests sail through, the link saturates, late requests are turned away
+with a reason, and teardown makes room again.
 
-Run:  python examples/admission_control.py
+Run:  python examples/admission_control.py [--wave-seconds 10]
 """
 
+import argparse
+
 from repro import (
-    AdmissionConfig,
-    AdmissionController,
-    FlowSpec,
-    GuaranteedServiceSpec,
-    OnOffMarkovSource,
-    PredictedServiceSpec,
-    RandomStreams,
-    ServiceClass,
-    SignalingAgent,
-    Simulator,
-    UnifiedConfig,
-    UnifiedScheduler,
-    paper_figure1_topology,
+    DisciplineSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
 )
-from repro.core.measurement import SwitchMeasurement
 from repro.core.signaling import FlowEstablishmentError
+from repro.scenario import FlowSpec
 
 PACKET_BITS = 1000
 VOICE_RATE_PPS = 85.0
@@ -41,145 +39,123 @@ CLASS_BOUNDS = (0.15, 1.5)
 SEED = 3
 
 
-def voice_spec(hops: int) -> PredictedServiceSpec:
-    return PredictedServiceSpec(
-        token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
-        bucket_depth_bits=50 * PACKET_BITS,
-        target_delay_seconds=1.5 * hops,  # the cheap class
-        target_loss_rate=0.01,
-    )
-
-
-def main() -> None:
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)
-    net = paper_figure1_topology(
-        sim,
-        lambda name, link: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
+def voice_flow(flow_id: str, hops: int) -> FlowSpec:
+    return FlowSpec(
+        name=flow_id,
+        source_host="Host-1",
+        dest_host="Host-5",
+        average_rate_pps=VOICE_RATE_PPS,
+        record=False,
+        request=PredictedRequest(
+            token_rate_bps=VOICE_RATE_PPS * PACKET_BITS,
+            bucket_depth_bits=50 * PACKET_BITS,
+            target_delay_seconds=1.5 * hops,  # the cheap class
+            target_loss_rate=0.01,
         ),
     )
-    admission = AdmissionController(
-        AdmissionConfig(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+
+
+def video_flow(flow_id: str) -> FlowSpec:
+    return FlowSpec(
+        name=flow_id,
+        source_host="Host-1",
+        dest_host="Host-5",
+        request=GuaranteedRequest(clock_rate_bps=300_000),
     )
-    for link_name, port in net.ports.items():
-        admission.attach_measurement(link_name, SwitchMeasurement(port))
-    signaling = SignalingAgent(net, admission)
+
+
+def main(wave_seconds: float = 10.0) -> None:
+    spec = (
+        ScenarioBuilder("admission-control")
+        .paper_chain()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .admission(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
+        .duration(10_000.0)  # open-ended; the phases drive the clock
+        .seed(SEED)
+        .build()
+    )
+    context = ScenarioRunner(spec).build()
+    admission = context.admission
 
     accepted: list[str] = []
     rejected: list[tuple[str, str]] = []
 
     def request(flow: FlowSpec, start_traffic: bool = True) -> bool:
         try:
-            grant = signaling.establish(flow)
+            if start_traffic:
+                context.add_flow(flow)
+                grant = context.grants[flow.name]
+            else:
+                grant = context.establish(flow)
         except FlowEstablishmentError as error:
             reason = (
                 error.decisions[-1].verdict.value
                 if error.decisions
                 else str(error)
             )
-            rejected.append((flow.flow_id, reason))
-            print(f"  REJECT {flow.flow_id:<12} {reason}")
+            rejected.append((flow.name, reason))
+            print(f"  REJECT {flow.name:<12} {reason}")
             return False
-        accepted.append(flow.flow_id)
+        accepted.append(flow.name)
         kind = grant.service_class.name.lower()
         extra = (
             f"class {grant.priority_class}"
             if grant.priority_class is not None
             else "WFQ rate installed"
         )
-        print(f"  accept {flow.flow_id:<12} {kind}, {extra}")
-        if start_traffic and isinstance(flow.spec, PredictedServiceSpec):
-            sources[flow.flow_id] = OnOffMarkovSource.paper_source(
-                sim,
-                net.hosts[flow.source],
-                flow.flow_id,
-                flow.destination,
-                streams.stream(flow.flow_id),
-                average_rate_pps=VOICE_RATE_PPS,
-                service_class=ServiceClass.PREDICTED,
-                priority_class=grant.priority_class or 0,
-            )
-            net.hosts[flow.destination].default_handler = lambda packet: None
+        print(f"  accept {flow.name:<12} {kind}, {extra}")
         return True
-
-    sources: dict[str, OnOffMarkovSource] = {}
 
     # --- phase 1: two guaranteed video feeds ---------------------------
     print("phase 1 — guaranteed video feeds (clock rate 300 kbit/s each):")
     for i in range(2):
-        request(
-            FlowSpec(
-                flow_id=f"video-{i}",
-                source="Host-1",
-                destination="Host-5",
-                spec=GuaranteedServiceSpec(clock_rate_bps=300_000),
-            ),
-            start_traffic=False,
-        )
+        request(video_flow(f"video-{i}"), start_traffic=False)
     # A third 300k feed would push reservations past the 90 % quota.
-    request(
-        FlowSpec(
-            flow_id="video-2",
-            source="Host-1",
-            destination="Host-5",
-            spec=GuaranteedServiceSpec(clock_rate_bps=300_000),
-        ),
-        start_traffic=False,
-    )
+    request(video_flow("video-2"), start_traffic=False)
 
     # --- phase 2: predicted voice until the measured link refuses ------
     print("\nphase 2 — predicted voice flows (85 kbit/s token rate each),")
-    print("admitting against *measured* load, 10 s of traffic between asks:")
+    print("admitting against *measured* load, "
+          f"{wave_seconds:.0f} s of traffic between asks:")
     wave = 0
     while wave < 12:
-        flow_id = f"voice-{wave}"
-        ok = request(
-            FlowSpec(
-                flow_id=flow_id,
-                source="Host-1",
-                destination="Host-5",
-                spec=voice_spec(hops=4),
-            )
-        )
+        ok = request(voice_flow(f"voice-{wave}", hops=4))
         wave += 1
         if not ok:
             break
-        sim.run(until=sim.now + 10.0)  # let measurements see the new flow
+        # Let the measurements see the new flow before the next ask.
+        context.run(until=context.sim.now + wave_seconds)
 
     # --- phase 3: teardown makes room -----------------------------------
     # Hang up three calls (stop the traffic AND release the commitments),
     # let the measurement window forget their load, then retry.
     print("\nphase 3 — three callers hang up; retry the refused request:")
     for flow_id in accepted[-3:]:
-        if flow_id in sources:
-            sources[flow_id].stop()
-            signaling.teardown(flow_id)
+        if flow_id in context.sources:
+            context.remove_flow(flow_id)
             print(f"  hangup {flow_id}")
-    sim.run(until=sim.now + 30.0)  # > the 10 s utilization window
-    retry_id = rejected[-1][0] + "-retry"
-    request(
-        FlowSpec(
-            flow_id=retry_id,
-            source="Host-1",
-            destination="Host-5",
-            spec=voice_spec(hops=4),
-        )
-    )
+    context.run(until=context.sim.now + 3 * wave_seconds)  # > the window
+    retry_id = (rejected[-1][0] if rejected else "voice-extra") + "-retry"
+    request(voice_flow(retry_id, hops=4))
 
     # --- ledger ----------------------------------------------------------
     print("\nreservation ledger (link S-1->S-2):")
     reserved = admission.reserved_guaranteed_bps("S-1->S-2")
     measurement = admission._measurements["S-1->S-2"]
-    nu_hat = measurement.realtime_utilization_bps(sim.now)
+    nu_hat = measurement.realtime_utilization_bps(context.sim.now)
     print(f"  guaranteed reservations: {reserved / 1000:.0f} kbit/s")
     print(f"  measured real-time load: {nu_hat / 1000:.0f} kbit/s "
           f"({nu_hat / 1_000_000:.0%} of the link)")
     print(f"  accepted {len(accepted)} flows, refused {len(rejected)}")
+    print(f"  decisions at S-1->S-2: "
+          f"{len(admission.decisions_for('S-1->S-2'))} recorded")
     print("\nshape to notice: acceptance is driven by measured load plus")
     print("worst-case treatment of the newcomer only, and the 10% datagram")
     print("quota is never given away.")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--wave-seconds", type=float, default=10.0,
+                        help="simulated seconds between requests (default 10)")
+    main(parser.parse_args().wave_seconds)

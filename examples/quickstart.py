@@ -37,10 +37,11 @@ SPEC = (
 )
 
 
-def main() -> None:
-    print(f"10 bursty flows on one 1 Mbit/s link, {DURATION:.0f} s simulated")
+def main(duration: float = DURATION) -> None:
+    spec = SPEC.replace(duration=duration)
+    print(f"10 bursty flows on one 1 Mbit/s link, {duration:.0f} s simulated")
     print(f"{'discipline':>10}  {'mean':>6}  {'99.9 %ile':>9}   (tx times)")
-    result = ScenarioRunner(SPEC).run()
+    result = ScenarioRunner(spec).run()
     for run in result.runs:
         sample = run.flow("voice-0")
         print(
@@ -52,4 +53,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=DURATION,
+                        help="simulated seconds (default 120)")
+    main(parser.parse_args().duration)

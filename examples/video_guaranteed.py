@@ -4,39 +4,38 @@
 The paper's intolerant-and-rigid client: "a video conference allowing one
 surgeon to remotely assist another during an operation will not be
 tolerant of any interruption of service."  Such a client needs an a priori
-worst-case bound, so it requests *guaranteed* service:
+worst-case bound, so it requests *guaranteed* service.  Declared through
+the scenario API:
 
-1. the source knows its own token bucket characterization b(r) and picks a
+1. the spec carries the Figure-1 chain, unified CSZ schedulers, admission
+   control, and 12 hostile background flows (heavy unfiltered predicted
+   bursts) that overload every link;
+2. the source knows its own token bucket characterization b(r) and picks a
    clock rate r from the delay target using the Parekh-Gallager bound
    b/r (Section 8: the network never sees b for guaranteed flows);
-2. signaling installs the WFQ clock rate at every switch on the path;
-3. a RigidPlayback receiver parks its play-back point at the bound;
-4. hostile background traffic (heavy predicted bursts + datagram load)
-   tries to disturb the feed.
+3. the video flow joins via the live :class:`ScenarioContext` with a
+   :class:`GuaranteedRequest` — signaling installs the WFQ clock rate at
+   every switch on the path — and a RigidPlayback receiver parked at the
+   bound.
 
 Expected shape (Section 4): the video's measured worst-case delay stays
 below the computed P-G bound *no matter what the other traffic does*, and
 the rigid client loses nothing.
 
-Run:  python examples/video_guaranteed.py
+Run:  python examples/video_guaranteed.py [--duration 120]
 """
 
+import argparse
+
 from repro import (
-    AdmissionConfig,
-    AdmissionController,
-    FlowSpec,
-    GuaranteedServiceSpec,
-    OnOffMarkovSource,
-    OnOffParams,
-    RandomStreams,
+    DisciplineSpec,
+    GuaranteedRequest,
     RigidPlayback,
+    ScenarioBuilder,
+    ScenarioRunner,
     ServiceClass,
-    SignalingAgent,
-    Simulator,
-    UnifiedConfig,
-    UnifiedScheduler,
-    paper_figure1_topology,
 )
+from repro.scenario import FlowSpec
 from repro.core.bounds import (
     parekh_gallager_packet_bound,
     required_clock_rate,
@@ -54,89 +53,82 @@ TARGET_QUEUEING_DELAY = 0.080  # 80 ms end-to-end queueing budget
 
 DURATION = 120.0
 SEED = 99
+HOPS = 4  # Host-1 -> Host-5
 
 
-def main() -> None:
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)
-
-    net = paper_figure1_topology(
-        sim,
-        lambda name, link: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
-        ),
+def hostile_spec(duration: float) -> "ScenarioBuilder":
+    """The battlefield: Figure 1 overloaded by 12 uncommitted bursters."""
+    builder = (
+        ScenarioBuilder("video-guaranteed")
+        .paper_chain()
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .admission(realtime_quota=0.9)
+        .duration(duration)
+        .seed(SEED)
     )
-    admission = AdmissionController(AdmissionConfig(realtime_quota=0.9))
-    signaling = SignalingAgent(net, admission)
+    # Hostile background: heavy bursts, NO traffic commitment.  Guaranteed
+    # service must hold regardless; these flows are deliberately unfiltered
+    # (no token bucket) and overload every link.
+    for i in range(12):
+        builder.add_flow(
+            f"hostile-{i}",
+            f"Host-{1 + i % 4}",
+            f"Host-{2 + i % 4}",
+            average_rate_pps=95.0,
+            mean_burst_packets=40.0,
+            peak_rate_pps=900.0,
+            bucket_packets=None,
+            service_class=ServiceClass.PREDICTED,
+            priority_class=0,
+            record=False,
+        )
+    return builder
 
+
+def main(duration: float = DURATION) -> None:
     # --- the surgeon sizes the request (all client-side math) ----------
     clock_rate = max(
         required_clock_rate(VIDEO_BUCKET_BITS, TARGET_QUEUEING_DELAY),
         VIDEO_RATE_PPS * PACKET_BITS,  # at least the average rate
     )
-    hops = 4  # Host-1 -> Host-5
     bound = parekh_gallager_packet_bound(
-        VIDEO_BUCKET_BITS, clock_rate, PACKET_BITS, [LINK_BPS] * hops
+        VIDEO_BUCKET_BITS, clock_rate, PACKET_BITS, [LINK_BPS] * HOPS
     )
     print(f"video flow: b = {VIDEO_BUCKET_BITS} bits, chosen r = "
           f"{clock_rate / 1000:.0f} kbit/s")
     print(f"Parekh-Gallager end-to-end bound: {bound * 1e3:.1f} ms "
           f"({bound / TX_TIME:.1f} tx times)")
 
-    # --- establish: only r crosses the service interface ----------------
-    signaling.establish(
-        FlowSpec(
-            flow_id="surgery-video",
-            source="Host-1",
-            destination="Host-5",
-            spec=GuaranteedServiceSpec(clock_rate_bps=clock_rate),
-        )
-    )
+    context = ScenarioRunner(hostile_spec(duration).build()).build()
 
-    # --- the video traffic + rigid receiver -----------------------------
-    OnOffMarkovSource(
-        sim,
-        net.hosts["Host-1"],
-        "surgery-video",
-        "Host-5",
-        OnOffParams(average_rate_pps=VIDEO_RATE_PPS, mean_burst_packets=10.0),
-        streams.stream("video"),
-        service_class=ServiceClass.GUARANTEED,
-    )
+    # --- establish: only r crosses the service interface ----------------
     # The receiver both plays back and records delays (one handler per
     # flow): the rigid play-back point sits exactly at the P-G bound.
-    receiver = RigidPlayback(
-        sim, net.hosts["Host-5"], "surgery-video", a_priori_bound=bound
+    def rigid_receiver(ctx, flow):
+        return RigidPlayback(
+            ctx.sim, ctx.net.hosts[flow.dest_host], flow.name,
+            a_priori_bound=bound,
+        )
+
+    context.add_flow(
+        FlowSpec(
+            name="surgery-video",
+            source_host="Host-1",
+            dest_host="Host-5",
+            average_rate_pps=VIDEO_RATE_PPS,
+            mean_burst_packets=10.0,
+            bucket_packets=None,
+            request=GuaranteedRequest(clock_rate_bps=clock_rate),
+        ),
+        sink_factory=rigid_receiver,
     )
 
-    # --- hostile background: heavy bursts, NO traffic commitment --------
-    # Guaranteed service must hold regardless; these flows are deliberately
-    # unfiltered (no token bucket) and overload every link.
-    for i in range(12):
-        src = f"Host-{1 + i % 4}"
-        dst = f"Host-{2 + i % 4}"
-        OnOffMarkovSource(
-            sim,
-            net.hosts[src],
-            f"hostile-{i}",
-            dst,
-            OnOffParams(
-                average_rate_pps=95.0,
-                mean_burst_packets=40.0,
-                peak_rate_pps=900.0,
-            ),
-            streams.stream(f"hostile-{i}"),
-            service_class=ServiceClass.PREDICTED,
-            priority_class=0,
-        )
-        net.hosts[dst].default_handler = lambda packet: None
-
-    print(f"\nsimulating {DURATION:.0f} s against 12 misbehaving "
+    print(f"\nsimulating {duration:.0f} s against 12 misbehaving "
           "background flows ...")
-    sim.run(until=DURATION)
+    context.run()
 
     # --- verdict ---------------------------------------------------------
-    stats = receiver.stats()
+    stats = context.receivers["surgery-video"].stats()
     worst = stats.max_delay  # end-to-end seconds (queueing + store/forward)
     print(f"\nvideo packets received:   {stats.received}")
     print(f"measured worst delay:     {worst * 1e3:.2f} ms")
@@ -151,4 +143,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=DURATION,
+                        help="simulated seconds (default 120)")
+    main(parser.parse_args().duration)

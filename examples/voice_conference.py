@@ -73,13 +73,13 @@ def call_spec(flow_id: str, src: str, dst: str, target_delay: float) -> FlowSpec
     )
 
 
-def main() -> None:
+def main(duration: float = DURATION) -> None:
     spec = (
         ScenarioBuilder("voice-conference")
         .paper_chain()
         .discipline(DisciplineSpec.unified(num_predicted_classes=2))
         .admission(realtime_quota=0.9, class_bounds_seconds=CLASS_BOUNDS)
-        .duration(DURATION)
+        .duration(duration)
         .seed(SEED)
         .build()
     )
@@ -118,7 +118,7 @@ def main() -> None:
     )
 
     print(f"established {len(CALLS) + 1} predicted-service voice flows; "
-          f"simulating {DURATION:.0f} s ...")
+          f"simulating {duration:.0f} s ...")
     context.run()
 
     # --- report ----------------------------------------------------------
@@ -151,4 +151,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=DURATION,
+                        help="simulated seconds (default 120)")
+    main(parser.parse_args().duration)

@@ -86,6 +86,8 @@ from repro.scenario import (
     AdmissionSpec,
     DisciplineSpec,
     GuaranteedRequest,
+    HostAttachment,
+    LinkSpec,
     PredictedRequest,
     ScenarioBuilder,
     ScenarioResult,
@@ -130,6 +132,8 @@ __all__ = [
     "AdmissionSpec",
     "DisciplineSpec",
     "GuaranteedRequest",
+    "HostAttachment",
+    "LinkSpec",
     "PredictedRequest",
     "ScenarioBuilder",
     "ScenarioResult",

@@ -121,6 +121,14 @@ class AdmissionController:
     def release_guaranteed(self, link_name: str, flow_id: str) -> None:
         self._guaranteed_reservations.get(link_name, {}).pop(flow_id, None)
 
+    def decisions_for(self, link_name: str) -> List[AdmissionDecision]:
+        """All decisions taken at one link, in order.
+
+        On merge topologies one link sits on many paths; this is the
+        per-link view of how the converging requests fared there.
+        """
+        return [d for d in self.decisions if d.link_name == link_name]
+
     # ------------------------------------------------------------------
     def choose_class(self, per_switch_target: float) -> Optional[int]:
         """Lowest-priority class whose per-switch bound meets the target.

@@ -24,6 +24,7 @@ from repro.core.service import (
 from repro.net.network import Network
 from repro.net.packet import Packet, ServiceClass
 from repro.net.port import OutputPort
+from repro.net.routing import RoutingError
 from repro.sched.base import GuaranteedServiceUnsupported
 from repro.traffic.token_bucket import NonconformingPolicy, TokenBucketFilter
 
@@ -71,28 +72,31 @@ class SignalingAgent:
         self._edge_filters: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
-    def _path_links(self, source: str, destination: str) -> List[str]:
-        nodes = self.network.path(source, destination)
-        links = []
-        for here, nxt in zip(nodes, nodes[1:]):
-            name = f"{here}->{nxt}"
-            if name in self.network.links:
-                links.append(name)
-        return links
-
-    # ------------------------------------------------------------------
     def establish(self, flow: FlowSpec) -> FlowGrant:
         """Run admission along the path and install the commitment.
 
+        Works over any routed graph: on merge topologies the same link
+        appears in many flows' paths, and each request's admission check
+        at that link sees the commitments (and measured load) the earlier
+        flows left there.
+
         Raises:
-            FlowEstablishmentError: if any link rejects; nothing is
-                installed in that case (all-or-nothing).
+            FlowEstablishmentError: if any link rejects — or if no route
+                exists at all; nothing is installed in that case
+                (all-or-nothing).
         """
         if flow.flow_id in self.grants:
             raise ValueError(f"flow {flow.flow_id} is already established")
         now = self.network.sim.now
-        path = self.network.path(flow.source, flow.destination)
-        link_names = self._path_links(flow.source, flow.destination)
+        try:
+            path = self.network.path(flow.source, flow.destination)
+        except RoutingError as exc:
+            raise FlowEstablishmentError(
+                f"flow {flow.flow_id}: {exc}", []
+            ) from None
+        link_names = self.network.link_names_on_path(
+            flow.source, flow.destination
+        )
         if not link_names:
             raise FlowEstablishmentError(
                 f"no inter-switch links between {flow.source} and "

@@ -9,6 +9,10 @@
   of predicted service with adaptive clients (Sections 3/7).
 * :mod:`repro.experiments.distributions` — the full delay CDFs behind
   Table 1's summary percentiles, plus tail-fairness (Section 5).
+* :mod:`repro.experiments.parkinglot` — the parking-lot merge network
+  (cross traffic at every hop), FIFO+'s multi-hop jitter story on a
+  topology only the graph-form :class:`~repro.scenario.TopologySpec` can
+  express.
 
 Each module exposes ``run(...) -> result`` with a ``render()`` string that
 prints the same rows the paper reports, and the module is runnable via
@@ -25,6 +29,7 @@ from repro.experiments import (
     common,
     distributions,
     dynamics,
+    parkinglot,
     table1,
     table2,
     table3,
@@ -35,6 +40,7 @@ __all__ = [
     "common",
     "distributions",
     "dynamics",
+    "parkinglot",
     "table1",
     "table2",
     "table3",

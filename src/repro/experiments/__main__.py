@@ -1,4 +1,4 @@
-"""CLI: regenerate any table/figure of the paper.
+"""CLI: regenerate any table/figure of the paper, or run any scenario.
 
 Usage::
 
@@ -7,8 +7,16 @@ Usage::
     python -m repro.experiments table2 [--duration 600] [--seed 1]
     python -m repro.experiments table3 [--duration 600] [--seed 1]
     python -m repro.experiments dynamics [--duration 600] [--seed 1]
+    python -m repro.experiments parkinglot [--duration 600] [--seed 1]
     python -m repro.experiments all [--duration 600] [--seed 1]
 
+    python -m repro.experiments --spec scenario.json     # serialized spec
+    python -m repro.experiments --spec parking_lot       # registered name
+    python -m repro.experiments --list-scenarios
+
+``--spec`` runs one declarative :class:`~repro.scenario.ScenarioSpec`
+loaded from a JSON file (``ScenarioSpec.to_dict`` payload) or built from
+the scenario registry, and prints a generic per-flow / per-link report.
 ``--workers N`` fans the per-discipline simulations of an experiment out
 over N processes; ``--json PATH`` writes the structured
 ``ScenarioResult.to_dict()`` payloads alongside the rendered tables.
@@ -18,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -25,29 +34,71 @@ from repro.experiments import (
     common,
     distributions,
     dynamics,
+    parkinglot,
     table1,
     table2,
     table3,
     topology,
 )
+from repro.scenario import ScenarioRunner, ScenarioSpec, registry
 
-EXPERIMENTS = ("fig1", "table1", "table2", "table3", "dynamics", "distributions")
+EXPERIMENTS = (
+    "fig1",
+    "table1",
+    "table2",
+    "table3",
+    "dynamics",
+    "distributions",
+    "parkinglot",
+)
+
+
+def _load_spec(name_or_path: str, duration, seed) -> ScenarioSpec:
+    """Resolve ``--spec``: a registered scenario name or a JSON file."""
+    if os.path.isfile(name_or_path):
+        with open(name_or_path) as handle:
+            spec = ScenarioSpec.from_dict(json.load(handle))
+        overrides = {}
+        if duration is not None:
+            overrides["duration"] = duration
+        if seed is not None:
+            overrides["seed"] = seed
+        return spec.replace(**overrides) if overrides else spec
+    kwargs = {}
+    if duration is not None:
+        kwargs["duration"] = duration
+    if seed is not None:
+        kwargs["seed"] = seed
+    return registry.build(name_or_path, **kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the tables and figure of Clark/Shenker/Zhang "
-        "SIGCOMM'92.",
+        "SIGCOMM'92, or run any declarative scenario.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument(
+        "experiment", nargs="?", choices=EXPERIMENTS + ("all",)
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="NAME_OR_PATH",
+        default=None,
+        help="run one scenario: a registered name or a ScenarioSpec JSON file",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario names and exit",
+    )
     parser.add_argument(
         "--duration",
         type=float,
-        default=common.PAPER_DURATION_SECONDS,
+        default=None,
         help="simulated seconds (paper: 600)",
     )
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--workers",
         type=int,
@@ -63,43 +114,78 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.list_scenarios:
+        for name in registry.names():
+            print(name)
+        return 0
+    if args.spec is not None and args.experiment is not None:
+        parser.error("give either an experiment name or --spec, not both")
+    if args.spec is None and args.experiment is None:
+        parser.error("an experiment name or --spec is required")
+
     payloads: dict = {}
-    for name in todo:
+    if args.spec is not None:
+        try:
+            spec = _load_spec(args.spec, args.duration, args.seed)
+        except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+            # KeyError stringifies as the repr of its argument; unwrap it.
+            message = (
+                exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+            )
+            print(f"error: {message}", file=sys.stderr)
+            return 2
         started = time.monotonic()
-        if name == "fig1":
-            result = topology.run()
-            print(result.render())
-            payloads[name] = result.to_dict()
-        elif name == "table1":
-            result = table1.run(
-                duration=args.duration, seed=args.seed, workers=args.workers
-            )
-            print(result.render())
-            payloads[name] = result.scenario.to_dict()
-        elif name == "table2":
-            result = table2.run(
-                duration=args.duration, seed=args.seed, workers=args.workers
-            )
-            print(result.render())
-            payloads[name] = result.scenario.to_dict()
-        elif name == "table3":
-            result = table3.run(duration=args.duration, seed=args.seed)
-            print(result.render())
-            payloads[name] = result.scenario.to_dict()
-        elif name == "distributions":
-            result = distributions.run(
-                duration=args.duration, seed=args.seed, workers=args.workers
-            )
-            print(result.render())
-            payloads[name] = result.scenario.to_dict()
-        elif name == "dynamics":
-            result = dynamics.run(
-                phase_seconds=args.duration / 3.0, seed=args.seed
-            )
-            print(result.render())
-            payloads[name] = result.to_dict()
-        print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")
+        result = ScenarioRunner(spec).run(workers=args.workers)
+        print(common.render_scenario_result(result))
+        print(f"[{spec.name} ran in {time.monotonic() - started:.1f}s]")
+        payloads[spec.name] = result.to_dict()
+    else:
+        duration = (
+            args.duration
+            if args.duration is not None
+            else common.PAPER_DURATION_SECONDS
+        )
+        seed = args.seed if args.seed is not None else 1
+        todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in todo:
+            started = time.monotonic()
+            if name == "fig1":
+                result = topology.run()
+                print(result.render())
+                payloads[name] = result.to_dict()
+            elif name == "table1":
+                result = table1.run(
+                    duration=duration, seed=seed, workers=args.workers
+                )
+                print(result.render())
+                payloads[name] = result.scenario.to_dict()
+            elif name == "table2":
+                result = table2.run(
+                    duration=duration, seed=seed, workers=args.workers
+                )
+                print(result.render())
+                payloads[name] = result.scenario.to_dict()
+            elif name == "table3":
+                result = table3.run(duration=duration, seed=seed)
+                print(result.render())
+                payloads[name] = result.scenario.to_dict()
+            elif name == "distributions":
+                result = distributions.run(
+                    duration=duration, seed=seed, workers=args.workers
+                )
+                print(result.render())
+                payloads[name] = result.scenario.to_dict()
+            elif name == "parkinglot":
+                result = parkinglot.run(
+                    duration=duration, seed=seed, workers=args.workers
+                )
+                print(result.render())
+                payloads[name] = result.scenario.to_dict()
+            elif name == "dynamics":
+                result = dynamics.run(phase_seconds=duration / 3.0, seed=seed)
+                print(result.render())
+                payloads[name] = result.to_dict()
+            print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")
 
     if args.json_path:
         with open(args.json_path, "w") as handle:

@@ -116,3 +116,65 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     lines = [fmt(headers), rule]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def render_scenario_result(result) -> str:
+    """Generic report for any :class:`~repro.scenario.ScenarioResult`.
+
+    The ``--spec`` CLI path runs arbitrary serialized scenarios, so this
+    renderer assumes nothing about the workload: per discipline it tables
+    every recorded flow (delays in ms) and the per-link utilization /
+    mean-wait / drop profile.
+    """
+    lines = [f"scenario: {result.scenario}   seed: {result.seed}   "
+             f"duration: {result.duration:.0f}s"]
+    for run in result.runs:
+        lines.append("")
+        lines.append(f"[{run.discipline}]")
+        if run.flows:
+            def p999_cell(stats) -> str:
+                try:
+                    return f"{stats.percentile_in(99.9) * 1e3:.2f}"
+                except KeyError:  # spec collected different points
+                    return "-"
+
+            lines.append(format_table(
+                ["flow", "recorded", "mean ms", "p99.9 ms", "jitter ms"],
+                [
+                    [
+                        stats.name,
+                        str(stats.recorded),
+                        f"{stats.mean_seconds * 1e3:.2f}",
+                        p999_cell(stats),
+                        f"{stats.jitter_seconds * 1e3:.2f}",
+                    ]
+                    for stats in run.flows
+                ],
+            ))
+        link_rows = []
+        drops = dict(run.link_drops)
+        disciplines = dict(run.port_disciplines)
+        for name, utilization in run.link_utilizations:
+            link_rows.append([
+                name,
+                disciplines.get(name, run.discipline),
+                f"{utilization:.1%}",
+                f"{run.queueing(name) * 1e3:.2f}",
+                str(drops.get(name, 0)),
+            ])
+        lines.append("")
+        lines.append(format_table(
+            ["link", "discipline", "utilization", "mean wait ms", "drops"],
+            link_rows,
+        ))
+        if run.tcp_stats:
+            lines.append("")
+            lines.append(format_table(
+                ["tcp", "segments", "acks", "goodput kbit/s"],
+                [
+                    [t.name, str(t.segments_sent), str(t.acks_sent),
+                     f"{t.goodput_bps / 1e3:.1f}"]
+                    for t in run.tcp_stats
+                ],
+            ))
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Parking-lot merge network: FIFO+'s multi-hop jitter story, end to end.
+
+The paper's FIFO+ argument (Section 6) is about *multi-hop sharing*: a
+long-haul flow crossing many switches accumulates jitter at every hop, and
+FIFO+ lets the switches absorb part of that jitter on behalf of the flow by
+serving packets that are behind their class average ahead of locally young
+cross traffic.  Figure 1's chain shares each link with mostly one-hop
+flows, but every flow's packets still travel together; the sharper test is
+the classic *parking lot* of the congestion-avoidance literature
+(Jain/Ramakrishnan, DEC-TR-506): at **every** hop a fresh batch of cross
+traffic merges in front of the long-haul flows and leaves one switch
+later, so the through traffic meets statistically independent queues at
+each merge point — the regime where per-hop jitter compounds worst.
+
+This experiment declares that network as a graph :class:`TopologySpec`
+(inexpressible with the legacy named kinds), loads every link to the
+paper's 85 % operating point, and compares FIFO, FIFO+, and the unified
+CSZ scheduler on the through flows' end-to-end delay tail and jitter, plus
+the per-hop queueing profile along the lot.
+
+Expected shape: identical mean delays (work-conserving disciplines moving
+the same packets), with FIFO+ and the unified scheduler pulling the
+99.9th percentile and the jitter (max - min spread) of the through flows
+well below FIFO's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import common
+from repro.net.packet import ServiceClass
+from repro.net.topology import parking_lot_ascii
+from repro.scenario import (
+    DisciplineSpec,
+    ScenarioBuilder,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    registry,
+)
+
+NUM_HOPS = 4
+CROSS_PER_HOP = 8  # 8 cross + 2 through = 10 flows/link, the paper's load
+THROUGH_FLOWS = ("thru-0", "thru-1")
+DISCIPLINE_NAMES = ("FIFO", "FIFO+", "CSZ")
+
+
+@registry.register("parking_lot")
+def scenario_spec(
+    duration: float = common.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    warmup: float = common.DEFAULT_WARMUP_SECONDS,
+    num_hops: int = NUM_HOPS,
+    cross_per_hop: int = CROSS_PER_HOP,
+) -> ScenarioSpec:
+    """The full parking-lot experiment as one declarative spec."""
+    builder = (
+        ScenarioBuilder("parking_lot")
+        .parking_lot(num_hops)
+        .disciplines(
+            DisciplineSpec.fifo(),
+            DisciplineSpec.fifoplus(),
+            DisciplineSpec.unified(name="CSZ"),
+        )
+        .duration(duration)
+        .warmup(warmup)
+        .seed(seed)
+    )
+    for name in THROUGH_FLOWS:
+        builder.add_flow(
+            name,
+            "thru-src",
+            "thru-dst",
+            service_class=ServiceClass.PREDICTED,
+        )
+    for hop in range(1, num_hops + 1):
+        for i in range(cross_per_hop):
+            builder.add_flow(
+                f"cross-{hop}-{i}",
+                f"cross-src-{hop}",
+                f"cross-dst-{hop}",
+                service_class=ServiceClass.PREDICTED,
+                # One recorded witness per hop; the rest are pure load.
+                record=(i == 0),
+                hops=1,
+            )
+    return builder.build()
+
+
+@dataclasses.dataclass
+class ParkingLotRow:
+    """One discipline's through-flow numbers (packet transmission times)."""
+
+    scheduling: str
+    mean: float
+    p999: float
+    jitter: float
+    cross_mean: float  # recorded one-hop cross witnesses, pooled mean
+    link_queueing_ms: Dict[str, float]  # per-hop mean wait, milliseconds
+    link_utilizations: Dict[str, float]
+
+
+@dataclasses.dataclass
+class ParkingLotResult:
+    rows: List[ParkingLotRow]
+    num_hops: int
+    duration: float
+    seed: int
+    scenario: Optional[ScenarioResult] = None
+
+    def row(self, scheduling: str) -> ParkingLotRow:
+        for row in self.rows:
+            if row.scheduling == scheduling:
+                return row
+        raise KeyError(scheduling)
+
+    def render(self) -> str:
+        lines = [
+            "Parking lot — cross traffic merges at every hop "
+            f"({self.num_hops} hops, 85% load/link)",
+            parking_lot_ascii(self.num_hops),
+            f"through-flow queueing delay over {self.num_hops} hops "
+            "(packet transmission times):",
+            common.format_table(
+                ["scheduling", "mean", "99.9 %ile", "jitter", "cross mean"],
+                [
+                    [
+                        row.scheduling,
+                        f"{row.mean:.2f}",
+                        f"{row.p999:.2f}",
+                        f"{row.jitter:.2f}",
+                        f"{row.cross_mean:.2f}",
+                    ]
+                    for row in self.rows
+                ],
+            ),
+            "",
+            "mean per-hop wait along the lot (ms):",
+            common.format_table(
+                ["scheduling"] + sorted(self.rows[0].link_queueing_ms),
+                [
+                    [row.scheduling]
+                    + [
+                        f"{row.link_queueing_ms[link]:.2f}"
+                        for link in sorted(row.link_queueing_ms)
+                    ]
+                    for row in self.rows
+                ],
+            ),
+            "",
+            f"link utilizations: "
+            + ", ".join(
+                f"{name}: {value:.1%}"
+                for name, value in sorted(
+                    self.rows[0].link_utilizations.items()
+                )
+            ),
+            f"duration: {self.duration:.0f}s   seed: {self.seed}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "scheduling": row.scheduling,
+                    "mean": row.mean,
+                    "p999": row.p999,
+                    "jitter": row.jitter,
+                    "cross_mean": row.cross_mean,
+                    "link_queueing_ms": row.link_queueing_ms,
+                    "link_utilizations": row.link_utilizations,
+                }
+                for row in self.rows
+            ],
+            "num_hops": self.num_hops,
+            "duration": self.duration,
+            "seed": self.seed,
+        }
+
+
+def _rows_from(result: ScenarioResult, spec: ScenarioSpec) -> List[ParkingLotRow]:
+    unit = common.TX_TIME_SECONDS
+    cross_witnesses = [
+        flow.name
+        for flow in spec.flows
+        if flow.record and flow.name not in THROUGH_FLOWS
+    ]
+    rows = []
+    for run in result.runs:
+        # Pool the two through flows (identical placement and load).
+        thru = [run.flow(name) for name in THROUGH_FLOWS]
+        weights = [stats.recorded for stats in thru]
+        total = sum(weights) or 1
+        mean = sum(s.mean_seconds * w for s, w in zip(thru, weights)) / total
+        p999 = max(s.percentile_in(99.9) for s in thru)
+        jitter = max(s.jitter_seconds for s in thru)
+        cross = [run.flow(name) for name in cross_witnesses]
+        cross_weights = [stats.recorded for stats in cross]
+        cross_total = sum(cross_weights) or 1
+        cross_mean = (
+            sum(s.mean_seconds * w for s, w in zip(cross, cross_weights))
+            / cross_total
+        )
+        rows.append(
+            ParkingLotRow(
+                scheduling=run.discipline,
+                mean=mean / unit,
+                p999=p999 / unit,
+                jitter=jitter / unit,
+                cross_mean=cross_mean / unit,
+                link_queueing_ms={
+                    name: value * 1e3 for name, value in run.link_queueing
+                },
+                link_utilizations=dict(run.link_utilizations),
+            )
+        )
+    return rows
+
+
+def run(
+    duration: float = common.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    warmup: float = common.DEFAULT_WARMUP_SECONDS,
+    workers: Optional[int] = None,
+) -> ParkingLotResult:
+    spec = scenario_spec(duration=duration, seed=seed, warmup=warmup)
+    result = ScenarioRunner(spec).run(workers=workers)
+    return ParkingLotResult(
+        rows=_rows_from(result, spec),
+        num_hops=NUM_HOPS,
+        duration=duration,
+        seed=seed,
+        scenario=result,
+    )

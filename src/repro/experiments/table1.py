@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments import common
 from repro.scenario import (
+    registry,
     DisciplineRunResult,
     DisciplineSpec,
     ScenarioBuilder,
@@ -159,3 +160,5 @@ def run(
         seed=seed,
         scenario=result,
     )
+
+registry.register("table1", scenario_spec)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments import common
 from repro.scenario import (
+    registry,
     DisciplineRunResult,
     DisciplineSpec,
     ScenarioBuilder,
@@ -183,3 +184,5 @@ def run(
         seed=seed,
         scenario=result,
     )
+
+registry.register("table2", scenario_spec)

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional
 from repro.core.bounds import parekh_gallager_paper_bound
 from repro.experiments import common
 from repro.scenario import (
+    registry,
     DisciplineSpec,
     FlowSpec,
     GuaranteedRequest,
@@ -281,3 +282,5 @@ def run(
         seed=seed,
         scenario=result,
     )
+
+registry.register("table3", scenario_spec)

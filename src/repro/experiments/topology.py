@@ -1,4 +1,4 @@
-"""Figure 1: the experiment network itself.
+"""Figure 1 — and structural reports for any declarative topology.
 
 Figure 1 is the paper's only figure — the 5-switch chain used by Tables 2
 and 3.  "Reproducing" it means building the network programmatically from
@@ -6,15 +6,25 @@ its :class:`~repro.scenario.TopologySpec`, verifying its structural
 invariants (10 flows per inter-switch link; the 12/4/4/2 path-length
 census), and rendering it.  The checks here are also what guards the
 Table 2/3 workloads against placement regressions.
+
+Since the topology layer went graph-native, the same census machinery
+works for *any* spec: :func:`graph_report` takes an arbitrary
+:class:`~repro.scenario.ScenarioSpec` and reports its per-link flow
+census and path-length histogram over whatever graph it declares.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.net.topology import FIGURE1_HOSTS, FIGURE1_SWITCHES, figure1_ascii
-from repro.scenario import DisciplineSpec, ScenarioBuilder, ScenarioRunner
+from repro.scenario import (
+    DisciplineSpec,
+    ScenarioBuilder,
+    ScenarioRunner,
+    ScenarioSpec,
+)
 
 
 @dataclasses.dataclass
@@ -47,6 +57,42 @@ class TopologyReport:
         )
 
 
+def graph_report(spec: ScenarioSpec, ascii_art: str = "") -> TopologyReport:
+    """Structural census of any scenario: who shares which link.
+
+    Builds the spec's first discipline (no traffic runs) and walks every
+    flow's routed path — so the census reflects the live routing tables,
+    not just the declared placements.  TCP connections count on both
+    directions of their path (segments one way, ACKs the other).
+    """
+    context = ScenarioRunner(spec).build()
+    net = context.net
+    flows_per_link: Dict[str, int] = {name: 0 for name in net.links}
+    flows_per_path_length: Dict[int, int] = {}
+    for flow in spec.flows:
+        names = net.link_names_on_path(flow.source_host, flow.dest_host)
+        for name in names:
+            flows_per_link[name] += 1
+        hops = flow.hops if flow.hops is not None else len(names)
+        flows_per_path_length[hops] = flows_per_path_length.get(hops, 0) + 1
+    for tcp in spec.tcps:
+        for src, dst in (
+            (tcp.source_host, tcp.dest_host),
+            (tcp.dest_host, tcp.source_host),
+        ):
+            for name in net.link_names_on_path(src, dst):
+                flows_per_link[name] += 1
+    topology = spec.topology
+    return TopologyReport(
+        switches=list(topology.nodes),
+        hosts=list(topology.host_names),
+        links=sorted(net.links),
+        flows_per_link=flows_per_link,
+        flows_per_path_length=flows_per_path_length,
+        ascii_art=ascii_art,
+    )
+
+
 def build_report() -> TopologyReport:
     """Construct the Figure-1 network and verify the workload layout."""
     spec = (
@@ -57,25 +103,16 @@ def build_report() -> TopologyReport:
         .duration(1.0)
         .build()
     )
-    context = ScenarioRunner(spec).build()
-    net = context.net
-    flows_per_link: Dict[str, int] = {name: 0 for name in net.links}
-    for flow in spec.flows:
-        for link in net.links_on_path(flow.source_host, flow.dest_host):
-            flows_per_link[link.name] += 1
-    flows_per_path_length: Dict[int, int] = {}
-    for flow in spec.flows:
-        flows_per_path_length[flow.hops] = (
-            flows_per_path_length.get(flow.hops, 0) + 1
+    report = graph_report(spec, ascii_art=figure1_ascii())
+    # The named constructor must keep compiling to the paper's network.
+    if report.switches != list(FIGURE1_SWITCHES) or report.hosts != list(
+        FIGURE1_HOSTS
+    ):
+        raise ValueError(
+            "figure1 topology no longer compiles to the paper's network: "
+            f"switches={report.switches} hosts={report.hosts}"
         )
-    return TopologyReport(
-        switches=list(FIGURE1_SWITCHES),
-        hosts=list(FIGURE1_HOSTS),
-        links=sorted(net.links),
-        flows_per_link=flows_per_link,
-        flows_per_path_length=flows_per_path_length,
-        ascii_art=figure1_ascii(),
-    )
+    return report
 
 
 def run() -> TopologyReport:

@@ -70,7 +70,13 @@ class Network:
         propagation_delay: float = 0.0,
         buffer_packets: int = DEFAULT_BUFFER_PACKETS,
     ) -> Link:
-        """Install a simplex link src -> dst with its output port."""
+        """Install a simplex link src -> dst with its output port.
+
+        The network-wide factory receives the port (link) name, so it is
+        already per-port: discipline mixes (FIFO edges feeding a WFQ
+        bottleneck) dispatch on that name — see
+        :func:`repro.scenario.disciplines.resolve_port_discipline`.
+        """
         src = self.switches[src_switch]
         dst = self.switches[dst_switch]
         link_name = f"{src_switch}->{dst_switch}"
@@ -106,12 +112,22 @@ class Network:
 
     def links_on_path(self, src_host: str, dst_host: str) -> List[Link]:
         """The inter-switch links a host-to-host flow traverses."""
+        return [
+            self.links[name]
+            for name in self.link_names_on_path(src_host, dst_host)
+        ]
+
+    def link_names_on_path(self, src_host: str, dst_host: str) -> List[str]:
+        """Names of the inter-switch links between two hosts, in path order.
+
+        Raises:
+            RoutingError: if no route exists between the endpoints.
+        """
         nodes = self.path(src_host, dst_host)
         out = []
         for here, nxt in zip(nodes, nodes[1:]):
-            link = self.links.get(f"{here}->{nxt}")
-            if link is not None:  # host<->switch hops have no Link object
-                out.append(link)
+            if f"{here}->{nxt}" in self.links:  # host<->switch hops have none
+                out.append(f"{here}->{nxt}")
         return out
 
     def port_for_link(self, link_name: str) -> OutputPort:

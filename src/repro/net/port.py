@@ -56,6 +56,7 @@ class OutputPort:
         self.packets_in = 0
         self.packets_out = 0
         self.packets_dropped = 0
+        self.queueing_delay_total = 0.0  # summed wait of departed packets
         self.on_enqueue: List[EnqueueListener] = []
         self.on_drop: List[DropListener] = []
         self.on_depart: List[DepartListener] = []
@@ -70,6 +71,11 @@ class OutputPort:
     def queue_length(self) -> int:
         """Packets waiting in the scheduler (excludes the one on the wire)."""
         return len(self.scheduler)
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        """Mean per-hop wait of packets that departed this port (seconds)."""
+        return self.queueing_delay_total / self.packets_out if self.packets_out else 0.0
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the port.
@@ -119,6 +125,7 @@ class OutputPort:
         packet.queueing_delay += wait
         packet.hops += 1
         self.packets_out += 1
+        self.queueing_delay_total += wait
         if self.on_depart:
             for listener in self.on_depart:
                 listener(packet, now, wait)

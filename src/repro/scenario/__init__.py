@@ -16,9 +16,13 @@ The subsystem the experiment layer is founded on:
   placement tables, the single source of truth.
 """
 
-from repro.scenario import paper
+from repro.scenario import paper, registry
 from repro.scenario.builder import ScenarioBuilder
-from repro.scenario.disciplines import build_scheduler, discipline_kinds
+from repro.scenario.disciplines import (
+    build_scheduler,
+    discipline_kinds,
+    resolve_port_discipline,
+)
 from repro.scenario.runner import (
     DisciplineRunResult,
     FlowStats,
@@ -32,6 +36,8 @@ from repro.scenario.spec import (
     DisciplineSpec,
     FlowSpec,
     GuaranteedRequest,
+    HostAttachment,
+    LinkSpec,
     PredictedRequest,
     ScenarioSpec,
     TcpSpec,
@@ -41,12 +47,15 @@ from repro.scenario.sweep import expand, sweep
 
 __all__ = [
     "paper",
+    "registry",
     "AdmissionSpec",
     "DisciplineSpec",
     "DisciplineRunResult",
     "FlowSpec",
     "FlowStats",
     "GuaranteedRequest",
+    "HostAttachment",
+    "LinkSpec",
     "PredictedRequest",
     "ScenarioBuilder",
     "ScenarioContext",
@@ -59,5 +68,6 @@ __all__ = [
     "build_scheduler",
     "discipline_kinds",
     "expand",
+    "resolve_port_discipline",
     "sweep",
 ]

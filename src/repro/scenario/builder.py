@@ -63,6 +63,14 @@ class ScenarioBuilder:
         """Figure 1: five switches, four 1 Mbit/s links (duplex for TCP)."""
         return self.topology(TopologySpec.figure1(duplex=duplex, **kwargs))
 
+    def parking_lot(self, num_hops: int = 4, **kwargs) -> "ScenarioBuilder":
+        """The merge network: cross traffic in and out at every hop."""
+        return self.topology(TopologySpec.parking_lot(num_hops, **kwargs))
+
+    def graph(self, nodes, links, host_attachments) -> "ScenarioBuilder":
+        """A free-form declarative graph (see :meth:`TopologySpec.graph`)."""
+        return self.topology(TopologySpec.graph(nodes, links, host_attachments))
+
     # -- flows ---------------------------------------------------------
     def flow(self, flow: FlowSpec) -> "ScenarioBuilder":
         self._flows.append(flow)
@@ -105,10 +113,14 @@ class ScenarioBuilder:
         self,
         realtime_quota: float = 0.9,
         class_bounds_seconds: Sequence[float] = (0.15, 1.5),
+        utilization_safety: float = 1.0,
+        delay_safety: float = 1.0,
     ) -> "ScenarioBuilder":
         self._admission = AdmissionSpec(
             realtime_quota=realtime_quota,
             class_bounds_seconds=tuple(class_bounds_seconds),
+            utilization_safety=utilization_safety,
+            delay_safety=delay_safety,
         )
         return self
 
@@ -146,7 +158,10 @@ class ScenarioBuilder:
     # ------------------------------------------------------------------
     def build(self) -> ScenarioSpec:
         if self._topology is None:
-            raise ValueError("a topology is required (single_link/chain/paper_chain)")
+            raise ValueError(
+                "a topology is required "
+                "(single_link/chain/paper_chain/parking_lot/graph)"
+            )
         if not self._disciplines:
             raise ValueError("at least one discipline is required")
         kwargs = {}

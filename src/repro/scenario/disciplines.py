@@ -7,6 +7,7 @@ port will feed (rate-aware disciplines size themselves off the link speed).
 
 from __future__ import annotations
 
+import fnmatch
 from typing import Any, Callable, Dict, Mapping
 
 from repro.net.link import Link
@@ -87,10 +88,27 @@ def discipline_kinds() -> tuple:
     return tuple(sorted(_REGISTRY)) + ("custom",)
 
 
+def resolve_port_discipline(
+    spec: DisciplineSpec, port_name: str
+) -> DisciplineSpec:
+    """The discipline that actually schedules ``port_name``.
+
+    Walks the spec's per-port overrides in declaration order and returns
+    the first whose glob pattern matches the port (link) name; the spec
+    itself is the fallback for unmatched ports.
+    """
+    for pattern, override in spec.ports:
+        if fnmatch.fnmatchcase(port_name, pattern):
+            return override
+    return spec
+
+
 def build_scheduler(
     spec: DisciplineSpec, sim: Simulator, port_name: str, link: Link
 ) -> Scheduler:
-    """Instantiate the scheduler a :class:`DisciplineSpec` describes."""
+    """Instantiate the scheduler a :class:`DisciplineSpec` describes for
+    one port (per-port overrides resolved first)."""
+    spec = resolve_port_discipline(spec, port_name)
     if spec.factory is not None:
         return spec.factory(sim, port_name, link)
     builder = _REGISTRY.get(spec.kind)

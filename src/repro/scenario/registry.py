@@ -1,0 +1,82 @@
+"""Named scenario registry: specs findable by name, runnable from the CLI.
+
+A registered scenario is a callable returning a :class:`ScenarioSpec`
+(keyword arguments such as ``duration`` / ``seed`` are forwarded when the
+caller supplies them, so one registration serves both full-length and
+smoke-test runs)::
+
+    from repro.scenario import registry
+
+    @registry.register("my_sweep")
+    def my_sweep(duration=600.0, seed=1):
+        return ScenarioBuilder("my_sweep")...build()
+
+    spec = registry.build("my_sweep", duration=30.0)
+
+``python -m repro.experiments --spec <name>`` resolves names through this
+registry (and falls back to reading ``<name>`` as a JSON spec file), so
+every registered scenario — and every serialized spec — is one command
+away.  The experiment modules register the paper's workloads on import.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Optional
+
+from repro.scenario.spec import ScenarioSpec
+
+SpecBuilder = Callable[..., ScenarioSpec]
+
+_REGISTRY: Dict[str, SpecBuilder] = {}
+
+
+def register(
+    name: str, builder: Optional[SpecBuilder] = None
+) -> Callable[[SpecBuilder], SpecBuilder]:
+    """Register a spec builder under ``name`` (usable as a decorator)."""
+
+    def _register(fn: SpecBuilder) -> SpecBuilder:
+        if name in _REGISTRY and _REGISTRY[name] is not fn:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return _register(builder) if builder is not None else _register
+
+
+def _load_builtins() -> None:
+    """Import the experiment modules so their registrations run.
+
+    Lazy (and inside a function) because experiments import the scenario
+    package; importing them at module load would be circular.
+    """
+    import repro.experiments  # noqa: F401  (side effect: registrations)
+
+
+def names() -> tuple:
+    """All registered scenario names, sorted."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str) -> SpecBuilder:
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no scenario named {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def build(name: str, **kwargs) -> ScenarioSpec:
+    """Build a registered scenario, forwarding only the kwargs its
+    builder accepts (so generic callers can always offer duration/seed)."""
+    builder = get(name)
+    accepted = inspect.signature(builder).parameters
+    if not any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in accepted.values()
+    ):
+        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return builder(**kwargs)

@@ -34,7 +34,8 @@ from repro.core.service import (
 )
 from repro.core.signaling import FlowGrant, SignalingAgent
 from repro.net.packet import Packet, ServiceClass
-from repro.scenario.disciplines import build_scheduler
+from repro.net.routing import RoutingError
+from repro.scenario.disciplines import build_scheduler, resolve_port_discipline
 from repro.scenario.spec import (
     DisciplineSpec,
     FlowSpec,
@@ -65,6 +66,8 @@ class FlowStats:
     ``emitted`` / ``filtered`` describe the source side (the arrival
     process — identical across disciplines of one spec); ``received`` /
     ``recorded`` the sink side (``recorded`` excludes warm-up samples).
+    ``jitter_seconds`` is the path-level delay spread (max minus min
+    recorded queueing delay) — the quantity FIFO+ exists to shrink.
     """
 
     name: str
@@ -75,6 +78,7 @@ class FlowStats:
     recorded: int
     mean_seconds: float
     max_seconds: float
+    jitter_seconds: float
     percentiles: Tuple[Tuple[float, float], ...]  # (pct, delay seconds)
 
     # -- unit conversion (the paper reports packet transmission times) --
@@ -100,6 +104,7 @@ class FlowStats:
             "recorded": self.recorded,
             "mean_seconds": self.mean_seconds,
             "max_seconds": self.max_seconds,
+            "jitter_seconds": self.jitter_seconds,
             "percentiles": {str(pct): value for pct, value in self.percentiles},
         }
 
@@ -117,12 +122,20 @@ class TcpStats:
 
 @dataclasses.dataclass(frozen=True)
 class DisciplineRunResult:
-    """Everything measured in one discipline's simulation."""
+    """Everything measured in one discipline's simulation.
+
+    ``link_queueing`` is the mean per-hop wait at each link's output port
+    (seconds) — the per-link view of where delay accumulates on multi-hop
+    paths.  ``port_disciplines`` records the scheduler each port actually
+    got after per-port overrides resolved.
+    """
 
     discipline: str
     flows: Tuple[FlowStats, ...]
     link_utilizations: Tuple[Tuple[str, float], ...]
+    link_queueing: Tuple[Tuple[str, float], ...]
     link_drops: Tuple[Tuple[str, int], ...]
+    port_disciplines: Tuple[Tuple[str, str], ...]
     realtime_fraction: Tuple[Tuple[str, float], ...]  # link accounting only
     datagram_dropped: int
     tcp_stats: Tuple[TcpStats, ...]
@@ -155,6 +168,20 @@ class DisciplineRunResult:
                 return value
         raise KeyError(link_name)
 
+    def queueing(self, link_name: str) -> float:
+        """Mean per-hop queueing delay at one link (seconds)."""
+        for name, value in self.link_queueing:
+            if name == link_name:
+                return value
+        raise KeyError(link_name)
+
+    def port_discipline(self, link_name: str) -> str:
+        """Name of the discipline that scheduled one port."""
+        for name, value in self.port_disciplines:
+            if name == link_name:
+                return value
+        raise KeyError(link_name)
+
     def tcp(self, name: str) -> TcpStats:
         for stats in self.tcp_stats:
             if stats.name == name:
@@ -166,7 +193,9 @@ class DisciplineRunResult:
             "discipline": self.discipline,
             "flows": {stats.name: stats.to_dict() for stats in self.flows},
             "link_utilizations": dict(self.link_utilizations),
+            "link_queueing": dict(self.link_queueing),
             "link_drops": dict(self.link_drops),
+            "port_disciplines": dict(self.port_disciplines),
             "realtime_fraction": dict(self.realtime_fraction),
             "datagram_dropped": self.datagram_dropped,
             "datagram_sent": self.datagram_sent,
@@ -245,11 +274,24 @@ class ScenarioContext:
         self.discipline = discipline
         self.sim = Simulator()
         self.streams = RandomStreams(seed=spec.seed)
+        self.port_disciplines: Dict[str, str] = {}
 
         def factory(port_name, link):
+            # Record what this port will run; build_scheduler performs the
+            # same resolution itself (single authoritative resolver).
+            self.port_disciplines[port_name] = resolve_port_discipline(
+                discipline, port_name
+            ).name
             return build_scheduler(discipline, self.sim, port_name, link)
 
         self.net = spec.topology.build(self.sim, factory)
+        # Surface unroutable flows now, with the flow named, instead of a
+        # bare RoutingError in the middle of the event loop.
+        for flow in spec.flows:
+            self._check_route(flow.name, flow.source_host, flow.dest_host)
+        for tcp in spec.tcps:
+            self._check_route(tcp.name, tcp.source_host, tcp.dest_host)
+            self._check_route(tcp.name, tcp.dest_host, tcp.source_host)
 
         self.admission: Optional[AdmissionController] = None
         self.signaling: Optional[SignalingAgent] = None
@@ -260,9 +302,13 @@ class ScenarioContext:
                     class_bounds_seconds=spec.admission.class_bounds_seconds,
                 )
             )
+            measurement_config = MeasurementConfig(
+                utilization_safety=spec.admission.utilization_safety,
+                delay_safety=spec.admission.delay_safety,
+            )
             for link_name, port in self.net.ports.items():
                 self.admission.attach_measurement(
-                    link_name, SwitchMeasurement(port, MeasurementConfig())
+                    link_name, SwitchMeasurement(port, measurement_config)
                 )
             self.signaling = SignalingAgent(self.net, self.admission)
 
@@ -308,6 +354,13 @@ class ScenarioContext:
                 self._attach_accounting(link_name)
 
         self._wall_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _check_route(self, name: str, src: str, dst: str) -> None:
+        try:
+            self.net.path(src, dst)
+        except RoutingError as exc:
+            raise RoutingError(f"flow {name!r}: {exc}") from None
 
     # ------------------------------------------------------------------
     def establish(self, flow: FlowSpec) -> Optional[FlowGrant]:
@@ -379,6 +432,7 @@ class ScenarioContext:
         """
         if flow.name in self.sources:
             raise ValueError(f"flow {flow.name} already exists")
+        self._check_route(flow.name, flow.source_host, flow.dest_host)
         if establish and flow.request is not None:
             self.establish(flow)
         service_class, priority_class = self._resolve_service(flow)
@@ -488,10 +542,15 @@ class ScenarioContext:
             link_utilizations=tuple(
                 (name, link.utilization()) for name, link in self.net.links.items()
             ),
+            link_queueing=tuple(
+                (name, port.mean_queueing_delay)
+                for name, port in self.net.ports.items()
+            ),
             link_drops=tuple(
                 (name, port.packets_dropped)
                 for name, port in self.net.ports.items()
             ),
+            port_disciplines=tuple(sorted(self.port_disciplines.items())),
             realtime_fraction=tuple(
                 (
                     name,
@@ -532,6 +591,9 @@ class ScenarioContext:
             recorded=recorded,
             mean_seconds=sink.queueing.mean if recorded else 0.0,
             max_seconds=sink.queueing.max if recorded else 0.0,
+            jitter_seconds=(
+                sink.queueing.max - sink.queueing.min if recorded else 0.0
+            ),
             percentiles=tuple(
                 (pct, sink.queueing_pct.percentile(pct) if recorded else 0.0)
                 for pct in self.spec.percentile_points

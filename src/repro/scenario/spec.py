@@ -15,38 +15,95 @@ every discipline.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.net.network import Network
-from repro.net.packet import ServiceClass
 from repro.net.topology import (
-    chain_topology,
-    paper_figure1_topology,
-    single_link_topology,
+    build_network,
+    chain_graph,
+    figure1_graph,
+    parking_lot_graph,
+    single_link_graph,
 )
+from repro.net.packet import ServiceClass
 from repro.scenario import paper
 from repro.sim.engine import Simulator
 
-TOPOLOGY_KINDS = ("single_link", "chain", "figure1")
+# Provenance tags the named constructors stamp; free-form graphs are
+# "graph".  from_dict still accepts the legacy serialized forms of the
+# named kinds (num_switches/rate_bps/duplex) and recompiles them.
+TOPOLOGY_KINDS = ("graph", "single_link", "chain", "figure1", "parking_lot")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """One directed link of a topology graph, with its own parameters."""
+
+    src: str
+    dst: str
+    rate_bps: float = paper.LINK_RATE_BPS
+    buffer_packets: int = paper.BUFFER_PACKETS
+    propagation_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.src == self.dst:
+            raise ValueError(f"link {self.src}->{self.dst} is a self-loop")
+        if self.rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if self.buffer_packets <= 0:
+            raise ValueError("buffer size must be positive")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkSpec":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class HostAttachment:
+    """One host and the switch it hangs off (infinitely fast access link)."""
+
+    host: str
+    switch: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HostAttachment":
+        return cls(**data)
 
 
 @dataclasses.dataclass(frozen=True)
 class TopologySpec:
-    """Which network to build, declaratively.
+    """A network as a declarative graph: switches, links, host attachments.
+
+    Any directed graph is expressible; the paper's named networks are
+    constructors that compile to this form (``single_link()``, ``chain()``,
+    ``figure1()``) along with the ``parking_lot()`` merge network.  Build
+    order is nodes, then links, then hosts — the order the golden
+    equivalence tests pin.
 
     Attributes:
-        kind: one of ``single_link`` (the Table-1 bottleneck), ``chain``
-            (N switches, one host each), ``figure1`` (the paper's
-            5-switch chain).
-        num_switches: chain length; required for ``chain`` only.
-        duplex: install links in both directions (needed for TCP ACKs).
+        nodes: switch names, in construction order.
+        links: directed links, each with its own rate / buffer /
+            propagation delay.
+        host_attachments: (host, switch) pairs.
+        kind: provenance tag (``graph`` for free-form topologies).
     """
 
-    kind: str = "single_link"
-    num_switches: Optional[int] = None
-    rate_bps: float = paper.LINK_RATE_BPS
-    buffer_packets: int = paper.BUFFER_PACKETS
-    duplex: bool = False
+    nodes: Tuple[str, ...] = ()
+    links: Tuple[LinkSpec, ...] = ()
+    host_attachments: Tuple[HostAttachment, ...] = ()
+    kind: str = "graph"
 
     def __post_init__(self):
         if self.kind not in TOPOLOGY_KINDS:
@@ -54,61 +111,198 @@ class TopologySpec:
                 f"unknown topology kind {self.kind!r}; expected one of "
                 f"{TOPOLOGY_KINDS}"
             )
-        if self.kind == "chain" and (
-            self.num_switches is None or self.num_switches < 2
-        ):
-            raise ValueError("chain topologies need num_switches >= 2")
-        if self.kind == "single_link" and self.duplex:
-            raise ValueError("single_link topologies are simplex")
-        if self.rate_bps <= 0:
-            raise ValueError("link rate must be positive")
-        if self.buffer_packets <= 0:
-            raise ValueError("buffer size must be positive")
+        if not self.nodes:
+            raise ValueError("a topology needs at least one switch")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("switch names must be unique")
+        switches = set(self.nodes)
+        seen_links = set()
+        for link in self.links:
+            if link.src not in switches or link.dst not in switches:
+                raise ValueError(
+                    f"link {link.name} references an unknown switch"
+                )
+            if link.name in seen_links:
+                raise ValueError(f"duplicate link {link.name}")
+            seen_links.add(link.name)
+        seen_hosts = set()
+        for attachment in self.host_attachments:
+            if attachment.switch not in switches:
+                raise ValueError(
+                    f"host {attachment.host} attaches to unknown switch "
+                    f"{attachment.switch}"
+                )
+            if attachment.host in seen_hosts or attachment.host in switches:
+                raise ValueError(f"duplicate node name {attachment.host}")
+            seen_hosts.add(attachment.host)
 
+    # -- named constructors (compile to graph form) --------------------
     @classmethod
-    def single_link(cls, **kwargs) -> "TopologySpec":
-        return cls(kind="single_link", **kwargs)
+    def single_link(
+        cls,
+        rate_bps: float = paper.LINK_RATE_BPS,
+        buffer_packets: int = paper.BUFFER_PACKETS,
+    ) -> "TopologySpec":
+        return cls._from_graph(
+            single_link_graph(rate_bps, buffer_packets), kind="single_link"
+        )
 
     @classmethod
     def chain(cls, num_switches: int, **kwargs) -> "TopologySpec":
-        return cls(kind="chain", num_switches=num_switches, **kwargs)
+        return cls._from_graph(
+            chain_graph(num_switches, **kwargs), kind="chain"
+        )
 
     @classmethod
     def figure1(cls, **kwargs) -> "TopologySpec":
-        return cls(kind="figure1", **kwargs)
+        return cls._from_graph(figure1_graph(**kwargs), kind="figure1")
 
-    def build(self, sim: Simulator, scheduler_factory) -> Network:
-        """Construct the live :class:`Network` this spec describes."""
-        if self.kind == "single_link":
-            return single_link_topology(
-                sim,
-                scheduler_factory,
-                rate_bps=self.rate_bps,
-                buffer_packets=self.buffer_packets,
-            )
-        if self.kind == "figure1":
-            return paper_figure1_topology(
-                sim,
-                scheduler_factory,
-                rate_bps=self.rate_bps,
-                buffer_packets=self.buffer_packets,
-                duplex=self.duplex,
-            )
-        return chain_topology(
-            sim,
-            scheduler_factory,
-            num_switches=self.num_switches,
-            rate_bps=self.rate_bps,
-            buffer_packets=self.buffer_packets,
-            duplex=self.duplex,
+    @classmethod
+    def parking_lot(cls, num_hops: int = 4, **kwargs) -> "TopologySpec":
+        return cls._from_graph(
+            parking_lot_graph(num_hops, **kwargs), kind="parking_lot"
         )
 
+    @classmethod
+    def graph(
+        cls,
+        nodes: Sequence[str],
+        links: Sequence[Union[LinkSpec, Mapping[str, Any]]],
+        host_attachments: Sequence[
+            Union[HostAttachment, Tuple[str, str], Mapping[str, Any]]
+        ],
+    ) -> "TopologySpec":
+        """A free-form topology; links/attachments may be given as dicts."""
+        return cls(
+            nodes=tuple(nodes),
+            links=tuple(
+                link if isinstance(link, LinkSpec) else LinkSpec(**dict(link))
+                for link in links
+            ),
+            host_attachments=tuple(
+                att
+                if isinstance(att, HostAttachment)
+                else (
+                    HostAttachment(*att)
+                    if isinstance(att, (tuple, list))
+                    else HostAttachment(**dict(att))
+                )
+                for att in host_attachments
+            ),
+        )
+
+    @classmethod
+    def _from_graph(cls, graph, kind: str) -> "TopologySpec":
+        nodes, links, hosts = graph
+        return cls(
+            nodes=tuple(nodes),
+            links=tuple(
+                LinkSpec(
+                    src=src,
+                    dst=dst,
+                    rate_bps=rate,
+                    buffer_packets=buffer,
+                    propagation_delay=delay,
+                )
+                for src, dst, rate, delay, buffer in links
+            ),
+            host_attachments=tuple(
+                HostAttachment(host=host, switch=switch)
+                for host, switch in hosts
+            ),
+            kind=kind,
+        )
+
+    # -- queries -------------------------------------------------------
+    @property
+    def host_names(self) -> Tuple[str, ...]:
+        return tuple(att.host for att in self.host_attachments)
+
+    @property
+    def link_names(self) -> Tuple[str, ...]:
+        return tuple(link.name for link in self.links)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.nodes)
+
+    def _uniform(self, attribute: str):
+        values = {getattr(link, attribute) for link in self.links}
+        if len(values) != 1:
+            raise ValueError(
+                f"topology links have heterogeneous {attribute}: "
+                f"{sorted(values)}"
+            )
+        return values.pop()
+
+    @property
+    def rate_bps(self) -> float:
+        """The uniform link rate; raises on heterogeneous-rate graphs."""
+        return self._uniform("rate_bps")
+
+    @property
+    def buffer_packets(self) -> int:
+        """The uniform buffer size; raises on heterogeneous graphs."""
+        return self._uniform("buffer_packets")
+
+    # -- realization ---------------------------------------------------
+    def build(self, sim: Simulator, scheduler_factory) -> Network:
+        """Construct the live :class:`Network` this spec describes."""
+        return build_network(
+            sim,
+            scheduler_factory,
+            self.nodes,
+            tuple(
+                (
+                    link.src,
+                    link.dst,
+                    link.rate_bps,
+                    link.propagation_delay,
+                    link.buffer_packets,
+                )
+                for link in self.links
+            ),
+            tuple((att.host, att.switch) for att in self.host_attachments),
+        )
+
+    # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        return {
+            "kind": self.kind,
+            "nodes": list(self.nodes),
+            "links": [link.to_dict() for link in self.links],
+            "host_attachments": [
+                att.to_dict() for att in self.host_attachments
+            ],
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
-        return cls(**data)
+        if "nodes" in data:
+            return cls(
+                nodes=tuple(data["nodes"]),
+                links=tuple(
+                    LinkSpec.from_dict(link) for link in data.get("links", ())
+                ),
+                host_attachments=tuple(
+                    HostAttachment.from_dict(att)
+                    for att in data.get("host_attachments", ())
+                ),
+                kind=data.get("kind", "graph"),
+            )
+        # Legacy serialized form (pre-graph): kind + scalar parameters.
+        payload = dict(data)
+        kind = payload.pop("kind", "single_link")
+        if kind == "single_link":
+            payload.pop("num_switches", None)
+            payload.pop("duplex", None)
+            return cls.single_link(**payload)
+        if kind == "chain":
+            return cls.chain(payload.pop("num_switches"), **payload)
+        if kind == "figure1":
+            payload.pop("num_switches", None)
+            return cls.figure1(**payload)
+        raise ValueError(f"unknown topology kind {kind!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -223,16 +417,41 @@ class DisciplineSpec:
     an escape hatch for disciplines outside the registry — a callable
     ``(sim, port_name, link) -> Scheduler``; it must be a module-level
     function to survive pickling into sweep workers.
+
+    ``ports`` maps port-name glob patterns (``fnmatch`` style, e.g.
+    ``"S-2->S-3"`` or ``"*->S-3"``) to override disciplines, so one
+    discipline entry can schedule different ports differently — FIFO edge
+    ports feeding a WFQ bottleneck, say.  The first matching pattern wins;
+    unmatched ports get this spec's own kind.  Build with
+    :meth:`override`.
     """
 
     name: str
     kind: str
     params: Tuple[Tuple[str, Any], ...] = ()
     factory: Optional[Callable] = None
+    ports: Tuple[Tuple[str, "DisciplineSpec"], ...] = ()
+
+    def __post_init__(self):
+        for pattern, override in self.ports:
+            if override.ports:
+                raise ValueError(
+                    f"port override {pattern!r} of {self.name!r} must not "
+                    "carry its own port overrides"
+                )
 
     @classmethod
     def of(cls, name: str, kind: str, **params) -> "DisciplineSpec":
         return cls(name=name, kind=kind, params=tuple(sorted(params.items())))
+
+    def override(
+        self, pattern: str, discipline: "DisciplineSpec"
+    ) -> "DisciplineSpec":
+        """A copy that schedules ports matching ``pattern`` with
+        ``discipline`` instead (earlier overrides take precedence)."""
+        return dataclasses.replace(
+            self, ports=self.ports + ((pattern, discipline),)
+        )
 
     @property
     def param_dict(self) -> Dict[str, Any]:
@@ -331,11 +550,24 @@ class DisciplineSpec:
                 f"discipline {self.name!r} uses a custom factory and cannot "
                 "be serialized"
             )
-        return {"name": self.name, "kind": self.kind, "params": dict(self.params)}
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "params": dict(self.params),
+        }
+        if self.ports:
+            data["ports"] = [
+                [pattern, override.to_dict()]
+                for pattern, override in self.ports
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DisciplineSpec":
-        return cls.of(data["name"], data["kind"], **dict(data.get("params", {})))
+        spec = cls.of(data["name"], data["kind"], **dict(data.get("params", {})))
+        for pattern, override in data.get("ports", ()):
+            spec = spec.override(pattern, cls.from_dict(override))
+        return spec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -357,16 +589,26 @@ class TcpSpec:
 
 @dataclasses.dataclass(frozen=True)
 class AdmissionSpec:
-    """Measurement-based admission control at every output port."""
+    """Measurement-based admission control at every output port.
+
+    ``utilization_safety`` / ``delay_safety`` are the multiplicative
+    conservatism factors applied to the measured nu-hat and d-hat_j
+    (Section 9's "consistently conservative estimates"); 1.0 uses the raw
+    sliding-window measurements.
+    """
 
     realtime_quota: float = 0.9
     class_bounds_seconds: Tuple[float, ...] = (0.15, 1.5)
+    utilization_safety: float = 1.0
+    delay_safety: float = 1.0
 
     def __post_init__(self):
         if not 0 < self.realtime_quota <= 1:
             raise ValueError("realtime quota must be in (0, 1]")
         if not self.class_bounds_seconds:
             raise ValueError("at least one predicted class bound is required")
+        if self.utilization_safety < 1.0 or self.delay_safety < 1.0:
+            raise ValueError("safety factors must be >= 1 (conservative)")
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -433,6 +675,21 @@ class ScenarioSpec:
                 raise ValueError(f"establish_order names unknown flows: {unknown}")
             if len(set(self.establish_order)) != len(self.establish_order):
                 raise ValueError("establish_order must not repeat flow names")
+        hosts = set(self.topology.host_names)
+        for flow in self.flows:
+            for host in (flow.source_host, flow.dest_host):
+                if host not in hosts:
+                    raise ValueError(
+                        f"flow {flow.name!r} references host {host!r} not in "
+                        f"the topology (hosts: {sorted(hosts)})"
+                    )
+        for tcp in self.tcps:
+            for host in (tcp.source_host, tcp.dest_host):
+                if host not in hosts:
+                    raise ValueError(
+                        f"tcp {tcp.name!r} references host {host!r} not in "
+                        f"the topology"
+                    )
 
     # ------------------------------------------------------------------
     def flow(self, name: str) -> FlowSpec:

@@ -33,9 +33,67 @@ class TestCli:
         out = capsys.readouterr().out
         assert "phase" in out and "adaptations" in out
 
+    def test_parkinglot_short(self, capsys):
+        assert main(["parkinglot", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Parking lot" in out and "thru" in out
+        assert "FIFO+" in out and "CSZ" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+    def test_no_experiment_and_no_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiment_and_spec_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--spec", "parking_lot"])
+
+
+class TestSpecCli:
+    def test_registered_name(self, capsys):
+        assert main(["--spec", "table1", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "flow-0" in out and "A->B" in out
+
+    def test_unknown_name_reports_error(self, capsys):
+        assert main(["--spec", "no-such-scenario"]) == 2
+        assert "no scenario named" in capsys.readouterr().err
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        import json
+
+        from repro.scenario import registry
+
+        spec = registry.build("parking_lot", duration=5.0)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        out_path = tmp_path / "out.json"
+        assert main(["--spec", str(path), "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "thru-0" in out
+        payload = json.loads(out_path.read_text())
+        runs = payload["experiments"]["parking_lot"]["runs"]
+        assert [run["discipline"] for run in runs] == ["FIFO", "FIFO+", "CSZ"]
+        assert "S-1->S-2" in runs[0]["link_queueing"]
+
+    def test_spec_file_duration_override(self, capsys, tmp_path):
+        import json
+
+        from repro.scenario import registry
+
+        spec = registry.build("table1", duration=600.0)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["--spec", str(path), "--duration", "5"]) == 0
+        assert "duration: 5s" in capsys.readouterr().out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "parking_lot" in out and "table1" in out
 
     def test_json_export(self, capsys, tmp_path):
         path = tmp_path / "results.json"

@@ -1,0 +1,97 @@
+"""Parking-lot merge scenario: pinned regression + the paper's shape.
+
+The golden under ``data/`` was captured from this experiment at seed 1 /
+40 s; exact float equality pins the whole pipeline — graph topology
+compile, routing over the merge network, paired arrivals, per-hop
+accounting — like the table goldens do for the legacy kinds.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import parkinglot
+from repro.scenario import ScenarioRunner
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return parkinglot.run(duration=40.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(DATA / "golden_parkinglot_seed1.json") as handle:
+        return json.load(handle)
+
+
+class TestPinnedRegression:
+    def test_rows_bit_identical(self, result, golden):
+        assert result.to_dict()["rows"] == golden["rows"]
+
+
+class TestPaperShape:
+    def test_paired_cross_traffic(self, result):
+        """Every discipline saw the same per-hop cross arrival process."""
+        runs = result.scenario.runs
+        witnesses = [f.name for f in runs[0].flows if f.name.startswith("cross")]
+        assert len(witnesses) == parkinglot.NUM_HOPS
+        for run in runs[1:]:
+            for name in witnesses:
+                assert run.flow(name).generated == runs[0].flow(name).generated
+
+    def test_all_links_near_paper_load(self, result):
+        for row in result.rows:
+            for value in row.link_utilizations.values():
+                assert 0.78 < value < 0.9
+
+    def test_fifoplus_shrinks_multihop_jitter(self, result):
+        """The headline: FIFO+ (and the unified scheduler that embeds it)
+        pull the through flows' tail and jitter below FIFO's, at an
+        essentially unchanged mean."""
+        fifo = result.row("FIFO")
+        for name in ("FIFO+", "CSZ"):
+            other = result.row(name)
+            assert other.jitter < 0.9 * fifo.jitter
+            assert other.p999 < 0.9 * fifo.p999
+            assert other.mean == pytest.approx(fifo.mean, rel=0.1)
+
+    def test_per_hop_queueing_reported_everywhere(self, result):
+        for row in result.rows:
+            assert set(row.link_queueing_ms) == {
+                f"S-{k}->S-{k + 1}" for k in range(1, parkinglot.NUM_HOPS + 1)
+            }
+            assert all(v > 0 for v in row.link_queueing_ms.values())
+
+
+class TestSpecPlumbing:
+    def test_spec_round_trips_through_json(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = parkinglot.scenario_spec(duration=5.0)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_registry_builds_the_same_spec(self):
+        from repro.scenario import registry
+
+        assert registry.build(
+            "parking_lot", duration=5.0, seed=3
+        ) == parkinglot.scenario_spec(duration=5.0, seed=3)
+
+    def test_topology_is_graph_only(self):
+        """The merge network is not expressible as a legacy named kind."""
+        spec = parkinglot.scenario_spec(duration=5.0)
+        assert spec.topology.kind == "parking_lot"
+        assert len(spec.topology.host_attachments) == 2 + 2 * parkinglot.NUM_HOPS
+
+    def test_runs_through_the_spec_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--spec", "parking_lot", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "thru-0" in out
+        assert "S-4->S-5" in out

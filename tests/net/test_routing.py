@@ -68,3 +68,66 @@ class TestPath:
     def test_trivial_path(self):
         routing = chain(2)
         assert routing.path("S0", "S0") == ["S0"]
+
+
+class TestBranchingAndMergeGraphs:
+    """Routing over the graph shapes the declarative topology layer opened
+    up: branches, merges, duplex edges, and diamonds."""
+
+    def merge(self):
+        # L1 \
+        #     M -- R1 -- R2   (two access branches converge at M)
+        # L2 /
+        routing = StaticRouting()
+        routing.add_edge("L1", "M")
+        routing.add_edge("L2", "M")
+        routing.add_edge("M", "R1")
+        routing.add_edge("R1", "R2")
+        return routing
+
+    def test_merge_point_shared_by_both_branches(self):
+        routing = self.merge()
+        assert routing.path("L1", "R2") == ["L1", "M", "R1", "R2"]
+        assert routing.path("L2", "R2") == ["L2", "M", "R1", "R2"]
+
+    def test_branches_cannot_reach_each_other(self):
+        # All edges point toward the sink; the branches are not peers.
+        with pytest.raises(RoutingError):
+            self.merge().next_hop("L1", "L2")
+
+    def test_duplex_edges_route_both_directions(self):
+        routing = StaticRouting()
+        for a, b in [("A", "B"), ("B", "C")]:
+            routing.add_edge(a, b)
+            routing.add_edge(b, a)
+        assert routing.path("A", "C") == ["A", "B", "C"]
+        assert routing.path("C", "A") == ["C", "B", "A"]
+
+    def test_duplex_edge_added_twice_is_idempotent(self):
+        routing = StaticRouting()
+        routing.add_edge("A", "B")
+        routing.add_edge("A", "B")
+        routing.add_edge("B", "A")
+        assert routing.path("A", "B") == ["A", "B"]
+        assert routing.path("B", "A") == ["B", "A"]
+
+    def test_diamond_tie_break_is_deterministic_from_every_node(self):
+        #     X -- T1 \
+        # S <             > D   (two equal two-hop routes S -> D)
+        #     Y -- T2 /
+        routing = StaticRouting()
+        for src, dst in [
+            ("S", "Y"), ("S", "X"), ("X", "T1"), ("Y", "T2"),
+            ("T1", "D"), ("T2", "D"),
+        ]:
+            routing.add_edge(src, dst)
+        # BFS expands sorted neighbours: the X branch wins every rebuild.
+        for _ in range(3):
+            routing.add_node("Z")  # dirty the table; force recompute
+            assert routing.path("S", "D") == ["S", "X", "T1", "D"]
+
+    def test_unreachable_destination_names_both_endpoints(self):
+        routing = self.merge()
+        routing.add_node("island")
+        with pytest.raises(RoutingError, match="L1 to island"):
+            routing.next_hop("L1", "island")

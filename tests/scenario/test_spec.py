@@ -31,25 +31,65 @@ def minimal_spec(**overrides) -> ScenarioSpec:
 class TestTopologySpec:
     def test_kinds_validated(self):
         with pytest.raises(ValueError, match="unknown topology kind"):
-            TopologySpec(kind="torus")
+            TopologySpec(nodes=("A",), kind="torus")
 
     def test_chain_needs_length(self):
-        with pytest.raises(ValueError, match="num_switches"):
+        with pytest.raises(ValueError, match="at least 2 switches"):
             TopologySpec.chain(1)
 
-    def test_single_link_is_simplex(self):
-        with pytest.raises(ValueError, match="simplex"):
-            TopologySpec.single_link(duplex=True)
+    def test_single_link_compiles_to_graph(self):
+        spec = TopologySpec.single_link()
+        assert spec.nodes == ("A", "B")
+        assert spec.link_names == ("A->B",)
+        assert spec.host_names == ("src-host", "dst-host")
+        assert spec.kind == "single_link"
+
+    def test_chain_duplex_compiles_both_directions(self):
+        spec = TopologySpec.chain(3, duplex=True)
+        assert spec.link_names == (
+            "S-1->S-2", "S-2->S-1", "S-2->S-3", "S-3->S-2"
+        )
 
     def test_paper_defaults(self):
         spec = TopologySpec.figure1()
         assert spec.rate_bps == 1_000_000
         assert spec.buffer_packets == 200
+        assert spec.num_switches == 5
+
+    def test_uniform_rate_raises_on_heterogeneous_links(self):
+        spec = TopologySpec.graph(
+            nodes=["A", "B", "C"],
+            links=[
+                {"src": "A", "dst": "B", "rate_bps": 1_000_000},
+                {"src": "B", "dst": "C", "rate_bps": 64_000},
+            ],
+            host_attachments=[("h-a", "A"), ("h-c", "C")],
+        )
+        with pytest.raises(ValueError, match="heterogeneous"):
+            spec.rate_bps
+
+    def test_graph_validation(self):
+        with pytest.raises(ValueError, match="unknown switch"):
+            TopologySpec.graph(
+                nodes=["A"],
+                links=[{"src": "A", "dst": "ghost"}],
+                host_attachments=[],
+            )
+        with pytest.raises(ValueError, match="duplicate link"):
+            TopologySpec.graph(
+                nodes=["A", "B"],
+                links=[{"src": "A", "dst": "B"}, {"src": "A", "dst": "B"}],
+                host_attachments=[],
+            )
+        with pytest.raises(ValueError, match="unknown switch"):
+            TopologySpec.graph(
+                nodes=["A"], links=[], host_attachments=[("h", "ghost")]
+            )
 
     def test_frozen(self):
         spec = TopologySpec.single_link()
         with pytest.raises(dataclasses.FrozenInstanceError):
-            spec.rate_bps = 2_000_000
+            spec.nodes = ("X",)
 
 
 class TestFlowSpec:
