@@ -5,74 +5,92 @@ Nine smooth CBR flows plus one bursty on/off flow share a link.  Under WFQ
 almost untouched; under FIFO (sharing) everyone absorbs a little of the
 burst and the burster's tail collapses.  This is the paper's argument for
 why predicted service wants FIFO inside an isolating envelope.
+
+The workload is one declarative scenario (topology, both disciplines, and
+the bursty on/off flow live in the spec); the CBR peers are deterministic
+and phase-staggered, which no random-stream flow spec expresses, so they
+are attached through the live :class:`~repro.scenario.ScenarioContext` —
+the same mid-run-orchestration pattern as ``admission_conservatism``.
+Both disciplines' contexts are built from the one spec, so the burster's
+arrival process is paired by construction.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
-from repro.net.topology import single_link_topology
-from repro.sched.fifo import FifoScheduler
-from repro.sched.wfq import WfqScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
+from repro.scenario import (
+    DisciplineSpec,
+    FlowSpec,
+    ScenarioBuilder,
+    ScenarioRunner,
+)
 from repro.traffic.cbr import CbrSource
-from repro.traffic.onoff import OnOffMarkovSource, OnOffParams
 from repro.traffic.sink import DelayRecordingSink
 
 NUM_SMOOTH = 9
 SMOOTH_RATE_PPS = 80.0
 BURSTY_RATE_PPS = 85.0
-# The gedanken experiment's burst arrives as a clump: in-burst generation
-# at (nearly) link speed, long bursts, same long-run average as the peers.
-BURSTY_PARAMS = OnOffParams(
-    average_rate_pps=BURSTY_RATE_PPS,
-    mean_burst_packets=25.0,
-    peak_rate_pps=900.0,
-)
 DURATION = 60.0
 WARMUP = 5.0
 
 
-def run_discipline(discipline: str, seed: int):
-    """Returns (bursty_p999, mean peer p999) in tx-time units."""
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    if discipline == "WFQ":
-        factory = lambda n, link: WfqScheduler(
-            link.rate_bps, auto_register_rate=link.rate_bps / (NUM_SMOOTH + 1)
+def isolation_spec(seed: int):
+    """Bottleneck link, WFQ-vs-FIFO, and the clumpy burster of Section 5:
+    in-burst generation at (nearly) link speed, long bursts, same long-run
+    average as the peers, no source-side bucket."""
+    return (
+        ScenarioBuilder("isolation-sharing")
+        .single_link()
+        .flow(
+            FlowSpec(
+                name="bursty",
+                source_host="src-host",
+                dest_host="dst-host",
+                average_rate_pps=BURSTY_RATE_PPS,
+                mean_burst_packets=25.0,
+                peak_rate_pps=900.0,
+                bucket_packets=None,
+            )
         )
-    else:
-        factory = lambda n, link: FifoScheduler()
-    net = single_link_topology(sim, factory, rate_bps=common.LINK_RATE_BPS)
-    sinks = {}
+        .disciplines(
+            # The paper's "equal clock rates" configuration across the
+            # ten flows (nine peers + burster).
+            DisciplineSpec.wfq(equal_share_flows=NUM_SMOOTH + 1),
+            DisciplineSpec.fifo(),
+        )
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
+        .build()
+    )
+
+
+def _attach_smooth_peers(context):
+    """The nine phase-staggered CBR peers, with recording sinks."""
     for i in range(NUM_SMOOTH):
         flow_id = f"smooth-{i}"
         CbrSource(
-            sim,
-            net.hosts["src-host"],
+            context.sim,
+            context.net.hosts["src-host"],
             flow_id,
             "dst-host",
             rate_pps=SMOOTH_RATE_PPS,
             start_offset=i / (SMOOTH_RATE_PPS * NUM_SMOOTH),
         )
-        sinks[flow_id] = DelayRecordingSink(
-            sim, net.hosts["dst-host"], flow_id, warmup=WARMUP
+        context.sinks[flow_id] = DelayRecordingSink(
+            context.sim, context.net.hosts["dst-host"], flow_id, warmup=WARMUP
         )
-    OnOffMarkovSource(
-        sim,
-        net.hosts["src-host"],
-        "bursty",
-        "dst-host",
-        BURSTY_PARAMS,
-        streams.stream("bursty"),
-    )
-    sinks["bursty"] = DelayRecordingSink(
-        sim, net.hosts["dst-host"], "bursty", warmup=WARMUP
-    )
-    sim.run(until=DURATION)
+
+
+def run_discipline(discipline: str, seed: int):
+    """Returns (bursty_p999, mean peer p999) in tx-time units."""
+    context = ScenarioRunner(isolation_spec(seed)).build(discipline)
+    _attach_smooth_peers(context)
+    context.run()
     unit = common.TX_TIME_SECONDS
-    bursty = sinks["bursty"].percentile_queueing(99.9, unit)
+    result = context.collect()
+    bursty = result.flow("bursty").percentile_in(99.9, unit)
     peers = [
-        sinks[f"smooth-{i}"].percentile_queueing(99.9, unit)
+        result.flow(f"smooth-{i}").percentile_in(99.9, unit)
         for i in range(NUM_SMOOTH)
     ]
     return bursty, sum(peers) / len(peers)

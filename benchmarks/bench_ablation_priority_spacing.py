@@ -6,18 +6,19 @@ target bounds D_i are widely spaced the classes "should usually operate
 more or less independently".  This bench splits the Table-1 workload
 between two strict priority classes, sweeping how many of the 10 flows
 ride the high class, and reports both classes' tails.
+
+Each split is one declarative scenario (class membership is per-flow
+``priority_class`` in the spec); the sweep rides the
+:class:`~repro.scenario.SweepExecutor` engine via :func:`sweep` with
+whole-spec overrides, one run per split.  Arrivals are identical to the
+pre-migration hand-wired bench: streams are keyed by flow name, and the
+flow names are unchanged.
 """
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.experiments import common
 from repro.net.packet import ServiceClass
-from repro.net.topology import single_link_topology
-from repro.sched.fifo import FifoScheduler
-from repro.sched.priority import PriorityScheduler
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
-from repro.traffic.onoff import OnOffMarkovSource
-from repro.traffic.sink import DelayRecordingSink
+from repro.scenario import DisciplineSpec, ScenarioBuilder, sweep
 
 NUM_FLOWS = 10
 HIGH_COUNTS = (2, 5, 8)
@@ -25,47 +26,48 @@ DURATION = 45.0
 WARMUP = 5.0
 
 
-def run_split(num_high, seed):
-    sim = Simulator()
-    streams = RandomStreams(seed=seed)
-    net = single_link_topology(
-        sim,
-        lambda n, l: PriorityScheduler(
-            num_classes=2, sub_scheduler_factory=FifoScheduler
-        ),
-        rate_bps=common.LINK_RATE_BPS,
+def spacing_spec(num_high: int, seed: int):
+    """Table-1's population, split across two strict priority classes."""
+    builder = (
+        ScenarioBuilder(f"priority-spacing-{num_high}")
+        .single_link()
+        .discipline(DisciplineSpec.priority(num_classes=2))
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(seed)
     )
-    sinks = {}
     for i in range(NUM_FLOWS):
-        flow_id = f"flow-{i}"
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
+        builder.add_flow(
+            f"flow-{i}",
+            "src-host",
             "dst-host",
-            streams.stream(f"source:{flow_id}"),
             average_rate_pps=common.AVERAGE_RATE_PPS,
             service_class=ServiceClass.PREDICTED,
             priority_class=0 if i < num_high else 1,
         )
-        sinks[flow_id] = DelayRecordingSink(
-            sim, net.hosts["dst-host"], flow_id, warmup=WARMUP
-        )
-    sim.run(until=DURATION)
-    unit = common.TX_TIME_SECONDS
-    high = [
-        sinks[f"flow-{i}"].percentile_queueing(99.9, unit)
-        for i in range(num_high)
-    ]
-    low = [
-        sinks[f"flow-{i}"].percentile_queueing(99.9, unit)
-        for i in range(num_high, NUM_FLOWS)
-    ]
-    return sum(high) / len(high), sum(low) / len(low)
+    return builder.build()
 
 
 def run_sweep(seed: int = BENCH_SEED):
-    return {count: run_split(count, seed) for count in HIGH_COUNTS}
+    """(high-class mean p999, low-class mean p999) per split, tx units."""
+    results = sweep(
+        spacing_spec(HIGH_COUNTS[0], seed),
+        over=[spacing_spec(count, seed) for count in HIGH_COUNTS],
+    )
+    unit = common.TX_TIME_SECONDS
+    out = {}
+    for count, result in zip(HIGH_COUNTS, results):
+        run = result.runs[0]
+        high = [
+            run.flow(f"flow-{i}").percentile_in(99.9, unit)
+            for i in range(count)
+        ]
+        low = [
+            run.flow(f"flow-{i}").percentile_in(99.9, unit)
+            for i in range(count, NUM_FLOWS)
+        ]
+        out[count] = (sum(high) / len(high), sum(low) / len(low))
+    return out
 
 
 def test_bench_ablation_priority_spacing(benchmark):

@@ -7,31 +7,38 @@ Predicted service — and the cheaper, higher-jitter classes within it — is
 viable *because* it is priced below guaranteed service.
 
 This example runs a mixed population on one bottleneck link and produces
-the month-end bill:
+the month-end bill.  The population is a declarative
+:class:`~repro.scenario.ScenarioSpec`:
 
-* one guaranteed video feed (usage at the premium rate PLUS a standing
-  reservation charge for its clock rate — reserved capacity costs money
+* one guaranteed video feed — a :class:`GuaranteedRequest` in the spec
+  installs its WFQ clock rate at the bottleneck, and the meter opens a
+  standing reservation charge for it (reserved capacity costs money
   whether used or not);
 * predicted voice flows in the expensive low-jitter class and the cheap
-  high-jitter class;
-* best-effort datagram bulk transfer at the floor price.
+  high-jitter class (per-flow ``priority_class`` in the spec);
+* best-effort datagram bulk transfer at the floor price, injected through
+  the live :class:`~repro.scenario.ScenarioContext`.
+
+The :class:`~repro.core.pricing.UsageMeter` attaches to the bottleneck
+port of the built context before the run — billing is orchestration, not
+topology, so it stays outside the spec.
 
 The printout shows each flow's delivered quality (mean / 99.9 %ile delay)
 next to its charge — the quality/price menu that makes clients
 self-select, which is what lets the network run near full utilization.
 
-Run:  python examples/pricing_accounting.py
+Run:  python examples/pricing_accounting.py [--duration 120]
 """
+
+import argparse
 
 from repro import (
     DelayRecordingSink,
-    OnOffMarkovSource,
-    RandomStreams,
+    DisciplineSpec,
+    GuaranteedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
     ServiceClass,
-    Simulator,
-    UnifiedConfig,
-    UnifiedScheduler,
-    single_link_topology,
 )
 from repro.core.pricing import Tariff, UsageMeter
 from repro.transport.udp import UdpSender
@@ -40,7 +47,10 @@ PACKET_BITS = 1000
 LINK_BPS = 1_000_000
 TX = PACKET_BITS / LINK_BPS
 DURATION = 120.0
+WARMUP = 5.0
 SEED = 21
+BOTTLENECK = "A->B"
+VIDEO_CLOCK_BPS = 200_000
 
 TARIFF = Tariff(
     guaranteed_per_mbit=10.0,
@@ -49,9 +59,9 @@ TARIFF = Tariff(
     reservation_per_mbit_second=2.0,
 )
 
-# (flow, kind, priority class or clock rate)
+# (flow, kind, priority class) — the priced quality menu.
 POPULATION = [
-    ("video", "guaranteed", 200_000),  # clock rate 200 kbit/s
+    ("video", "guaranteed", 0),
     ("voice-premium-1", "predicted", 0),
     ("voice-premium-2", "predicted", 0),
     ("voice-budget-1", "predicted", 1),
@@ -60,75 +70,76 @@ POPULATION = [
 ]
 
 
-def main() -> None:
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)
-    schedulers = []
-
-    def factory(name, link):
-        sched = UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=2)
-        )
-        schedulers.append(sched)
-        return sched
-
-    net = single_link_topology(sim, factory, rate_bps=LINK_BPS)
-    meter = UsageMeter(TARIFF)
-    meter.attach(net.port_for_link("A->B"))
-
-    sinks = {}
-    for flow_id, kind, parameter in POPULATION:
+def priced_spec(duration: float):
+    """The whole priced population as one declarative scenario."""
+    builder = (
+        ScenarioBuilder("pricing-accounting")
+        .single_link(rate_bps=LINK_BPS)
+        .discipline(DisciplineSpec.unified(num_predicted_classes=2))
+        .duration(duration)
+        .warmup(WARMUP)
+        .seed(SEED)
+    )
+    for flow_id, kind, priority in POPULATION:
         if kind == "guaranteed":
-            schedulers[0].install_guaranteed_flow(flow_id, parameter)
-            meter.open_reservation(flow_id, parameter, now=0.0)
-            service_class, priority = ServiceClass.GUARANTEED, 0
-            rate_pps = 170.0
+            builder.add_flow(
+                flow_id,
+                "src-host",
+                "dst-host",
+                average_rate_pps=170.0,
+                # No admission controller in the spec, so the request
+                # installs its clock rate directly at every hop.
+                request=GuaranteedRequest(clock_rate_bps=VIDEO_CLOCK_BPS),
+            )
         else:
-            service_class, priority = ServiceClass.PREDICTED, parameter
-            rate_pps = 85.0
-        OnOffMarkovSource.paper_source(
-            sim,
-            net.hosts["src-host"],
-            flow_id,
-            "dst-host",
-            streams.stream(flow_id),
-            average_rate_pps=rate_pps,
-            service_class=service_class,
-            priority_class=priority,
-        )
-        sinks[flow_id] = DelayRecordingSink(
-            sim, net.hosts["dst-host"], flow_id, warmup=5.0
-        )
+            builder.add_flow(
+                flow_id,
+                "src-host",
+                "dst-host",
+                average_rate_pps=85.0,
+                service_class=ServiceClass.PREDICTED,
+                priority_class=priority,
+            )
+    return builder.build()
+
+
+def main(duration: float = DURATION) -> None:
+    context = ScenarioRunner(priced_spec(duration)).build()
+    meter = UsageMeter(TARIFF)
+    meter.attach(context.net.port_for_link(BOTTLENECK))
+    meter.open_reservation("video", VIDEO_CLOCK_BPS, now=0.0)
 
     # Background bulk transfer: 100 datagrams a second, price floor.
-    bulk = UdpSender(sim, net.hosts["src-host"], "bulk", "dst-host")
+    bulk = UdpSender(context.sim, context.net.hosts["src-host"], "bulk",
+                     "dst-host")
+
     def send_bulk():
         bulk.send()
-        sim.schedule(0.01, send_bulk)
-    sim.schedule(0.0, send_bulk)
-    sinks["bulk"] = DelayRecordingSink(
-        sim, net.hosts["dst-host"], "bulk", warmup=5.0
+        context.sim.schedule(0.01, send_bulk)
+
+    context.sim.schedule(0.0, send_bulk)
+    context.sinks["bulk"] = DelayRecordingSink(
+        context.sim, context.net.hosts["dst-host"], "bulk", warmup=WARMUP
     )
 
-    print(f"simulating {DURATION:.0f} s of a priced integrated-services "
+    print(f"simulating {duration:.0f} s of a priced integrated-services "
           "link ...\n")
-    sim.run(until=DURATION)
-    meter.settle(now=DURATION)
+    context.run()
+    meter.settle(now=duration)
 
     print(f"{'flow':>16} {'service':>18} {'mean':>6} {'99.9%':>7} "
           f"{'Mbit':>6} {'usage':>7} {'resv':>6} {'total':>7}")
-    kind_of = {flow_id: kind for flow_id, kind, __ in POPULATION}
     label = {
         ("predicted", 0): "predicted class 0",
         ("predicted", 1): "predicted class 1",
     }
-    for flow_id, kind, parameter in POPULATION + [("bulk", "datagram", 0)]:
+    for flow_id, kind, priority in POPULATION + [("bulk", "datagram", 0)]:
         invoice = meter.invoice_of(flow_id)
-        sink = sinks[flow_id]
+        sink = context.sinks[flow_id]
         service = (
             "guaranteed" if kind == "guaranteed"
             else "datagram" if kind == "datagram"
-            else label[(kind, parameter)]
+            else label[(kind, priority)]
         )
         print(
             f"{flow_id:>16} {service:>18} "
@@ -147,4 +158,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=DURATION,
+                        help="simulated seconds (default 120)")
+    main(parser.parse_args().duration)

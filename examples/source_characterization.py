@@ -14,29 +14,33 @@ This example walks that client-side workflow end to end:
 3. compute the b(r) curve from the trace and print it — the menu of
    (clock rate, worst-case delay) pairs the client can buy;
 4. pick the cheapest rate meeting a 100 ms target;
-5. request exactly that clock rate, run against hostile cross traffic,
-   and verify the measured worst case respects the self-computed bound.
+5. request exactly that clock rate and run against hostile cross traffic.
 
-Run:  python examples/source_characterization.py
+The battlefield is a declarative :class:`~repro.scenario.ScenarioSpec`:
+bottleneck link, unified CSZ scheduler, admission control, and six
+misbehaving unfiltered predicted flows.  The screen-share itself is a
+recorded :class:`~repro.traffic.trace.TraceSource` — a source kind the
+flow spec deliberately does not model — so it is established and attached
+through the live :class:`~repro.scenario.ScenarioContext`: only r crosses
+the service interface, exactly as in the paper.
+
+Expected shape: the measured worst case respects the self-computed b(r)/r
+bound no matter what the other traffic does.
+
+Run:  python examples/source_characterization.py [--duration 60]
 """
 
+import argparse
+
 from repro import (
-    AdmissionConfig,
-    AdmissionController,
     DelayRecordingSink,
-    FlowSpec,
-    GuaranteedServiceSpec,
-    OnOffMarkovSource,
-    OnOffParams,
-    RandomStreams,
+    DisciplineSpec,
+    ScenarioBuilder,
+    ScenarioRunner,
     ServiceClass,
-    SignalingAgent,
-    Simulator,
-    UnifiedConfig,
-    UnifiedScheduler,
-    single_link_topology,
 )
 from repro.core.taxonomy import classify_client, recommend_service
+from repro.scenario import FlowSpec, GuaranteedRequest
 from repro.traffic.characterize import SourceCharacterization, choose_rate
 from repro.traffic.trace import TraceSource
 
@@ -46,6 +50,7 @@ TX = PACKET_BITS / LINK_BPS
 TARGET_DELAY = 0.100  # 100 ms queueing budget
 DURATION = 60.0
 SEED = 17
+NUM_HOSTILE = 6
 
 
 def record_application_trace(seed: int) -> list:
@@ -68,7 +73,33 @@ def record_application_trace(seed: int) -> list:
     return arrivals
 
 
-def main() -> None:
+def hostile_spec(duration: float):
+    """One bottleneck under admission control, soaked by six misbehaving
+    flows (heavy bursts, no token bucket, no service request)."""
+    builder = (
+        ScenarioBuilder("source-characterization")
+        .single_link(rate_bps=LINK_BPS)
+        .discipline(DisciplineSpec.unified(num_predicted_classes=1))
+        .admission(realtime_quota=0.9)
+        .duration(duration)
+        .seed(SEED)
+    )
+    for i in range(NUM_HOSTILE):
+        builder.add_flow(
+            f"hostile-{i}",
+            "src-host",
+            "dst-host",
+            average_rate_pps=120.0,
+            mean_burst_packets=40.0,
+            peak_rate_pps=900.0,
+            bucket_packets=None,
+            service_class=ServiceClass.PREDICTED,
+            record=False,
+        )
+    return builder.build()
+
+
+def main(duration: float = DURATION) -> None:
     # --- 1. taxonomy -> service class -----------------------------------
     axes = classify_client(
         moves_playback_point=False,  # hardware codec, fixed buffer
@@ -93,30 +124,22 @@ def main() -> None:
           f"{bound * 1e3:.1f} ms)\n")
 
     # --- 5. request it and verify under fire -----------------------------
-    sim = Simulator()
-    streams = RandomStreams(seed=SEED)
-    net = single_link_topology(
-        sim,
-        lambda name, link: UnifiedScheduler(
-            UnifiedConfig(capacity_bps=link.rate_bps, num_predicted_classes=1)
-        ),
-        rate_bps=LINK_BPS,
-    )
-    signaling = SignalingAgent(
-        net, AdmissionController(AdmissionConfig(realtime_quota=0.9))
-    )
-    signaling.establish(
+    context = ScenarioRunner(hostile_spec(duration)).build()
+    # Only r crosses the service interface: the request goes through the
+    # scenario's real signaling/admission machinery...
+    context.establish(
         FlowSpec(
-            flow_id="screen-share",
-            source="src-host",
-            destination="dst-host",
-            spec=GuaranteedServiceSpec(clock_rate_bps=rate),
+            name="screen-share",
+            source_host="src-host",
+            dest_host="dst-host",
+            request=GuaranteedRequest(clock_rate_bps=rate),
         )
     )
+    # ...and the traffic replays the application's own trace.
     span = trace[-1][0] - trace[0][0]
     TraceSource(
-        sim,
-        net.hosts["src-host"],
+        context.sim,
+        context.net.hosts["src-host"],
         "screen-share",
         "dst-host",
         schedule=[(t, int(size)) for t, size in trace],
@@ -124,28 +147,13 @@ def main() -> None:
         repeat_every=span + 0.1,
     )
     sink = DelayRecordingSink(
-        sim, net.hosts["dst-host"], "screen-share", warmup=0.0
+        context.sim, context.net.hosts["dst-host"], "screen-share", warmup=0.0
     )
-    # Hostile, unfiltered cross traffic soaking the residual bandwidth.
-    for i in range(6):
-        OnOffMarkovSource(
-            sim,
-            net.hosts["src-host"],
-            f"hostile-{i}",
-            "dst-host",
-            OnOffParams(
-                average_rate_pps=120.0,
-                mean_burst_packets=40.0,
-                peak_rate_pps=900.0,
-            ),
-            streams.stream(f"hostile-{i}"),
-            service_class=ServiceClass.PREDICTED,
-        )
-        net.hosts["dst-host"].default_handler = lambda packet: None
-    sim.run(until=DURATION)
+    context.run()
 
     worst = sink.max_queueing(1.0)
-    print(f"simulated {DURATION:.0f}s against 6 misbehaving flows:")
+    print(f"simulated {duration:.0f}s against {NUM_HOSTILE} misbehaving "
+          "flows:")
     print(f"  measured worst queueing delay: {worst * 1e3:.2f} ms")
     print(f"  self-computed b(r)/r bound:    {bound * 1e3:.2f} ms")
     assert worst <= bound, "the client's private math was violated!"
@@ -155,4 +163,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=DURATION,
+                        help="simulated seconds (default 60)")
+    main(parser.parse_args().duration)

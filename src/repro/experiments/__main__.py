@@ -14,12 +14,25 @@ Usage::
     python -m repro.experiments --spec parking_lot       # registered name
     python -m repro.experiments --list-scenarios
 
+    # sweep a registered scenario: 8 seeds x 2 durations on 4 workers
+    python -m repro.experiments --spec table1 \\
+        --sweep-seeds 1..8 --sweep-over duration=20,40 --workers 4
+
 ``--spec`` runs one declarative :class:`~repro.scenario.ScenarioSpec`
 loaded from a JSON file (``ScenarioSpec.to_dict`` payload) or built from
 the scenario registry, and prints a generic per-flow / per-link report.
 ``--workers N`` fans the per-discipline simulations of an experiment out
 over N processes; ``--json PATH`` writes the structured
 ``ScenarioResult.to_dict()`` payloads alongside the rendered tables.
+
+``--sweep-seeds`` / ``--sweep-over`` / ``--budget-seconds`` turn a
+``--spec`` run into a sweep executed by the
+:class:`~repro.scenario.SweepExecutor`: seeds are a comma list or an
+inclusive ``lo..hi`` range, each (repeatable) ``--sweep-over`` flag is
+``field=v1,v2,...`` and the fields cross-multiply, and the optional
+budget bounds every run's wall clock.  Progress streams one line per
+finished run; ``--json`` then writes the full ``SweepOutcome`` payload
+(statuses included).
 """
 
 from __future__ import annotations
@@ -51,6 +64,94 @@ EXPERIMENTS = (
     "distributions",
     "parkinglot",
 )
+
+
+def _parse_sweep_seeds(text: str) -> list:
+    """``"1,2,5"`` or an inclusive ``"1..8"`` range."""
+    text = text.strip()
+    if ".." in text:
+        lo, hi = text.split("..", 1)
+        lo, hi = int(lo), int(hi)
+        if hi < lo:
+            raise ValueError(f"empty seed range {text!r}")
+        return list(range(lo, hi + 1))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_sweep_over(entries: list) -> list:
+    """Repeated ``field=v1,v2,...`` flags -> cross-product override dicts.
+
+    Values are parsed as JSON scalars where possible (numbers, booleans,
+    null) and fall back to plain strings.
+    """
+    import itertools
+
+    fields = []
+    for entry in entries:
+        if "=" not in entry:
+            raise ValueError(
+                f"--sweep-over expects field=v1,v2,... (got {entry!r})"
+            )
+        field, values_text = entry.split("=", 1)
+        values = []
+        for part in values_text.split(","):
+            part = part.strip()
+            if not part:
+                continue  # "field=" or a trailing comma
+            try:
+                values.append(json.loads(part))
+            except json.JSONDecodeError:
+                values.append(part)
+        if not values:
+            raise ValueError(f"--sweep-over {field.strip()}= names no values")
+        fields.append((field.strip(), values))
+    return [
+        dict(zip((name for name, _ in fields), combo))
+        for combo in itertools.product(*(values for _, values in fields))
+    ]
+
+
+def _parse_sweep_plan(spec: ScenarioSpec, args) -> tuple:
+    """Resolve the --sweep-* flags into (over, seeds, total runs).
+
+    Expands eagerly so malformed seeds/overrides fail before simulating.
+    """
+    from repro.scenario.sweep import expand
+
+    seeds = _parse_sweep_seeds(args.sweep_seeds) if args.sweep_seeds else None
+    over = _parse_sweep_over(args.sweep_over) if args.sweep_over else None
+    return over, seeds, len(expand(spec, over=over, seeds=seeds))
+
+
+def _run_sweep_cli(spec: ScenarioSpec, sweep_plan: tuple, args) -> dict:
+    """Execute the parsed sweep plan over one spec; returns the payload."""
+    from repro.scenario import SweepExecutor
+
+    over, seeds, total = sweep_plan
+    finished = [0]
+
+    def progress(run) -> None:
+        finished[0] += 1
+        print(
+            f"  [{finished[0]}/{total}] seed={run.spec.seed} "
+            f"duration={run.spec.duration:g}s {run.status} "
+            f"({run.wall_seconds:.2f}s wall)"
+        )
+
+    started = time.monotonic()
+    with SweepExecutor(
+        workers=args.workers, budget_seconds=args.budget_seconds
+    ) as executor:
+        outcome = executor.run_sweep(
+            spec, over=over, seeds=seeds, on_result=progress
+        )
+    counts = outcome.counts
+    print(
+        f"[swept {spec.name}: {counts['completed']} completed, "
+        f"{counts['budget_expired']} budget-expired, "
+        f"{counts['stopped']} stopped in {time.monotonic() - started:.1f}s]"
+    )
+    return outcome.to_dict()
 
 
 def _load_spec(name_or_path: str, duration, seed) -> ScenarioSpec:
@@ -112,6 +213,28 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write structured ScenarioResult payloads to this file",
     )
+    parser.add_argument(
+        "--sweep-seeds",
+        metavar="SEEDS",
+        default=None,
+        help="with --spec: sweep these seeds ('1,2,5' or inclusive '1..8')",
+    )
+    parser.add_argument(
+        "--sweep-over",
+        metavar="FIELD=V1,V2,...",
+        action="append",
+        default=None,
+        help="with --spec: sweep a spec field over values (repeatable; "
+        "fields cross-multiply)",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="with --spec sweeps: wall-clock budget per discipline "
+        "simulation; runs with an over-budget simulation are reported "
+        "budget_expired",
+    )
     args = parser.parse_args(argv)
 
     if args.list_scenarios:
@@ -122,23 +245,39 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("give either an experiment name or --spec, not both")
     if args.spec is None and args.experiment is None:
         parser.error("an experiment name or --spec is required")
+    sweep_mode = (
+        args.sweep_seeds is not None
+        or args.sweep_over is not None
+        or args.budget_seconds is not None
+    )
+    if sweep_mode and args.spec is None:
+        parser.error("--sweep-seeds/--sweep-over/--budget-seconds need --spec")
 
     payloads: dict = {}
     if args.spec is not None:
         try:
             spec = _load_spec(args.spec, args.duration, args.seed)
-        except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+            if sweep_mode:
+                # Parse and expand up front so flag mistakes surface as
+                # CLI errors before any simulation starts.
+                sweep_plan = _parse_sweep_plan(spec, args)
+        except (
+            KeyError, ValueError, TypeError, OSError, json.JSONDecodeError
+        ) as exc:
             # KeyError stringifies as the repr of its argument; unwrap it.
             message = (
                 exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
             )
             print(f"error: {message}", file=sys.stderr)
             return 2
-        started = time.monotonic()
-        result = ScenarioRunner(spec).run(workers=args.workers)
-        print(common.render_scenario_result(result))
-        print(f"[{spec.name} ran in {time.monotonic() - started:.1f}s]")
-        payloads[spec.name] = result.to_dict()
+        if sweep_mode:
+            payloads[spec.name] = _run_sweep_cli(spec, sweep_plan, args)
+        else:
+            started = time.monotonic()
+            result = ScenarioRunner(spec).run(workers=args.workers)
+            print(common.render_scenario_result(result))
+            print(f"[{spec.name} ran in {time.monotonic() - started:.1f}s]")
+            payloads[spec.name] = result.to_dict()
     else:
         duration = (
             args.duration

@@ -10,14 +10,29 @@ The subsystem the experiment layer is founded on:
 * :mod:`repro.scenario.runner` — :class:`ScenarioRunner` builds and runs
   one simulation per discipline with paired arrivals guaranteed by
   construction, returning a JSON-exportable :class:`ScenarioResult`;
-* :mod:`repro.scenario.sweep` — parameter/seed sweeps with multiprocess
-  fan-out, bit-identical to serial execution;
+* :mod:`repro.scenario.sweep` — parameter/seed sweeps, bit-identical to
+  serial execution;
+* :mod:`repro.scenario.executor` — the persistent sweep execution engine
+  behind ``sweep()`` and ``ScenarioRunner.run(workers=)``: flattened
+  (override × seed × discipline) task graph, warm-started workers fed
+  compact deltas, streaming collection, per-run wall-clock budgets, and
+  early stopping;
 * :mod:`repro.scenario.paper` — the Appendix constants and the Figure-1
   placement tables, the single source of truth.
 """
 
 from repro.scenario import paper, registry
 from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.executor import (
+    BUDGET_EXPIRED,
+    COMPLETED,
+    STOPPED,
+    SweepExecutor,
+    SweepOutcome,
+    SweepRun,
+    TaskResult,
+    stop_when_ci_below,
+)
 from repro.scenario.disciplines import (
     build_scheduler,
     discipline_kinds,
@@ -49,6 +64,14 @@ __all__ = [
     "paper",
     "registry",
     "AdmissionSpec",
+    "BUDGET_EXPIRED",
+    "COMPLETED",
+    "STOPPED",
+    "SweepExecutor",
+    "SweepOutcome",
+    "SweepRun",
+    "TaskResult",
+    "stop_when_ci_below",
     "DisciplineSpec",
     "DisciplineRunResult",
     "FlowSpec",

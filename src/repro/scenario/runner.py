@@ -613,24 +613,6 @@ def _run_one_discipline(spec: ScenarioSpec) -> DisciplineRunResult:
     return context.collect()
 
 
-def map_maybe_parallel(fn, items: list, workers: Optional[int]) -> list:
-    """``[fn(x) for x in items]``, fanned out over a process pool when
-    ``workers > 1`` and there is more than one item.
-
-    The single fan-out policy shared by :meth:`ScenarioRunner.run` and
-    :func:`repro.scenario.sweep.sweep`: pool sized to the work, one task
-    per worker dispatch (``chunksize=1``), results in input order.  ``fn``
-    and every item must be picklable (module-level functions, plain
-    specs).
-    """
-    if workers and workers > 1 and len(items) > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(min(workers, len(items))) as pool:
-            return pool.map(fn, items, chunksize=1)
-    return [fn(item) for item in items]
-
-
 class ScenarioRunner:
     """Runs every discipline of a spec and assembles the result."""
 
@@ -654,21 +636,17 @@ class ScenarioRunner:
         """Run all disciplines (paired arrivals), serially or in parallel.
 
         ``workers > 1`` distributes the per-discipline simulations over a
-        process pool; results are bit-identical to the serial path because
-        every simulation is self-contained and deterministic.
+        process pool (via the :mod:`repro.scenario.executor` engine: each
+        discipline is one flattened task); results are bit-identical to
+        the serial path because every simulation is self-contained and
+        deterministic.
         """
-        subs = [
-            self.spec.replace(disciplines=(discipline,))
-            for discipline in self.spec.disciplines
-        ]
-        runs = map_maybe_parallel(_run_one_discipline, subs, workers)
-        return ScenarioResult(
-            scenario=self.spec.name,
-            seed=self.spec.seed,
-            duration=self.spec.duration,
-            warmup=self.spec.warmup,
-            runs=tuple(runs),
-        )
+        # Imported here: the executor builds on this module.
+        from repro.scenario.executor import SweepExecutor
+
+        with SweepExecutor(workers=workers) as executor:
+            outcome = executor.run_sweep(self.spec)
+        return outcome.runs[0].result
 
     def _resolve(
         self, discipline: Union[str, DisciplineSpec, None]

@@ -1,10 +1,13 @@
 """Parameter / seed sweeps with optional multiprocess fan-out.
 
-``sweep()`` expands one base spec into a run list (overrides × seeds),
-executes every run — serially or across a process pool — and returns the
-:class:`ScenarioResult` list in expansion order.  Results are bit-identical
-between the serial and parallel paths: each spec builds its own simulator
-and seeded streams, so placement on a worker cannot perturb anything.
+``sweep()`` expands one base spec into a run list (overrides × seeds) and
+executes it through the :mod:`repro.scenario.executor` engine: every
+discipline simulation is an independently schedulable task, workers are
+warm-started with the base spec once, results stream back as they finish,
+and per-run wall-clock budgets / early-stopping predicates can bound the
+work.  Results are bit-identical between the serial and parallel paths:
+each spec builds its own simulator and seeded streams, so placement on a
+worker cannot perturb anything.
 
 Paired seeds fall out of the stream discipline: within one spec, every
 discipline sees the same arrivals; across specs that share a seed, flows
@@ -14,16 +17,19 @@ name only).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
-from repro.scenario.runner import (
-    ScenarioResult,
-    ScenarioRunner,
-    map_maybe_parallel,
+from repro.scenario.executor import (
+    _UNSET,
+    Override,
+    SweepExecutor,
+    SweepOutcome,
+    SweepRun,
+    expand_deltas,
+    resolve_run_spec,
 )
+from repro.scenario.runner import ScenarioResult
 from repro.scenario.spec import ScenarioSpec
-
-Override = Union[Mapping, ScenarioSpec]
 
 
 def expand(
@@ -35,27 +41,14 @@ def expand(
 
     ``over`` entries are either field-override mappings (applied with
     :meth:`ScenarioSpec.replace`) or complete replacement specs; ``seeds``
-    multiplies each entry into one run per seed.
+    multiplies each entry into one run per seed.  Built from the same
+    delta expansion the executor ships to workers, so this *is* the spec
+    list a sweep reconstructs.
     """
-    overrides = list(over) if over is not None else [{}]
-    seed_list = list(seeds) if seeds is not None else None
-    if not overrides:
-        raise ValueError("over must contain at least one entry")
-    if seed_list is not None and not seed_list:
-        raise ValueError("seeds must contain at least one seed")
-    specs = []
-    for override in overrides:
-        base = override if isinstance(override, ScenarioSpec) else spec.replace(**override)
-        # With no explicit seed list, every entry keeps its own seed (a
-        # whole-spec override may deliberately carry a different one).
-        for seed in seed_list if seed_list is not None else [base.seed]:
-            specs.append(base.replace(seed=seed))
-    return specs
-
-
-def _run_spec(spec: ScenarioSpec) -> ScenarioResult:
-    """Worker entry point (module-level so it pickles)."""
-    return ScenarioRunner(spec).run()
+    return [
+        resolve_run_spec(spec, override, seed)
+        for override, seed in expand_deltas(spec, over=over, seeds=seeds)
+    ]
 
 
 def sweep(
@@ -63,17 +56,61 @@ def sweep(
     over: Optional[Iterable[Override]] = None,
     seeds: Optional[Sequence[int]] = None,
     workers: Optional[int] = None,
-) -> List[ScenarioResult]:
+    *,
+    budget_seconds: Optional[float] = None,
+    early_stop: Optional[Callable[[List[SweepRun]], bool]] = None,
+    on_result: Optional[Callable[[SweepRun], None]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Union[List[ScenarioResult], SweepOutcome]:
     """Run ``spec`` across parameter overrides and seeds.
 
     Args:
         over: iterable of field-override mappings (or whole specs).
         seeds: seeds to pair every override with.
         workers: process count; ``None``/``0``/``1`` runs serially.
+        budget_seconds: optional wall-clock budget for each discipline
+            simulation of a run (so a D-discipline run may spend up to D
+            times this); runs with an over-budget simulation are reported
+            ``budget_expired``.  Not given here, a budget carried by
+            ``executor`` still applies.
+        early_stop: optional predicate over the completed
+            :class:`SweepRun` list; returning True stops dispatching
+            further runs (reported ``stopped``).  See
+            :func:`repro.scenario.executor.stop_when_ci_below`.
+        on_result: streaming callback fired as each run finishes.
+        executor: reuse a caller-owned :class:`SweepExecutor` (and its
+            warm worker pool) instead of a transient one; ``workers`` is
+            then ignored.
 
     Returns:
-        One :class:`ScenarioResult` per expanded run, in expansion order
-        (override-major, seed-minor) regardless of worker scheduling.
+        Without budgets or early stopping: one :class:`ScenarioResult`
+        per expanded run, in expansion order (override-major, seed-minor)
+        regardless of worker scheduling — every run completes, so the
+        plain result list is the whole story.  With ``budget_seconds``
+        (given here or carried by the executor) or ``early_stop``: the
+        full :class:`SweepOutcome`, whose entries record completed /
+        budget-expired / stopped runs explicitly.
     """
-    specs = expand(spec, over=over, seeds=seeds)
-    return map_maybe_parallel(_run_spec, specs, workers)
+    owns_executor = executor is None
+    active = executor if executor is not None else SweepExecutor(workers=workers)
+    # A caller-owned executor may carry a default budget; only an explicit
+    # argument here overrides it (None means "not given", which is the
+    # executor's _UNSET, not a budget of None).
+    effective_budget = (
+        budget_seconds if budget_seconds is not None else active.budget_seconds
+    )
+    try:
+        outcome = active.run_sweep(
+            spec,
+            over=over,
+            seeds=seeds,
+            budget_seconds=budget_seconds if budget_seconds is not None else _UNSET,
+            early_stop=early_stop,
+            on_result=on_result,
+        )
+    finally:
+        if owns_executor:
+            active.close()
+    if effective_budget is None and early_stop is None:
+        return outcome.results
+    return outcome

@@ -135,6 +135,70 @@ class TestSpecCli:
 
         assert comparable(serial) == comparable(parallel)
 
+class TestSweepCli:
+    def test_seed_range_sweep(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        assert (
+            main(
+                ["--spec", "table1", "--duration", "5",
+                 "--sweep-seeds", "1..3", "--json", str(path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[3/3]" in out and "3 completed" in out
+        payload = json.loads(path.read_text())["experiments"]["table1"]
+        assert payload["counts"]["completed"] == 3
+        assert [run["seed"] for run in payload["runs"]] == [1, 2, 3]
+        assert all(run["status"] == "completed" for run in payload["runs"])
+
+    def test_sweep_over_cross_product(self, capsys):
+        assert (
+            main(
+                ["--spec", "table1", "--duration", "5",
+                 "--sweep-seeds", "1,2", "--sweep-over", "warmup=0,1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[4/4]" in out and "4 completed" in out
+
+    def test_budget_marks_runs_expired(self, capsys):
+        assert (
+            main(
+                ["--spec", "table1", "--duration", "5",
+                 "--sweep-seeds", "1,2", "--budget-seconds", "0"]
+            )
+            == 0
+        )
+        assert "2 budget-expired" in capsys.readouterr().out
+
+    def test_sweep_flags_require_spec(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--sweep-seeds", "1..2"])
+
+    def test_malformed_sweep_over_reports_error(self, capsys):
+        assert (
+            main(["--spec", "table1", "--sweep-over", "warmup"]) == 2
+        )
+        assert "field=v1,v2" in capsys.readouterr().err
+
+    def test_valueless_sweep_over_reports_error(self, capsys):
+        assert (
+            main(["--spec", "table1", "--sweep-over", "warmup="]) == 2
+        )
+        assert "names no values" in capsys.readouterr().err
+
+    def test_unknown_sweep_field_reports_error(self, capsys):
+        assert (
+            main(["--spec", "table1", "--sweep-over", "no_such_field=1"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliAll:
     def test_all_runs_everything(self, capsys):
         assert main(["all", "--duration", "15"]) == 0
         out = capsys.readouterr().out

@@ -1,23 +1,34 @@
 #!/usr/bin/env python
-"""Run the perf microbench suite and write the tracked ``BENCH_core.json``.
+"""Run a perf suite and write its tracked report (BENCH_*.json).
 
-The report has three blocks:
+Two suites share the harness:
 
-* ``baseline`` — frozen measurements of the pre-fast-path engine
-  (``benchmarks/perf/baseline_pre_fastpath.json``, captured once on the
-  machine that founded the trajectory; kept so speedup ratios stay
-  meaningful over time).
+* ``--suite core`` (default) — engine/hot-path microbenches
+  (``benchmarks/perf/microbench.py``) against the frozen pre-fast-path
+  baseline; writes ``BENCH_core.json``.
+* ``--suite sweep`` — sweep-orchestration benches
+  (``benchmarks/perf/sweepbench.py``: wide sweep, early-stopped seed
+  ladder, task overhead, pickle bytes) against the frozen per-call-Pool
+  baseline; writes ``BENCH_sweep.json``.
+
+Every report has three blocks:
+
+* ``baseline`` — frozen measurements of the pre-rewrite implementation,
+  captured once on the machine that founded the trajectory; kept so
+  speedup ratios stay meaningful over time.
 * ``current`` — this checkout, measured now.
 * ``speedup`` — headline ratios current/baseline (>1 is faster).
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_report.py            # full suite
-    PYTHONPATH=src python tools/perf_report.py --quick    # CI smoke sizing
-    PYTHONPATH=src python tools/perf_report.py --out BENCH_core.json
+    PYTHONPATH=src python tools/perf_report.py                  # core suite
+    PYTHONPATH=src python tools/perf_report.py --suite sweep
+    PYTHONPATH=src python tools/perf_report.py --quick          # CI sizing
+    PYTHONPATH=src python tools/perf_report.py --suite sweep \\
+        --capture-baseline benchmarks/perf/baseline_sweep_precall_pool.json
 
 Absolute numbers are machine-dependent; compare runs from the same host
-(CI uploads its report as an artifact but never gates on timings).
+(CI uploads reports as artifacts but never gates on timings).
 """
 
 from __future__ import annotations
@@ -29,15 +40,17 @@ import platform
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline_pre_fastpath.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.perf import microbench  # noqa: E402
+
+# ----------------------------------------------------------------------
+# Core suite
+# ----------------------------------------------------------------------
 
 
-def speedups(baseline: dict, current: dict) -> dict:
+def core_speedups(baseline: dict, current: dict) -> dict:
     """Headline current/baseline ratios (>1 means the checkout is faster)."""
     base = baseline["measurements"]
     out = {
@@ -65,40 +78,8 @@ def speedups(baseline: dict, current: dict) -> dict:
     return out
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="run at ~1/8 scale (CI smoke); ratios get noisier",
-    )
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_core.json",
-        help="report path (default: BENCH_core.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-
-    scale = 0.125 if args.quick else 1.0
-    print(f"running perf microbenches (scale={scale:g}) ...", flush=True)
-    current = microbench.run_all(scale=scale)
-
-    with open(BASELINE_PATH) as handle:
-        baseline = json.load(handle)
-
-    report = {
-        "schema": 1,
-        "quick": args.quick,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "baseline": baseline,
-        "current": current,
-        "speedup": speedups(baseline, current),
-    }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-
-    print(f"wrote {args.out}")
+def core_print(report: dict) -> None:
+    current = report["current"]
     print(f"  raw event loop : {current['raw_events']['events_per_sec']:>12,.0f} events/s "
           f"({report['speedup']['raw_events_per_sec']:.2f}x baseline)")
     print(f"  timer churn    : {current['timer_churn']['churn_per_sec']:>12,.0f} ops/s "
@@ -111,6 +92,200 @@ def main(argv=None) -> int:
           f"({report['speedup']['table1_wall_clock']:.2f}x baseline)")
     print(f"  table3 wall    : {current['table3']['wall_seconds']:.3f} s "
           f"({report['speedup']['table3_wall_clock']:.2f}x baseline)")
+
+
+def core_run(scale: float) -> dict:
+    from benchmarks.perf import microbench
+
+    return microbench.run_all(scale=scale)
+
+
+# ----------------------------------------------------------------------
+# Sweep suite
+# ----------------------------------------------------------------------
+
+
+def sweep_speedups(baseline: dict, current: dict) -> dict:
+    """Headline executor-vs-per-call-Pool ratios (>1 is faster/leaner).
+
+    Wall-clock and throughput ratios only mean something when both sides
+    simulated the same horizons, so they are suppressed (``None``) when
+    the run's scale differs from the frozen baseline's — the ``--quick``
+    CI smoke would otherwise report ~8x-inflated numbers against the
+    full-scale baseline.
+    """
+    base = baseline["measurements"]
+    scales_match = baseline.get("scale", 1.0) == current.get("scale", 1.0)
+    out = {
+        "wide_sweep_wall_clock": None,
+        "wide_sweep_to_decision": None,
+        "task_throughput": None,
+        # Bytes per task don't depend on simulated horizons.
+        "task_pickle_bytes": (
+            base["task_pickle"]["bytes_per_task"]
+            / current["task_pickle"]["executor_bytes_per_task"]
+        ),
+    }
+    if scales_match:
+        # Same simulation work, both run to completion.
+        out["wide_sweep_wall_clock"] = (
+            base["wide_sweep"]["wall_seconds"]
+            / current["wide_sweep"]["wall_seconds"]
+        )
+        # Same statistical decision on the same ladder: the executor
+        # early-stops at a closed confidence interval, the baseline model
+        # has no streaming and pays for every seed.
+        out["wide_sweep_to_decision"] = (
+            base["ladder_to_decision"]["wall_seconds"]
+            / current["ladder_to_decision"]["wall_seconds"]
+        )
+        out["task_throughput"] = (
+            current["task_overhead"]["tasks_per_sec"]
+            / base["task_overhead"]["tasks_per_sec"]
+        )
+    else:
+        out["note"] = (
+            "scale differs from the frozen baseline; wall-clock and "
+            "throughput ratios suppressed"
+        )
+    return out
+
+
+def sweep_print(report: dict) -> None:
+    current = report["current"]
+    speedup = report["speedup"]
+    wide = current["wide_sweep"]
+    ladder = current["ladder_to_decision"]
+    overhead = current["task_overhead"]
+    pkl = current["task_pickle"]
+
+    def ratio(key: str, suffix: str = "x baseline") -> str:
+        value = speedup.get(key)
+        return f"({value:.2f}{suffix})" if value is not None else "(n/a)"
+
+    print(f"  wide sweep     : {wide['runs']}x{wide['disciplines']} tasks in "
+          f"{wide['wall_seconds']:.2f} s {ratio('wide_sweep_wall_clock')}")
+    print(f"  ladder->CI     : {ladder['runs_completed']}/{ladder['seeds_available']} seeds, "
+          f"{ladder['wall_seconds']:.2f} s "
+          f"{ratio('wide_sweep_to_decision', 'x baseline full ladder')}")
+    print(f"  task overhead  : {overhead['tasks_per_sec']:>8,.1f} tasks/s over "
+          f"{overhead['sweeps']} sweeps, {overhead['pools_created']} pool(s) "
+          f"{ratio('task_throughput')}")
+    print(f"  task pickle    : {pkl['executor_bytes_per_task']:,.0f} B/task vs "
+          f"{pkl['legacy_bytes_per_task']:,} legacy "
+          f"({speedup['task_pickle_bytes']:.1f}x smaller)")
+    if speedup.get("note"):
+        print(f"  note           : {speedup['note']}")
+
+
+def sweep_run(scale: float) -> dict:
+    from benchmarks.perf import sweepbench
+
+    return sweepbench.run_all(scale=scale)
+
+
+SUITES = {
+    "core": {
+        "baseline": REPO_ROOT / "benchmarks" / "perf" / "baseline_pre_fastpath.json",
+        "default_out": REPO_ROOT / "BENCH_core.json",
+        "run": core_run,
+        "speedups": core_speedups,
+        "print": core_print,
+    },
+    "sweep": {
+        "baseline": REPO_ROOT / "benchmarks" / "perf" / "baseline_sweep_precall_pool.json",
+        "default_out": REPO_ROOT / "BENCH_sweep.json",
+        "run": sweep_run,
+        "speedups": sweep_speedups,
+        "print": sweep_print,
+    },
+}
+
+
+def capture_sweep_baseline(path: pathlib.Path, scale: float) -> int:
+    """Re-measure the vendored per-call-Pool model and freeze it."""
+    from benchmarks.perf import sweepbench
+
+    print(f"capturing per-call-Pool sweep baseline (scale={scale:g}) ...",
+          flush=True)
+    payload = {
+        "note": "pre-executor sweep path (fresh Pool per call, coarse "
+        "full-spec tasks, blocking map); captured via "
+        "benchmarks/perf/sweepbench.run_baseline",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": scale,
+        "measurements": sweepbench.run_baseline(scale=scale),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="core",
+        help="which tracked trajectory to measure (default: core)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at ~1/8 scale (CI smoke); ratios get noisier",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="report path (default: BENCH_<suite>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--capture-baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="(sweep suite) re-measure the vendored per-call-Pool model "
+        "and write the frozen baseline file instead of a report",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.125 if args.quick else 1.0
+    if args.capture_baseline is not None:
+        if args.suite != "sweep":
+            parser.error("--capture-baseline applies to --suite sweep")
+        if args.quick:
+            # A quick-scale baseline would silently skew every future
+            # full-scale report's ratios.
+            parser.error("--capture-baseline requires full scale (no --quick)")
+        return capture_sweep_baseline(args.capture_baseline, scale)
+
+    suite = SUITES[args.suite]
+    out = args.out if args.out is not None else suite["default_out"]
+    print(f"running {args.suite} perf benches (scale={scale:g}) ...",
+          flush=True)
+    current = suite["run"](scale)
+
+    with open(suite["baseline"]) as handle:
+        baseline = json.load(handle)
+
+    current["scale"] = scale
+    report = {
+        "schema": 1,
+        "suite": args.suite,
+        "quick": args.quick,
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": baseline,
+        "current": current,
+        "speedup": suite["speedups"](baseline, current),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {out}")
+    suite["print"](report)
     return 0
 
 
