@@ -19,7 +19,13 @@ The library provides, from scratch:
 * a declarative scenario API — one frozen spec describes topology, flows,
   service commitments, and disciplines; a runner builds and executes it
   with paired arrivals and returns structured, JSON-exportable results;
-  sweeps fan out across processes (:mod:`repro.scenario`);
+  sweeps fan out across processes; seeded generators sample random /
+  scale-free / WAN / access-core scenarios deterministically
+  (:mod:`repro.scenario`);
+* opt-in simulation-invariant validation — packet conservation, per-flow
+  FIFO order, P-G delay-bound compliance, queue bounds, clock
+  monotonicity — via an audit tap that leaves results bit-identical
+  (:mod:`repro.validate`);
 * runnable experiments regenerating every table and figure, founded on
   the scenario API (:mod:`repro.experiments`).
 
@@ -98,8 +104,14 @@ from repro.scenario import (
     sweep,
 )
 from repro.transport import TcpConnection
+from repro.validate import (
+    InvariantCheck,
+    InvariantViolation,
+    assert_clean,
+    check_invariants,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Simulator",
@@ -143,5 +155,9 @@ __all__ = [
     "TopologySpec",
     "sweep",
     "TcpConnection",
+    "InvariantCheck",
+    "InvariantViolation",
+    "assert_clean",
+    "check_invariants",
     "__version__",
 ]

@@ -13,6 +13,10 @@
   (cross traffic at every hop), FIFO+'s multi-hop jitter story on a
   topology only the graph-form :class:`~repro.scenario.TopologySpec` can
   express.
+* :mod:`repro.experiments.generated` — FIFO vs FIFO+ vs CSZ across a
+  fleet of seeded random multi-bottleneck graphs
+  (:mod:`repro.scenario.generators`), with the :mod:`repro.validate`
+  invariant checks on for every run.
 
 Each module exposes ``run(...) -> result`` with a ``render()`` string that
 prints the same rows the paper reports, and the module is runnable via
@@ -29,6 +33,7 @@ from repro.experiments import (
     common,
     distributions,
     dynamics,
+    generated,
     parkinglot,
     table1,
     table2,
@@ -40,6 +45,7 @@ __all__ = [
     "common",
     "distributions",
     "dynamics",
+    "generated",
     "parkinglot",
     "table1",
     "table2",

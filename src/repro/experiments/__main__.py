@@ -18,6 +18,11 @@ Usage::
     python -m repro.experiments --spec table1 \\
         --sweep-seeds 1..8 --sweep-over duration=20,40 --workers 4
 
+    # generated scenarios: seeded random topologies with invariants on
+    python -m repro.experiments --spec gen:random-graph --gen-seed 7
+    python -m repro.experiments generated --gen-seeds 1..3 --duration 20
+    python -m repro.experiments --spec table1 --validate   # opt any spec in
+
 ``--spec`` runs one declarative :class:`~repro.scenario.ScenarioSpec`
 loaded from a JSON file (``ScenarioSpec.to_dict`` payload) or built from
 the scenario registry, and prints a generic per-flow / per-link report.
@@ -33,6 +38,14 @@ inclusive ``lo..hi`` range, each (repeatable) ``--sweep-over`` flag is
 budget bounds every run's wall clock.  Progress streams one line per
 finished run; ``--json`` then writes the full ``SweepOutcome`` payload
 (statuses included).
+
+``gen:`` scenario names (``gen:random-graph``, ``gen:scale-free``,
+``gen:wan-path``, ``gen:access-core``, ``gen:wan-guaranteed``) resolve
+through :mod:`repro.scenario.generators`: ``--gen-seed`` selects the
+sampled topology/population, and the generated spec runs with the
+:mod:`repro.validate` invariant checks on.  ``--validate`` opts *any*
+``--spec`` run into the same checks; ``generated`` runs the
+random-graph flagship across ``--gen-seeds`` topologies.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ from repro.experiments import (
     common,
     distributions,
     dynamics,
+    generated,
     parkinglot,
     table1,
     table2,
@@ -63,6 +77,7 @@ EXPERIMENTS = (
     "dynamics",
     "distributions",
     "parkinglot",
+    "generated",
 )
 
 
@@ -123,8 +138,13 @@ def _parse_sweep_plan(spec: ScenarioSpec, args) -> tuple:
     return over, seeds, len(expand(spec, over=over, seeds=seeds))
 
 
-def _run_sweep_cli(spec: ScenarioSpec, sweep_plan: tuple, args) -> dict:
-    """Execute the parsed sweep plan over one spec; returns the payload."""
+def _run_sweep_cli(spec: ScenarioSpec, sweep_plan: tuple, args) -> tuple:
+    """Execute the parsed sweep plan over one spec.
+
+    Returns ``(payload, invariants_ok)``: the ``SweepOutcome`` payload
+    plus whether every completed validated run's invariants held (always
+    True for unvalidated specs).
+    """
     from repro.scenario import SweepExecutor
 
     over, seeds, total = sweep_plan
@@ -151,10 +171,17 @@ def _run_sweep_cli(spec: ScenarioSpec, sweep_plan: tuple, args) -> dict:
         f"{counts['budget_expired']} budget-expired, "
         f"{counts['stopped']} stopped in {time.monotonic() - started:.1f}s]"
     )
-    return outcome.to_dict()
+    invariants_ok = all(
+        run.invariants is None or run.invariants_clean
+        for result in outcome.results
+        for run in result.runs
+    )
+    return outcome.to_dict(), invariants_ok
 
 
-def _load_spec(name_or_path: str, duration, seed) -> ScenarioSpec:
+def _load_spec(
+    name_or_path: str, duration, seed, gen_seed=None, validate=False
+) -> ScenarioSpec:
     """Resolve ``--spec``: a registered scenario name or a JSON file."""
     if os.path.isfile(name_or_path):
         with open(name_or_path) as handle:
@@ -164,13 +191,18 @@ def _load_spec(name_or_path: str, duration, seed) -> ScenarioSpec:
             overrides["duration"] = duration
         if seed is not None:
             overrides["seed"] = seed
+        if validate:
+            overrides["validate"] = True
         return spec.replace(**overrides) if overrides else spec
     kwargs = {}
     if duration is not None:
         kwargs["duration"] = duration
     if seed is not None:
         kwargs["seed"] = seed
-    return registry.build(name_or_path, **kwargs)
+    if gen_seed is not None:
+        kwargs["gen_seed"] = gen_seed
+    spec = registry.build(name_or_path, **kwargs)
+    return spec.replace(validate=True) if validate else spec
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -200,6 +232,26 @@ def main(argv: list[str] | None = None) -> int:
         help="simulated seconds (paper: 600)",
     )
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--gen-seed",
+        type=int,
+        default=None,
+        help="with --spec gen:*: the seed the topology/population is "
+        "sampled from (distinct from --seed, the traffic seed)",
+    )
+    parser.add_argument(
+        "--gen-seeds",
+        metavar="SEEDS",
+        default=None,
+        help="with the 'generated' experiment: generator seeds to sweep "
+        "('1,2,5' or inclusive '1..20'; default 1..20)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="with --spec: run the repro.validate invariant checks on "
+        "every simulation (gen: scenarios enable this by themselves)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -253,10 +305,40 @@ def main(argv: list[str] | None = None) -> int:
     if sweep_mode and args.spec is None:
         parser.error("--sweep-seeds/--sweep-over/--budget-seconds need --spec")
 
+    if args.gen_seeds is not None and args.experiment not in ("generated", "all"):
+        parser.error("--gen-seeds applies to the 'generated' experiment")
+    if args.gen_seed is not None and args.spec is None:
+        parser.error(
+            "--gen-seed applies to --spec gen:* scenarios (use --gen-seeds "
+            "with the 'generated' experiment)"
+        )
+    if args.validate and args.spec is None:
+        parser.error(
+            "--validate applies to --spec runs (the 'generated' experiment "
+            "and gen: scenarios validate by themselves)"
+        )
+    if args.gen_seeds is not None:
+        try:
+            gen_seed_list = _parse_sweep_seeds(args.gen_seeds)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        gen_seed_list = None
+
+    # Invariant violations flip the exit code but must not suppress the
+    # --json payload: the per-check records are the debugging artifact.
+    exit_code = 0
     payloads: dict = {}
     if args.spec is not None:
         try:
-            spec = _load_spec(args.spec, args.duration, args.seed)
+            spec = _load_spec(
+                args.spec,
+                args.duration,
+                args.seed,
+                gen_seed=args.gen_seed,
+                validate=args.validate,
+            )
             if sweep_mode:
                 # Parse and expand up front so flag mistakes surface as
                 # CLI errors before any simulation starts.
@@ -271,13 +353,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {message}", file=sys.stderr)
             return 2
         if sweep_mode:
-            payloads[spec.name] = _run_sweep_cli(spec, sweep_plan, args)
+            payloads[spec.name], invariants_ok = _run_sweep_cli(
+                spec, sweep_plan, args
+            )
+            if not invariants_ok:
+                print("error: invariant violations detected", file=sys.stderr)
+                exit_code = 1
         else:
             started = time.monotonic()
             result = ScenarioRunner(spec).run(workers=args.workers)
             print(common.render_scenario_result(result))
             print(f"[{spec.name} ran in {time.monotonic() - started:.1f}s]")
             payloads[spec.name] = result.to_dict()
+            if spec.validate and not all(
+                run.invariants_clean for run in result.runs
+            ):
+                print("error: invariant violations detected", file=sys.stderr)
+                exit_code = 1
     else:
         duration = (
             args.duration
@@ -320,6 +412,18 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(result.render())
                 payloads[name] = result.scenario.to_dict()
+            elif name == "generated":
+                result = generated.run(
+                    duration=duration,
+                    seed=seed,
+                    gen_seeds=gen_seed_list or generated.DEFAULT_GEN_SEEDS,
+                    workers=args.workers,
+                )
+                print(result.render())
+                payloads[name] = result.to_dict()
+                if not result.all_invariants_clean:
+                    print("error: invariant violations detected", file=sys.stderr)
+                    exit_code = 1
             elif name == "dynamics":
                 result = dynamics.run(phase_seconds=duration / 3.0, seed=seed)
                 print(result.render())
@@ -330,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json_path, "w") as handle:
             json.dump({"experiments": payloads}, handle, indent=1)
         print(f"[structured results written to {args.json_path}]")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -177,4 +177,21 @@ def render_scenario_result(result) -> str:
                     for t in run.tcp_stats
                 ],
             ))
+        if run.invariants is not None:
+            lines.append("")
+            lines.append(format_table(
+                ["invariant", "status", "checked", "violations"],
+                [
+                    [
+                        check.name,
+                        "ok" if check.ok else "FAIL",
+                        str(check.checked),
+                        str(check.violations),
+                    ]
+                    for check in run.invariants
+                ],
+            ))
+            for check in run.invariants:
+                if not check.ok and check.detail:
+                    lines.append(f"  {check.name}: {check.detail}")
     return "\n".join(lines)

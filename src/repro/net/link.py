@@ -70,6 +70,12 @@ class Link:
         self._loss_rng = loss_rng
         self.packets_sent = 0
         self.packets_lost = 0
+        self.packets_delivered = 0
+        # Packets that finished transmitting but are still propagating
+        # toward the receiver (only ever non-zero on delayed links).  The
+        # conservation invariants in :mod:`repro.validate` read this plus
+        # ``busy`` to account for every packet on the wire.
+        self.in_transit = 0
         self.bits_sent = 0
         # Called when a transmission completes and the link goes idle; the
         # owning OutputPort uses it to pull the next packet.
@@ -122,10 +128,16 @@ class Link:
                 self.on_idle()
             return
         if self.propagation_delay > 0:
-            self.sim.schedule(
-                self.propagation_delay, lambda: receiver.receive(packet)
-            )
+            self.in_transit += 1
+
+            def deliver() -> None:
+                self.in_transit -= 1
+                self.packets_delivered += 1
+                receiver.receive(packet)
+
+            self.sim.schedule(self.propagation_delay, deliver)
         else:
+            self.packets_delivered += 1
             receiver.receive(packet)
         if self.on_idle is not None:
             self.on_idle()

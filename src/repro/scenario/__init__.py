@@ -17,6 +17,10 @@ The subsystem the experiment layer is founded on:
   (override × seed × discipline) task graph, warm-started workers fed
   compact deltas, streaming collection, per-run wall-clock budgets, and
   early stopping;
+* :mod:`repro.scenario.generators` — seeded, deterministic scenario
+  generators (random/scale-free graphs, WAN paths, access/core fan-in)
+  registered under ``gen:`` names, with populations sized to a target
+  utilization and :mod:`repro.validate` invariant checks on by default;
 * :mod:`repro.scenario.paper` — the Appendix constants and the Figure-1
   placement tables, the single source of truth.
 """
@@ -59,10 +63,12 @@ from repro.scenario.spec import (
     TopologySpec,
 )
 from repro.scenario.sweep import expand, sweep
+from repro.scenario import generators  # noqa: E402  (needs spec/registry)
 
 __all__ = [
     "paper",
     "registry",
+    "generators",
     "AdmissionSpec",
     "BUDGET_EXPIRED",
     "COMPLETED",

@@ -46,6 +46,7 @@ class ScenarioBuilder:
         self._seed = 1
         self._percentiles: Optional[Tuple[float, ...]] = None
         self._link_accounting = False
+        self._validate = False
 
     # -- topology ------------------------------------------------------
     def topology(self, spec: TopologySpec) -> "ScenarioBuilder":
@@ -155,6 +156,11 @@ class ScenarioBuilder:
         self._link_accounting = enabled
         return self
 
+    def validate(self, enabled: bool = True) -> "ScenarioBuilder":
+        """Opt into the :mod:`repro.validate` invariant checks."""
+        self._validate = enabled
+        return self
+
     # ------------------------------------------------------------------
     def build(self) -> ScenarioSpec:
         if self._topology is None:
@@ -179,5 +185,6 @@ class ScenarioBuilder:
             warmup=self._warmup,
             seed=self._seed,
             link_accounting=self._link_accounting,
+            validate=self._validate,
             **kwargs,
         )

@@ -46,12 +46,13 @@ def register(
 
 
 def _load_builtins() -> None:
-    """Import the experiment modules so their registrations run.
+    """Import the modules whose registrations populate the registry.
 
     Lazy (and inside a function) because experiments import the scenario
     package; importing them at module load would be circular.
     """
     import repro.experiments  # noqa: F401  (side effect: registrations)
+    import repro.scenario.generators  # noqa: F401  (gen: scenarios)
 
 
 def names() -> tuple:

@@ -127,7 +127,9 @@ class DisciplineRunResult:
     ``link_queueing`` is the mean per-hop wait at each link's output port
     (seconds) — the per-link view of where delay accumulates on multi-hop
     paths.  ``port_disciplines`` records the scheduler each port actually
-    got after per-port overrides resolved.
+    got after per-port overrides resolved.  ``invariants`` holds the
+    :mod:`repro.validate` check results for validated runs
+    (``spec.validate``) and is ``None`` otherwise.
     """
 
     discipline: str
@@ -142,6 +144,7 @@ class DisciplineRunResult:
     events_processed: int
     wall_seconds: float
     worker_pid: int
+    invariants: Optional[Tuple[Any, ...]] = None  # InvariantCheck tuple
 
     @property
     def total_drops(self) -> int:
@@ -188,8 +191,26 @@ class DisciplineRunResult:
                 return stats
         raise KeyError(name)
 
+    @property
+    def invariants_clean(self) -> bool:
+        """All invariant checks passed.  Raises if the run was not
+        validated (``spec.validate`` off)."""
+        if self.invariants is None:
+            raise ValueError(
+                f"run {self.discipline!r} was not validated; set "
+                "ScenarioSpec(validate=True)"
+            )
+        return all(check.ok for check in self.invariants)
+
+    def invariant(self, name: str):
+        """One named :class:`~repro.validate.InvariantCheck` of this run."""
+        for check in self.invariants or ():
+            if check.name == name:
+                return check
+        raise KeyError(name)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "discipline": self.discipline,
             "flows": {stats.name: stats.to_dict() for stats in self.flows},
             "link_utilizations": dict(self.link_utilizations),
@@ -207,6 +228,11 @@ class DisciplineRunResult:
                 "worker_pid": self.worker_pid,
             },
         }
+        if self.invariants is not None:
+            # Only validated runs carry the key, so unvalidated payloads
+            # (and the goldens pinning them) are byte-identical to before.
+            data["invariants"] = [check.to_dict() for check in self.invariants]
+        return data
 
     def comparable_dict(self) -> Dict[str, Any]:
         """The deterministic payload (runtime/PID stripped) — equal across
@@ -292,6 +318,16 @@ class ScenarioContext:
         for tcp in spec.tcps:
             self._check_route(tcp.name, tcp.source_host, tcp.dest_host)
             self._check_route(tcp.name, tcp.dest_host, tcp.source_host)
+
+        # The invariant audit taps the port listener seam; attached before
+        # any traffic component exists so it observes every packet.  It
+        # neither schedules events nor consumes random draws — audited
+        # runs are bit-identical to unaudited ones.
+        self.audit = None
+        if spec.validate:
+            from repro.validate.audit import SimulationAudit
+
+            self.audit = SimulationAudit(self.sim, self.net)
 
         self.admission: Optional[AdmissionController] = None
         self.signaling: Optional[SignalingAgent] = None
@@ -477,8 +513,15 @@ class ScenarioContext:
         return source
 
     def _register_noop(self, flow: FlowSpec) -> None:
+        # Under an audit, even unrecorded (background) flows count their
+        # deliveries so per-flow conservation closes network-wide.
+        handler = (
+            self.audit.delivery_counter(flow.name)
+            if self.audit is not None
+            else lambda packet: None
+        )
         self.net.hosts[flow.dest_host].register_flow_handler(
-            flow.name, lambda packet: None
+            flow.name, handler
         )
 
     def remove_flow(self, name: str) -> None:
@@ -536,6 +579,11 @@ class ScenarioContext:
         for name, sink in self.sinks.items():
             if name not in {s.name for s in flow_stats}:
                 flow_stats.append(self._flow_stats(name, sink))
+        invariants = None
+        if self.audit is not None:
+            from repro.validate.invariants import check_invariants
+
+            invariants = check_invariants(self)
         return DisciplineRunResult(
             discipline=self.discipline.name,
             flows=tuple(flow_stats),
@@ -577,6 +625,7 @@ class ScenarioContext:
             events_processed=self.sim.events_processed,
             wall_seconds=self._wall_seconds or 0.0,
             worker_pid=os.getpid(),
+            invariants=invariants,
         )
 
     def _flow_stats(self, name: str, sink: DelayRecordingSink) -> FlowStats:

@@ -640,6 +640,12 @@ class ScenarioSpec:
             datagram drops (the Table-3 bookkeeping); off by default to
             keep the hot path lean.
         percentile_points: queueing-delay percentiles computed per flow.
+        validate: attach the :mod:`repro.validate` audit tap and run the
+            simulation-invariant checks post-run (packet conservation,
+            within-flow FIFO order, P-G delay bounds, queue bounds, clock
+            monotonicity); results land on
+            ``DisciplineRunResult.invariants``.  Off by default to keep
+            the hot path lean; generated scenarios opt in.
     """
 
     name: str
@@ -654,6 +660,7 @@ class ScenarioSpec:
     seed: int = 1
     percentile_points: Tuple[float, ...] = DEFAULT_PERCENTILES
     link_accounting: bool = False
+    validate: bool = False
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -727,6 +734,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "percentile_points": list(self.percentile_points),
             "link_accounting": self.link_accounting,
+            "validate": self.validate,
         }
 
     @classmethod
@@ -756,4 +764,5 @@ class ScenarioSpec:
                 data.get("percentile_points", DEFAULT_PERCENTILES)
             ),
             link_accounting=data.get("link_accounting", False),
+            validate=data.get("validate", False),
         )

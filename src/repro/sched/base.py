@@ -59,6 +59,17 @@ class Scheduler(abc.ABC):
     #: converter) and leave this False.
     supports_guaranteed: bool = False
 
+    #: Whether packets of one flow are guaranteed to depart this scheduler
+    #: in their arrival order.  True for every discipline that keys its
+    #: order on arrival state alone (FIFO, per-flow queues, per-class
+    #: FIFO, deadlines monotone in arrival time).  FIFO+-based disciplines
+    #: set this False: the expected-arrival key subtracts the accumulated
+    #: jitter offset, which can differ between two packets of the same
+    #: flow, so within-flow order is preserved only statistically.  The
+    #: :mod:`repro.validate` flow-FIFO invariant is asserted exactly where
+    #: this is True and merely *observed* (reorder counting) elsewhere.
+    preserves_flow_fifo: bool = True
+
     def install_guaranteed(self, flow_id: str, rate_bps: float) -> None:
         """Reserve a guaranteed clock rate of ``rate_bps`` bits/s for
         ``flow_id``.

@@ -84,6 +84,11 @@ class FifoPlusScheduler(Scheduler):
             (None disables; experiments in the paper's core leave it off).
     """
 
+    # The expected-arrival key subtracts a per-packet jitter offset, so two
+    # packets of one flow can swap when the class average moved between
+    # their upstream dequeues; within-flow order is only statistical.
+    preserves_flow_fifo = False
+
     def __init__(
         self,
         delay_tracker: Optional[ClassDelayTracker] = None,

@@ -78,6 +78,10 @@ class UnifiedConfig:
 class UnifiedScheduler(Scheduler):
     """WFQ(guaranteed flows, flow-0[priority classes -> FIFO+ / FIFO])."""
 
+    # Predicted classes ride FIFO+ levels inside flow 0, which preserve
+    # within-flow order only statistically (see FifoPlusScheduler).
+    preserves_flow_fifo = False
+
     def __init__(self, config: UnifiedConfig):
         self.config = config
         self.vt = VirtualTime(config.capacity_bps)

@@ -1,0 +1,44 @@
+"""Simulation-invariant validation: audit taps + post-run checks.
+
+Any scenario can opt in (``ScenarioSpec(validate=True)``, the builder's
+``.validate()``, or ``--validate`` on the CLI); generated scenarios
+(:mod:`repro.scenario.generators`) opt in by default.  The layer has two
+halves:
+
+* :mod:`repro.validate.audit` — :class:`SimulationAudit`, a lightweight
+  tap on every output port's listener seam (plus the link layer's wire
+  counters).  It maintains O(ports × flows) counters and a
+  buffer-bounded pending-packet window per (port, flow); it never
+  schedules events or consumes random draws, so an audited run is
+  bit-identical to an unaudited one.
+* :mod:`repro.validate.invariants` — :func:`check_invariants`, executed
+  post-run over the audit state, the live network, and the spec.  The
+  checks: per-port and per-flow packet conservation, within-flow FIFO
+  ordering on every link whose scheduler guarantees it, WFQ/P-G
+  guaranteed-delay-bound compliance, buffer bounds, non-negative waits,
+  and clock monotonicity.
+
+Results travel as :class:`InvariantCheck` tuples on
+:class:`~repro.scenario.runner.DisciplineRunResult`, so sweeps fan
+validated runs across workers like any others.
+"""
+
+from repro.validate.audit import SimulationAudit
+from repro.validate.invariants import (
+    InvariantCheck,
+    InvariantViolation,
+    assert_clean,
+    check_invariants,
+    guaranteed_delay_bound,
+    invariants_summary,
+)
+
+__all__ = [
+    "InvariantCheck",
+    "InvariantViolation",
+    "SimulationAudit",
+    "assert_clean",
+    "check_invariants",
+    "guaranteed_delay_bound",
+    "invariants_summary",
+]

@@ -198,10 +198,136 @@ class TestSweepCli:
         assert "error:" in capsys.readouterr().err
 
 
+class TestGeneratedCli:
+    def test_gen_spec_with_gen_seed_runs_validated(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "gen.json"
+        assert (
+            main(
+                ["--spec", "gen:random-graph", "--gen-seed", "7",
+                 "--duration", "4", "--json", str(path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "random-graph-g7" in out
+        assert "port-conservation" in out and "FAIL" not in out
+        runs = json.loads(path.read_text())["experiments"][
+            "random-graph-g7"
+        ]["runs"]
+        assert [run["discipline"] for run in runs] == ["FIFO", "FIFO+", "CSZ"]
+        for run in runs:
+            assert all(check["ok"] for check in run["invariants"])
+
+    def test_gen_seed_changes_the_scenario(self, capsys):
+        assert main(["--spec", "gen:access-core", "--gen-seed", "3",
+                     "--duration", "3"]) == 0
+        assert "access-core-g3" in capsys.readouterr().out
+
+    def test_gen_scenarios_listed(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "gen:random-graph" in out and "gen:wan-path" in out
+
+    def test_validate_flag_opts_any_spec_in(self, capsys):
+        assert main(["--spec", "table1", "--duration", "4",
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant" in out and "flow-conservation" in out
+
+    def test_gen_spec_sweeps_seeds(self, capsys):
+        assert (
+            main(
+                ["--spec", "gen:wan-path", "--gen-seed", "2",
+                 "--duration", "3", "--sweep-seeds", "1,2"]
+            )
+            == 0
+        )
+        assert "2 completed" in capsys.readouterr().out
+
+    def test_generated_experiment_with_gen_seeds(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "generated.json"
+        assert (
+            main(
+                ["generated", "--duration", "3", "--gen-seeds", "1..3",
+                 "--workers", "2", "--json", str(path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 seeded multi-bottleneck topologies" in out
+        assert "clean on every run" in out
+        payload = json.loads(path.read_text())["experiments"]["generated"]
+        assert [row["gen_seed"] for row in payload["rows"]] == [1, 2, 3]
+        assert payload["all_invariants_clean"] is True
+
+    def test_gen_seeds_requires_generated_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--gen-seeds", "1..3"])
+
+    def test_gen_seed_requires_spec(self):
+        with pytest.raises(SystemExit):
+            main(["generated", "--gen-seed", "5"])
+
+    def test_validate_requires_spec(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--validate"])
+
+    def test_malformed_gen_seeds_reports_error(self, capsys):
+        assert main(["generated", "--gen-seeds", "5..2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_violations_flip_exit_code_but_json_still_written(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.scenario.runner import DisciplineRunResult
+
+        monkeypatch.setattr(
+            DisciplineRunResult,
+            "invariants_clean",
+            property(lambda self: False),
+        )
+        path = tmp_path / "violated.json"
+        assert (
+            main(
+                ["--spec", "gen:access-core", "--gen-seed", "1",
+                 "--duration", "2", "--json", str(path)]
+            )
+            == 1
+        )
+        assert "invariant violations" in capsys.readouterr().err
+        # The payload survives: it is the debugging artifact.
+        import json
+
+        assert path.exists()
+        assert "experiments" in json.loads(path.read_text())
+
+    def test_sweep_mode_checks_invariants_too(self, capsys, monkeypatch):
+        from repro.scenario.runner import DisciplineRunResult
+
+        monkeypatch.setattr(
+            DisciplineRunResult,
+            "invariants_clean",
+            property(lambda self: False),
+        )
+        assert (
+            main(
+                ["--spec", "gen:access-core", "--gen-seed", "1",
+                 "--duration", "2", "--sweep-seeds", "1,2"]
+            )
+            == 1
+        )
+        assert "invariant violations" in capsys.readouterr().err
+
+
 class TestCliAll:
     def test_all_runs_everything(self, capsys):
-        assert main(["all", "--duration", "15"]) == 0
+        assert main(["all", "--duration", "15", "--gen-seeds", "1,2"]) == 0
         out = capsys.readouterr().out
         for token in ("Table 1", "Table 2", "Table 3", "Figure 1",
-                      "Dynamic adaptation"):
+                      "Dynamic adaptation",
+                      "seeded multi-bottleneck topologies"):
             assert token in out

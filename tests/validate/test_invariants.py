@@ -1,0 +1,236 @@
+"""Unit tests of the audit tap and the invariant checks themselves.
+
+The property suite (``test_properties.py``) asserts the invariants hold
+across generated scenarios; this file asserts the *checker* works — it
+passes on known-good runs of every discipline family, detects seeded
+violations, and its results serialize and travel with run payloads.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.net.packet import Packet, ServiceClass
+from repro.scenario import (
+    DisciplineSpec,
+    ScenarioBuilder,
+    ScenarioRunner,
+    ScenarioSpec,
+)
+from repro.validate import (
+    InvariantCheck,
+    InvariantViolation,
+    SimulationAudit,
+    assert_clean,
+    check_invariants,
+    invariants_summary,
+)
+
+DURATION = 8.0
+
+
+def single_link_spec(*disciplines, validate=True, flows=6):
+    builder = (
+        ScenarioBuilder("validate-unit")
+        .single_link()
+        .paper_flows(flows, service_class=ServiceClass.PREDICTED)
+        .disciplines(*disciplines)
+        .duration(DURATION)
+        .warmup(1.0)
+        .seed(5)
+    )
+    if validate:
+        builder.validate()
+    return builder.build()
+
+
+class TestAuditAttachment:
+    def test_unvalidated_context_has_no_audit(self):
+        spec = single_link_spec(DisciplineSpec.fifo(), validate=False)
+        context = ScenarioRunner(spec).build()
+        assert context.audit is None
+
+    def test_validated_context_attaches_audit(self):
+        spec = single_link_spec(DisciplineSpec.fifo())
+        context = ScenarioRunner(spec).build()
+        assert isinstance(context.audit, SimulationAudit)
+        assert set(context.audit.ports) == set(context.net.ports)
+
+    def test_audit_does_not_perturb_results(self):
+        """Audited runs are bit-identical to unaudited ones."""
+        plain = ScenarioRunner(
+            single_link_spec(DisciplineSpec.fifoplus(), validate=False)
+        ).run()
+        audited = ScenarioRunner(
+            single_link_spec(DisciplineSpec.fifoplus())
+        ).run()
+        expected = plain.runs[0].comparable_dict()
+        got = audited.runs[0].comparable_dict()
+        del got["invariants"]
+        assert got == expected
+
+    def test_check_requires_audit(self):
+        spec = single_link_spec(DisciplineSpec.fifo(), validate=False)
+        context = ScenarioRunner(spec).build()
+        context.run()
+        with pytest.raises(ValueError, match="not audited"):
+            check_invariants(context)
+
+
+class TestInvariantsPassOnKnownGoodRuns:
+    @pytest.mark.parametrize(
+        "discipline",
+        [
+            DisciplineSpec.fifo(),
+            DisciplineSpec.fifoplus(),
+            DisciplineSpec.wfq(equal_share_flows=6),
+            DisciplineSpec.unified(name="CSZ"),
+            DisciplineSpec.virtual_clock(equal_share_flows=6),
+            DisciplineSpec.round_robin(),
+            DisciplineSpec.drr(),
+            DisciplineSpec.priority(num_classes=2),
+            DisciplineSpec.edf(),
+        ],
+    )
+    def test_discipline_clean(self, discipline):
+        result = ScenarioRunner(single_link_spec(discipline)).run()
+        run = result.runs[0]
+        assert run.invariants is not None
+        assert run.invariants_clean, invariants_summary(run.invariants)
+
+    def test_checks_cover_the_advertised_invariants(self):
+        result = ScenarioRunner(
+            single_link_spec(DisciplineSpec.fifo())
+        ).run()
+        names = {check.name for check in result.runs[0].invariants}
+        assert names == {
+            "port-conservation",
+            "flow-conservation",
+            "flow-fifo",
+            "guaranteed-delay-bound",
+            "queue-bounds",
+            "clock-monotonic",
+        }
+
+    def test_fifo_ports_are_asserted_fifoplus_ports_observed(self):
+        fifo = ScenarioRunner(single_link_spec(DisciplineSpec.fifo())).run()
+        plus = ScenarioRunner(
+            single_link_spec(DisciplineSpec.fifoplus())
+        ).run()
+        assert fifo.runs[0].invariant("flow-fifo").checked == 1
+        assert plus.runs[0].invariant("flow-fifo").checked == 0
+        assert "statistical" in plus.runs[0].invariant("flow-fifo").detail
+
+
+class TestAuditDetectsViolations:
+    """Feed the tap synthetic event streams and watch it object."""
+
+    def _audited_port(self):
+        spec = single_link_spec(DisciplineSpec.fifo())
+        context = ScenarioRunner(spec).build()
+        audit = context.audit
+        port = context.net.ports["A->B"]
+        return context, audit, port
+
+    def _packet(self, flow="flow-0"):
+        return Packet(
+            flow_id=flow,
+            size_bits=1000,
+            created_at=0.0,
+            source="src-host",
+            destination="dst-host",
+        )
+
+    def test_departure_of_unseen_packet_is_a_teleport(self):
+        context, audit, port = self._audited_port()
+        ghost = self._packet()
+        for listener in port.on_depart:
+            listener(ghost, 1.0, 0.5)
+        assert audit.fifo_violations == 1
+        assert any("never enqueued" in v for v in audit.violations)
+
+    def test_out_of_order_departure_on_fifo_port_is_a_violation(self):
+        context, audit, port = self._audited_port()
+        first, second = self._packet(), self._packet()
+        for listener in port.on_enqueue:
+            listener(first, 1.0)
+            listener(second, 1.0)
+        for listener in port.on_depart:
+            listener(second, 2.0, 1.0)  # younger sibling served first
+        assert audit.fifo_violations == 1
+        assert audit.reordered_total() == 1
+
+    def test_backwards_clock_is_recorded(self):
+        context, audit, port = self._audited_port()
+        for listener in port.on_enqueue:
+            listener(self._packet(), 5.0)
+            listener(self._packet(), 4.0)
+        assert audit.clock_violations == 1
+
+    def test_negative_wait_is_recorded(self):
+        context, audit, port = self._audited_port()
+        packet = self._packet()
+        for listener in port.on_enqueue:
+            listener(packet, 1.0)
+        for listener in port.on_depart:
+            listener(packet, 2.0, -0.25)
+        assert audit.negative_wait_violations == 1
+
+    def test_violations_fail_the_post_run_checks(self):
+        context, audit, port = self._audited_port()
+        ghost = self._packet()
+        for listener in port.on_depart:
+            listener(ghost, 1.0, 0.5)
+        context.run()
+        checks = context.collect().invariants
+        fifo = [c for c in checks if c.name == "flow-fifo"][0]
+        assert not fifo.ok
+        with pytest.raises(InvariantViolation, match="flow-fifo"):
+            assert_clean(checks)
+
+    def test_detail_capped_but_counts_exact(self):
+        context, audit, port = self._audited_port()
+        for i in range(100):
+            for listener in port.on_depart:
+                listener(self._packet(), 1.0, 0.0)
+        assert audit.fifo_violations == 100
+        assert len(audit.violations) <= 25
+
+
+class TestResultPlumbing:
+    def test_invariants_travel_in_to_dict_and_pickle(self):
+        result = ScenarioRunner(single_link_spec(DisciplineSpec.fifo())).run()
+        run = result.runs[0]
+        payload = json.loads(json.dumps(run.to_dict()))
+        assert [c["name"] for c in payload["invariants"]] == [
+            c.name for c in run.invariants
+        ]
+        clone = pickle.loads(pickle.dumps(run))
+        assert clone.invariants == run.invariants
+
+    def test_unvalidated_payload_has_no_invariants_key(self):
+        """Goldens of unvalidated runs stay byte-identical."""
+        result = ScenarioRunner(
+            single_link_spec(DisciplineSpec.fifo(), validate=False)
+        ).run()
+        run = result.runs[0]
+        assert "invariants" not in run.to_dict()
+        with pytest.raises(ValueError, match="not validated"):
+            run.invariants_clean
+
+    def test_invariant_check_round_trips(self):
+        check = InvariantCheck(
+            name="port-conservation", ok=False, checked=4, violations=2,
+            detail="x",
+        )
+        assert InvariantCheck.from_dict(check.to_dict()) == check
+
+    def test_spec_validate_flag_round_trips(self):
+        spec = single_link_spec(DisciplineSpec.fifo())
+        assert spec.validate is True
+        clone = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert clone == spec
+        assert clone.validate is True
