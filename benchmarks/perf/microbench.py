@@ -144,6 +144,54 @@ def bench_scheduler_packets(
     return out
 
 
+def bench_control_seam(
+    duration: float = SCHED_DURATION_SECONDS, num_flows: int = SCHED_NUM_FLOWS
+) -> Dict[str, float]:
+    """Cost of the control-plane seam on a run where nothing ever fails.
+
+    Times the Table-1 FIFO workload twice: once plain, once with an
+    inert ``OutageSpec`` attached (one explicit outage scheduled far
+    past the horizon, so the controller is built, every flow is
+    tracked, and the timer is armed — but no event ever fires).  The
+    tracked ``overhead_ratio`` is with/without wall clock; the seam's
+    contract is that it stays ~1.0.
+    """
+    import dataclasses
+
+    import repro.control  # noqa: F401  (one-time import cost off the clock)
+    from repro.scenario import OutageEvent, OutageSpec
+
+    def build(outages):
+        spec = (
+            ScenarioBuilder("perf-control-seam")
+            .single_link()
+            .paper_flows(num_flows)
+            .disciplines(DisciplineSpec.fifo())
+            .duration(duration)
+            .warmup(0.0)
+            .seed(1)
+            .build()
+        )
+        return dataclasses.replace(spec, outages=outages)
+
+    inert = OutageSpec(
+        events=(OutageEvent(link="A->B", at=duration * 100.0, duration=1.0),)
+    )
+    specs = (("without", build(None)), ("with", build(inert)))
+    walls = {key: [] for key, _ in specs}
+    # Interleave best-of-3 so drift in machine load hits both arms alike.
+    for _ in range(3):
+        for key, spec in specs:
+            started = time.perf_counter()
+            ScenarioRunner(spec).run()
+            walls[key].append(time.perf_counter() - started)
+    out: Dict[str, float] = {"duration": duration}
+    for key, _ in specs:
+        out[f"{key}_wall_seconds"] = min(walls[key])
+    out["overhead_ratio"] = out["with_wall_seconds"] / out["without_wall_seconds"]
+    return out
+
+
 def bench_table1(duration: float = TABLE_DURATION_SECONDS) -> Dict[str, float]:
     """Wall clock of a shortened Table-1 experiment (two full simulations)."""
     started = time.perf_counter()
@@ -175,6 +223,9 @@ def run_all(scale: float = 1.0) -> Dict[str, object]:
             ops=max(int(TIMER_CHURN_OPS * scale), 1000)
         ),
         "scheduler_packets": bench_scheduler_packets(
+            duration=max(SCHED_DURATION_SECONDS * scale, 0.5)
+        ),
+        "control_seam": bench_control_seam(
             duration=max(SCHED_DURATION_SECONDS * scale, 0.5)
         ),
         "table1": bench_table1(

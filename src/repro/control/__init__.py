@@ -1,0 +1,33 @@
+"""Control plane: link-state view, failures, rerouting, re-establishment.
+
+CSZ'92 scopes routing out ("we assume the route is fixed"); this package
+is the repo's dynamic-network extension on top of the static data plane:
+a central :class:`LinkStateController` consumes link up/down events from
+a seeded :class:`OutageProcess`, recomputes routes with Dijkstra SPF
+(:mod:`repro.control.spf`), swaps fresh forwarding tables into the
+network, and re-establishes admission-controlled flows on their new
+paths — with every packet caught on a dead wire ledgered so the
+:mod:`repro.validate` conservation invariants close across failovers.
+
+Scenario-level entry points: put an
+:class:`~repro.scenario.spec.OutageSpec` on a ``ScenarioSpec`` (or use
+the ``gen:outage`` generator family); the runner wires this package up
+and attaches a :class:`ControlPlaneStats` summary to the run result.
+"""
+
+from repro.control.controller import (
+    ControlPlaneStats,
+    FlowRerouteStats,
+    LinkStateController,
+)
+from repro.control.outages import OutageProcess
+from repro.control.spf import SpfRouting, spf_from_network
+
+__all__ = [
+    "ControlPlaneStats",
+    "FlowRerouteStats",
+    "LinkStateController",
+    "OutageProcess",
+    "SpfRouting",
+    "spf_from_network",
+]

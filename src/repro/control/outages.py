@@ -1,0 +1,141 @@
+"""The seeded outage process: scheduled link failures and repairs.
+
+:class:`OutageProcess` turns an outage specification into simulator
+events driving a :class:`~repro.control.controller.LinkStateController`.
+Two sources compose:
+
+* **Explicit events** — ``(link, at, duration)`` tuples, for
+  deterministic experiments (the failover flagship pins one mid-run
+  failure this way).
+* **A sampled process** — outages arrive Poisson at ``rate_per_second``
+  after ``start_after``; each takes down ``correlated_links`` currently-
+  up candidate links at once (correlated multi-link failure) and repairs
+  them together after an exponential ``mean_duration_seconds`` holding
+  time.  All draws come from the single RNG handed in — the scenario
+  layer passes a dedicated named stream, so the outage schedule is
+  identical across paired discipline runs.
+
+Every timer goes through ``schedule_handle`` so :meth:`OutageProcess.stop`
+can cancel cleanly, and a failure scheduled for a link that is already
+down (overlapping windows) merges into the earlier outage: the
+controller's ``fail_link``/``restore_link`` are idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.control.controller import LinkStateController
+    from repro.sim.engine import Simulator
+    from repro.sim.events import EventHandle
+    from repro.sim.randomness import StreamRandom
+
+
+class OutageProcess:
+    """Schedules link up/down events against a controller.
+
+    Args:
+        sim: the simulator.
+        controller: receives ``fail_link`` / ``restore_link`` calls.
+        spec: an outage specification
+            (:class:`repro.scenario.spec.OutageSpec` or anything with its
+            fields).
+        rng: seeded random stream for the sampled process (may be None
+            when the spec is explicit-events-only).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        controller: "LinkStateController",
+        spec,
+        rng: Optional["StreamRandom"] = None,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.spec = spec
+        self.rng = rng
+        self.outages_fired = 0
+        self._stopped = False
+        self._handles: List["EventHandle"] = []
+        # Candidate links for the sampled process, in deterministic order.
+        if spec.links is not None:
+            self._candidates: Tuple[str, ...] = tuple(spec.links)
+        else:
+            self._candidates = tuple(sorted(controller.link_state))
+        for event in spec.events:
+            self._arm_at(event.at, self._explicit_fail(event))
+        if spec.rate_per_second > 0:
+            if rng is None:
+                raise ValueError(
+                    "a seeded rng is required for a sampled outage process"
+                )
+            self._arm_at(
+                spec.start_after + rng.exponential(1.0 / spec.rate_per_second),
+                self._on_outage_due,
+            )
+
+    # ------------------------------------------------------------------
+    def _arm_at(self, time: float, action) -> None:
+        self._handles.append(self.sim.schedule_handle_at(time, action))
+
+    def _explicit_fail(self, event):
+        def fire() -> None:
+            self.outages_fired += 1
+            self.controller.fail_link(event.link)
+            self._arm_at(
+                event.at + event.duration,
+                lambda: self.controller.restore_link(event.link),
+            )
+
+        return fire
+
+    # ------------------------------------------------------------------
+    def _on_outage_due(self) -> None:
+        spec = self.spec
+        rng = self.rng
+        up = [
+            name
+            for name in self._candidates
+            if self.controller.link_state.get(name, False)
+        ]
+        count = min(spec.correlated_links, len(up))
+        if count:
+            victims = rng.sample(up, count)
+            self.outages_fired += 1
+            for name in victims:
+                self.controller.fail_link(name)
+            duration = rng.exponential(spec.mean_duration_seconds)
+            self._arm_at(
+                self.sim.now + duration, self._restorer(tuple(victims))
+            )
+        if (
+            spec.max_outages is not None
+            and self.outages_fired >= spec.max_outages
+        ):
+            return
+        gap = rng.exponential(1.0 / spec.rate_per_second)
+        self._arm_at(self.sim.now + gap, self._on_outage_due)
+
+    def _restorer(self, names: Tuple[str, ...]):
+        def fire() -> None:
+            for name in names:
+                self.controller.restore_link(name)
+
+        return fire
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Cancel every pending outage/repair timer."""
+        self._stopped = True
+        for handle in self._handles:
+            if handle.active:
+                handle.cancel()
+        self._handles.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<OutageProcess fired={self.outages_fired} "
+            f"pending={sum(1 for h in self._handles if h.active)}>"
+        )

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments table3 [--duration 600] [--seed 1]
     python -m repro.experiments dynamics [--duration 600] [--seed 1]
     python -m repro.experiments parkinglot [--duration 600] [--seed 1]
+    python -m repro.experiments failover [--duration 600] [--seed 1]
     python -m repro.experiments all [--duration 600] [--seed 1]
 
     python -m repro.experiments --spec scenario.json     # serialized spec
@@ -40,7 +41,8 @@ finished run; ``--json`` then writes the full ``SweepOutcome`` payload
 (statuses included).
 
 ``gen:`` scenario names (``gen:random-graph``, ``gen:scale-free``,
-``gen:wan-path``, ``gen:access-core``, ``gen:wan-guaranteed``) resolve
+``gen:wan-path``, ``gen:access-core``, ``gen:wan-guaranteed``,
+``gen:outage``) resolve
 through :mod:`repro.scenario.generators`: ``--gen-seed`` selects the
 sampled topology/population, and the generated spec runs with the
 :mod:`repro.validate` invariant checks on.  ``--validate`` opts *any*
@@ -60,6 +62,7 @@ from repro.experiments import (
     common,
     distributions,
     dynamics,
+    failover,
     generated,
     parkinglot,
     table1,
@@ -78,6 +81,7 @@ EXPERIMENTS = (
     "distributions",
     "parkinglot",
     "generated",
+    "failover",
 )
 
 
@@ -428,6 +432,13 @@ def main(argv: list[str] | None = None) -> int:
                 result = dynamics.run(phase_seconds=duration / 3.0, seed=seed)
                 print(result.render())
                 payloads[name] = result.to_dict()
+            elif name == "failover":
+                result = failover.run(duration=duration, seed=seed)
+                print(result.render())
+                payloads[name] = result.to_dict()
+                if not all(row.invariants_clean for row in result.rows):
+                    print("error: invariant violations detected", file=sys.stderr)
+                    exit_code = 1
             print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")
 
     if args.json_path:

@@ -7,11 +7,20 @@ experiments send all traffic one way down the chain).
 
 Utilization accounting lives here: the paper quotes per-link utilization
 (83.5 %, >99 %), which is busy-time divided by elapsed time.
+
+Links can also *fail* (:meth:`Link.fail` / :meth:`Link.restore`, driven by
+the :mod:`repro.control` plane).  A failure kills whatever is on the wire
+— the packet mid-transmission and any packets still propagating — and
+books each kill into a per-flow ``failure_drops`` ledger so the
+conservation invariants close across outages instead of reporting
+vanished packets.  Wire events are scheduled through the simulator's
+uncancellable fast path, so kills are detected lazily via an epoch
+counter rather than by cancelling events.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.net.packet import Packet
@@ -65,6 +74,21 @@ class Link:
         self.propagation_delay = float(propagation_delay)
         self.receiver: Optional["Node"] = None
         self.busy = False
+        # Link-state: a down link accepts no transmissions.  While down,
+        # ``busy`` is held True so the owning port's existing idle checks
+        # keep packets queued with zero extra hot-path cost; ``up`` is the
+        # semantic truth.  ``_epoch`` bumps on every failure; in-flight
+        # completion/delivery events compare their birth epoch against it
+        # to detect that the wire died under them (fast-path events cannot
+        # be cancelled).
+        self.up = True
+        self._epoch = 0
+        self._complete_at = -1.0
+        # Per-flow ledger of packets killed on this wire by link failures,
+        # plus the total.  Read by the control plane's stats and by the
+        # reroute-aware conservation invariant.
+        self.failure_drops: Dict[str, int] = {}
+        self.packets_failed = 0
         self._busy_tracker = TimeWeightedValue(start_time=sim.now, initial=0.0)
         self.loss_probability = float(loss_probability)
         self._loss_rng = loss_rng
@@ -101,16 +125,25 @@ class Link:
         propagation delay, and ``on_idle`` fires so the port can send more.
         """
         if self.busy:
+            if not self.up:
+                raise RuntimeError(f"link {self.name} is down")
             raise RuntimeError(f"link {self.name} is busy")
         if self.receiver is None:
             raise RuntimeError(f"link {self.name} is not connected")
         self.busy = True
         self._busy_tracker.update(self.sim.now, 1.0)
         self._in_flight = packet
-        self._schedule(packet.size_bits / self.rate_bps, self._complete)
+        transmission = packet.size_bits / self.rate_bps
+        self._complete_at = self.sim.now + transmission
+        self._schedule(transmission, self._complete)
 
     def _complete(self) -> None:
         packet = self._in_flight
+        if packet is None or self.sim.now != self._complete_at:
+            # Stale completion: this transmission was killed by a link
+            # failure (fail() ledgered the packet; fast-path events
+            # cannot be cancelled, so the orphaned event no-ops here).
+            return
         self._in_flight = None
         self.busy = False
         self._busy_tracker.update(self.sim.now, 0.0)
@@ -129,9 +162,15 @@ class Link:
             return
         if self.propagation_delay > 0:
             self.in_transit += 1
+            epoch = self._epoch
 
             def deliver() -> None:
                 self.in_transit -= 1
+                if epoch != self._epoch:
+                    # The link failed while the packet was propagating:
+                    # it died on the wire and joins the failure ledger.
+                    self._ledger_failure(packet)
+                    return
                 self.packets_delivered += 1
                 receiver.receive(packet)
 
@@ -139,6 +178,47 @@ class Link:
         else:
             self.packets_delivered += 1
             receiver.receive(packet)
+        if self.on_idle is not None:
+            self.on_idle()
+
+    # ------------------------------------------------------------------
+    # Link-state (control plane)
+    # ------------------------------------------------------------------
+    def _ledger_failure(self, packet: Packet) -> None:
+        self.packets_failed += 1
+        drops = self.failure_drops
+        drops[packet.flow_id] = drops.get(packet.flow_id, 0) + 1
+
+    def fail(self) -> None:
+        """Take the link down, killing whatever is on the wire.
+
+        The packet mid-transmission (if any) is ledgered immediately;
+        packets still propagating are ledgered lazily when their delivery
+        events fire and notice the epoch bump.  While down, ``busy`` is
+        held True so ports keep packets queued without new idle-path
+        checks.  Idempotent.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self._epoch += 1
+        if self.busy:
+            packet = self._in_flight
+            self._in_flight = None
+            self._busy_tracker.update(self.sim.now, 0.0)
+            self._ledger_failure(packet)
+        self.busy = True
+
+    def restore(self) -> None:
+        """Bring the link back up and let the owning port send again.
+
+        Pre-failure wire events stay dead (the epoch is never rolled
+        back).  Idempotent.
+        """
+        if self.up:
+            return
+        self.up = True
+        self.busy = False
         if self.on_idle is not None:
             self.on_idle()
 
@@ -153,5 +233,5 @@ class Link:
         self.bits_sent = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "busy" if self.busy else "idle"
+        state = ("busy" if self.busy else "idle") if self.up else "down"
         return f"<Link {self.name} {self.rate_bps / 1e6:.2f}Mbps {state}>"

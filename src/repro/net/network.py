@@ -103,6 +103,17 @@ class Network:
         self.add_link(a, b, rate_bps, propagation_delay, buffer_packets)
         self.add_link(b, a, rate_bps, propagation_delay, buffer_packets)
 
+    def install_routing(self, routing) -> None:
+        """Swap in a fresh routing table, SDN-style.
+
+        Every switch's ``next_hop_fn`` reads ``self.routing`` through a
+        closure, so one assignment here re-routes the whole network — the
+        control plane (:mod:`repro.control`) installs recomputed SPF
+        tables through this seam after each link-state change.  The
+        object only needs ``next_hop(here, dest)`` and ``path(src, dst)``.
+        """
+        self.routing = routing
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

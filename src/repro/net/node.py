@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.port import OutputPort
+from repro.net.routing import RoutingError
 from repro.sched.base import Scheduler
 from repro.sim.engine import Simulator
 
@@ -105,6 +106,10 @@ class Switch(Node):
         # to the next-hop node name.
         self.next_hop_fn: Optional[Callable[[str], str]] = None
         self.packets_forwarded = 0
+        # Per-flow ledger of packets dropped here because no route to
+        # their destination existed (a link failure partitioned the
+        # network).  The reroute-aware conservation invariant reads it.
+        self.no_route_drops: Dict[str, int] = {}
 
     def attach_host(self, host: Host) -> None:
         self.attached_hosts[host.name] = host
@@ -143,7 +148,16 @@ class Switch(Node):
             return
         if self.next_hop_fn is None:
             raise RuntimeError(f"switch {self.name} has no routing function")
-        next_hop = self.next_hop_fn(destination)
+        try:
+            next_hop = self.next_hop_fn(destination)
+        except RoutingError:
+            # The destination is unreachable (a link failure partitioned
+            # the network): the packet is dropped here, ledgered so the
+            # conservation invariants close.  Zero-cost when no exception
+            # is raised, so static-route runs are unaffected.
+            drops = self.no_route_drops
+            drops[packet.flow_id] = drops.get(packet.flow_id, 0) + 1
+            return
         port = self.ports.get(next_hop)
         if port is None:
             raise RuntimeError(

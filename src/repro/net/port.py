@@ -134,6 +134,24 @@ class OutputPort:
     def _on_link_idle(self) -> None:
         self._send_next()
 
+    def flush_queue(self) -> int:
+        """Drop every queued packet (link-failure teardown accounting).
+
+        Called by the control plane when this port's link fails: queued
+        packets are already committed to the dead next hop, so they leave
+        through the drop ledger — ``packets_dropped`` plus the ``on_drop``
+        listeners — keeping the port's conservation books closed.
+
+        Returns:
+            The number of packets flushed.
+        """
+        now = self.sim.now
+        count = 0
+        for packet in self.scheduler.drain(now):
+            self._drop(packet, now)
+            count += 1
+        return count
+
     def kick(self) -> None:
         """Re-poll the scheduler if the link is free.
 

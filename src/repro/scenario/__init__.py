@@ -57,6 +57,8 @@ from repro.scenario.spec import (
     GuaranteedRequest,
     HostAttachment,
     LinkSpec,
+    OutageEvent,
+    OutageSpec,
     PredictedRequest,
     ScenarioSpec,
     TcpSpec,
@@ -85,6 +87,8 @@ __all__ = [
     "GuaranteedRequest",
     "HostAttachment",
     "LinkSpec",
+    "OutageEvent",
+    "OutageSpec",
     "PredictedRequest",
     "ScenarioBuilder",
     "ScenarioContext",

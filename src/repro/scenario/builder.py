@@ -24,6 +24,7 @@ from repro.scenario.spec import (
     AdmissionSpec,
     DisciplineSpec,
     FlowSpec,
+    OutageSpec,
     ScenarioSpec,
     TcpSpec,
     TopologySpec,
@@ -47,6 +48,7 @@ class ScenarioBuilder:
         self._percentiles: Optional[Tuple[float, ...]] = None
         self._link_accounting = False
         self._validate = False
+        self._outages: Optional[OutageSpec] = None
 
     # -- topology ------------------------------------------------------
     def topology(self, spec: TopologySpec) -> "ScenarioBuilder":
@@ -161,6 +163,12 @@ class ScenarioBuilder:
         self._validate = enabled
         return self
 
+    def outages(self, spec: OutageSpec) -> "ScenarioBuilder":
+        """Declare link failures, activating the :mod:`repro.control`
+        plane (link-state SPF rerouting + flow re-establishment)."""
+        self._outages = spec
+        return self
+
     # ------------------------------------------------------------------
     def build(self) -> ScenarioSpec:
         if self._topology is None:
@@ -186,5 +194,6 @@ class ScenarioBuilder:
             seed=self._seed,
             link_accounting=self._link_accounting,
             validate=self._validate,
+            outages=self._outages,
             **kwargs,
         )

@@ -39,6 +39,7 @@ default.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -50,6 +51,7 @@ from repro.scenario.spec import (
     GuaranteedRequest,
     HostAttachment,
     LinkSpec,
+    OutageSpec,
     ScenarioSpec,
     TopologySpec,
 )
@@ -316,6 +318,7 @@ def generate_flows(
     average_rate_pps: float = paper.AVERAGE_RATE_PPS,
     packet_size_bits: int = paper.PACKET_BITS,
     with_requests: bool = False,
+    packet_size_range: Optional[Tuple[int, int]] = None,
 ) -> Tuple[FlowSpec, ...]:
     """A mixed flow population sized to a target bottleneck utilization.
 
@@ -332,6 +335,12 @@ def generate_flows(
     capped so committed clock rates stay under ``GUARANTEED_QUOTA`` of
     every traversed link), ``predicted_high`` / ``predicted_low``
     (priority classes 0 / 1), ``datagram``.
+
+    ``packet_size_range`` makes the population heterogeneous: each flow
+    draws its own packet size (bits, uniform inclusive) and its offered
+    load and guaranteed peak rate scale with that size.  When ``None``
+    (the default) no extra draw is consumed, so existing generated
+    populations regenerate bit-identically.
 
     Raises:
         RoutingError: naming the generated flow, when a candidate pair
@@ -374,8 +383,6 @@ def generate_flows(
     rates = {link.name: link.rate_bps for link in topology.links}
     offered: Dict[str, float] = {name: 0.0 for name in rates}
     committed: Dict[str, float] = {name: 0.0 for name in rates}
-    flow_rate_bps = average_rate_pps * packet_size_bits
-    peak_rate_bps = 2.0 * flow_rate_bps
 
     def bottleneck() -> float:
         return max(offered[name] / rates[name] for name in offered)
@@ -385,6 +392,13 @@ def generate_flows(
     while len(flows) < max_flows and bottleneck() < target_utilization:
         (src, dst), route = order[position % len(order)]
         position += 1
+        size_bits = (
+            rng.randint(*packet_size_range)
+            if packet_size_range is not None
+            else packet_size_bits
+        )
+        flow_rate_bps = average_rate_pps * size_bits
+        peak_rate_bps = 2.0 * flow_rate_bps
         service = _pick_service(rng, mix)
         service_class = ServiceClass.DATAGRAM
         priority_class = 0
@@ -416,7 +430,7 @@ def generate_flows(
                 source_host=src,
                 dest_host=dst,
                 average_rate_pps=average_rate_pps,
-                packet_size_bits=packet_size_bits,
+                packet_size_bits=size_bits,
                 service_class=service_class,
                 priority_class=priority_class,
                 request=request,
@@ -681,6 +695,62 @@ def wan_guaranteed(
         seed,
         warmup,
         validate,
+    )
+
+
+@registry.register(GEN_PREFIX + "outage")
+def outage(
+    gen_seed: int = 1,
+    num_switches: int = 8,
+    edge_prob: float = 0.3,
+    target_utilization: float = 0.7,
+    outage_rate_per_second: float = 0.1,
+    mean_outage_seconds: float = 2.0,
+    correlated_links: int = 1,
+    packet_size_range: Tuple[int, int] = (500, 2_000),
+    duration: float = paper.PAPER_DURATION_SECONDS,
+    seed: int = 1,
+    warmup: float = paper.DEFAULT_WARMUP_SECONDS,
+    disciplines: Optional[Tuple[DisciplineSpec, ...]] = None,
+    validate: bool = True,
+) -> ScenarioSpec:
+    """A random repaired graph under a sampled link-outage process.
+
+    The ring repair guarantees strong connectivity, so most single-link
+    failures leave an alternate path for the control plane to reroute
+    onto; the heterogeneous packet-size population exercises
+    conservation under mixed sizes across those reroutes.  Outages start
+    after the warmup so statistics windows always contain failover
+    transients, and the outage schedule rides its own fixed-name random
+    stream — identical across the compared disciplines.
+    """
+    topology = random_graph_topology(
+        gen_seed, num_switches=num_switches, edge_prob=edge_prob
+    )
+    flows = generate_flows(
+        topology,
+        gen_seed,
+        target_utilization=target_utilization,
+        packet_size_range=packet_size_range,
+    )
+    base = _assemble(
+        f"outage-g{gen_seed}",
+        topology,
+        flows,
+        disciplines,
+        duration,
+        seed,
+        warmup,
+        validate,
+    )
+    return dataclasses.replace(
+        base,
+        outages=OutageSpec(
+            rate_per_second=outage_rate_per_second,
+            mean_duration_seconds=mean_outage_seconds,
+            correlated_links=correlated_links,
+            start_after=warmup,
+        ),
     )
 
 

@@ -52,6 +52,12 @@ from repro.transport.tcp import TcpConfig, TcpConnection
 
 SOURCE_STREAM_PREFIX = "source:"
 
+#: Named random stream feeding the sampled outage process.  Keyed by a
+#: fixed name (not per-discipline state), so paired discipline runs see
+#: the identical outage schedule — and adding it perturbs no source
+#: stream.
+OUTAGE_STREAM_NAME = "outage:process"
+
 
 # ----------------------------------------------------------------------
 # Structured results
@@ -129,7 +135,10 @@ class DisciplineRunResult:
     paths.  ``port_disciplines`` records the scheduler each port actually
     got after per-port overrides resolved.  ``invariants`` holds the
     :mod:`repro.validate` check results for validated runs
-    (``spec.validate``) and is ``None`` otherwise.
+    (``spec.validate``) and is ``None`` otherwise.  ``control`` likewise
+    carries a :class:`repro.control.ControlPlaneStats` summary —
+    outages processed, SPF recomputes, per-flow reroutes/re-admissions,
+    and the failure-drop ledgers — only when the spec declared outages.
     """
 
     discipline: str
@@ -145,6 +154,7 @@ class DisciplineRunResult:
     wall_seconds: float
     worker_pid: int
     invariants: Optional[Tuple[Any, ...]] = None  # InvariantCheck tuple
+    control: Optional[Any] = None  # ControlPlaneStats for outage runs
 
     @property
     def total_drops(self) -> int:
@@ -232,6 +242,10 @@ class DisciplineRunResult:
             # Only validated runs carry the key, so unvalidated payloads
             # (and the goldens pinning them) are byte-identical to before.
             data["invariants"] = [check.to_dict() for check in self.invariants]
+        if self.control is not None:
+            # Same only-when-present rule: outage-free payloads carry no
+            # control-plane key.
+            data["control"] = self.control.to_dict()
         return data
 
     def comparable_dict(self) -> Dict[str, Any]:
@@ -354,6 +368,30 @@ class ScenarioContext:
         self.receivers: Dict[str, Any] = {}
         self.tcps: Dict[str, TcpConnection] = {}
 
+        # The control plane exists only when the spec declares outages:
+        # otherwise no controller is constructed, no events are scheduled,
+        # and no random draws are consumed, so outage-free runs stay
+        # bit-identical to pre-control-plane ones.
+        self.controller = None
+        self.outage_process = None
+        if spec.outages is not None:
+            from repro.control import LinkStateController, OutageProcess
+
+            self.controller = LinkStateController(
+                self.net,
+                signaling=self.signaling,
+                on_rerouted=self._on_flow_rerouted,
+                on_torn_down=self._on_flow_torn_down,
+            )
+            outage_rng = (
+                self.streams.stream(OUTAGE_STREAM_NAME)
+                if spec.outages.rate_per_second > 0
+                else None
+            )
+            self.outage_process = OutageProcess(
+                self.sim, self.controller, spec.outages, outage_rng
+            )
+
         # Guaranteed reservations are installed before any traffic exists,
         # then predicted classes are assigned — Table 3's establishment
         # discipline.  Neither step schedules events or consumes random
@@ -390,6 +428,21 @@ class ScenarioContext:
                 self._attach_accounting(link_name)
 
         self._wall_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _on_flow_rerouted(self, name: str, grant: FlowGrant) -> None:
+        """Controller callback: a flow was re-admitted on a new path."""
+        self.grants[name] = grant
+
+    def _on_flow_torn_down(self, name: str) -> None:
+        """Controller callback: re-establishment was refused — stop the
+        source so the teardown is an *accounted* one (everything already
+        sent stays ledgered; nothing new enters).  The sink stays
+        registered so in-flight stragglers are still counted."""
+        source = self.sources.get(name)
+        if source is not None:
+            source.stop()
+        self.grants.pop(name, None)
 
     # ------------------------------------------------------------------
     def _check_route(self, name: str, src: str, dst: str) -> None:
@@ -495,6 +548,17 @@ class ScenarioContext:
             source_filter=bucket,
         )
         self.sources[flow.name] = source
+        if self.controller is not None:
+            self.controller.track_flow(
+                flow.name,
+                flow.source_host,
+                flow.dest_host,
+                core_spec=(
+                    self._core_spec(flow)
+                    if flow.request is not None and self.signaling is not None
+                    else None
+                ),
+            )
         if sink_factory is not None:
             receiver = sink_factory(self, flow)
             if receiver is None:
@@ -538,6 +602,8 @@ class ScenarioContext:
             self.net.hosts[source.destination].unregister_flow_handler(name)
         self.sinks.pop(name, None)
         self.receivers.pop(name, None)
+        if self.controller is not None:
+            self.controller.untrack_flow(name)
         if self.signaling is not None and name in self.grants:
             self.signaling.teardown(name)
             del self.grants[name]
@@ -626,6 +692,11 @@ class ScenarioContext:
             wall_seconds=self._wall_seconds or 0.0,
             worker_pid=os.getpid(),
             invariants=invariants,
+            control=(
+                self.controller.summary()
+                if self.controller is not None
+                else None
+            ),
         )
 
     def _flow_stats(self, name: str, sink: DelayRecordingSink) -> FlowStats:

@@ -620,6 +620,101 @@ class AdmissionSpec:
         return cls(**payload)
 
 
+@dataclasses.dataclass(frozen=True)
+class OutageEvent:
+    """One explicit link outage: down at ``at``, repaired ``duration``
+    seconds later.  Deterministic experiments (the failover flagship) pin
+    their failures with these instead of sampling."""
+
+    link: str
+    at: float
+    duration: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("outage time cannot be negative")
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OutageEvent":
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class OutageSpec:
+    """Link failures for a scenario — the control plane's input.
+
+    Presence of an ``OutageSpec`` on a :class:`ScenarioSpec` activates
+    the :mod:`repro.control` plane: a link-state controller with Dijkstra
+    SPF rerouting and signaling-based flow re-establishment, driven by
+    the events declared here.  Two composable sources:
+
+    Attributes:
+        events: explicit ``(link, at, duration)`` outages.
+        rate_per_second: Poisson arrival rate of sampled outages (0
+            disables sampling).  Draws come from a dedicated named random
+            stream, so the sampled schedule is identical across the
+            paired discipline runs.
+        mean_duration_seconds: mean of the exponential repair time.
+        correlated_links: links taken down together per sampled outage
+            (correlated multi-link failure).
+        links: candidate link names for sampling (None = all links).
+        start_after: earliest time a sampled outage may begin.
+        max_outages: cap on sampled outage events (None = unbounded).
+    """
+
+    events: Tuple[OutageEvent, ...] = ()
+    rate_per_second: float = 0.0
+    mean_duration_seconds: float = 0.5
+    correlated_links: int = 1
+    links: Optional[Tuple[str, ...]] = None
+    start_after: float = 0.0
+    max_outages: Optional[int] = None
+
+    def __post_init__(self):
+        if self.rate_per_second < 0:
+            raise ValueError("outage rate cannot be negative")
+        if self.mean_duration_seconds <= 0:
+            raise ValueError("mean outage duration must be positive")
+        if self.correlated_links < 1:
+            raise ValueError("correlated_links must be >= 1")
+        if self.start_after < 0:
+            raise ValueError("start_after cannot be negative")
+        if self.max_outages is not None and self.max_outages < 1:
+            raise ValueError("max_outages must be >= 1 when set")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "rate_per_second": self.rate_per_second,
+            "mean_duration_seconds": self.mean_duration_seconds,
+            "correlated_links": self.correlated_links,
+            "links": list(self.links) if self.links is not None else None,
+            "start_after": self.start_after,
+            "max_outages": self.max_outages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OutageSpec":
+        return cls(
+            events=tuple(
+                OutageEvent.from_dict(e) for e in data.get("events", ())
+            ),
+            rate_per_second=data.get("rate_per_second", 0.0),
+            mean_duration_seconds=data.get("mean_duration_seconds", 0.5),
+            correlated_links=data.get("correlated_links", 1),
+            links=(
+                tuple(data["links"]) if data.get("links") is not None else None
+            ),
+            start_after=data.get("start_after", 0.0),
+            max_outages=data.get("max_outages"),
+        )
+
+
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0, 99.9, 99.99)
 
 
@@ -646,6 +741,13 @@ class ScenarioSpec:
             monotonicity); results land on
             ``DisciplineRunResult.invariants``.  Off by default to keep
             the hot path lean; generated scenarios opt in.
+        outages: link failures for the run (:class:`OutageSpec`).  When
+            set, the runner activates the :mod:`repro.control` plane —
+            link-state tracking, SPF rerouting, and flow
+            re-establishment — and the result carries a per-flow
+            reroute/re-admission summary.  None (the default) leaves the
+            control plane entirely unwired, so static-route scenarios
+            stay bit-identical.
     """
 
     name: str
@@ -661,6 +763,7 @@ class ScenarioSpec:
     percentile_points: Tuple[float, ...] = DEFAULT_PERCENTILES
     link_accounting: bool = False
     validate: bool = False
+    outages: Optional[OutageSpec] = None
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -697,6 +800,31 @@ class ScenarioSpec:
                         f"tcp {tcp.name!r} references host {host!r} not in "
                         f"the topology"
                     )
+        if self.outages is not None:
+            link_names = set(self.topology.link_names)
+            for event in self.outages.events:
+                if event.link not in link_names:
+                    raise ValueError(
+                        f"outage event names unknown link {event.link!r}"
+                    )
+            if self.outages.links is not None:
+                unknown = [
+                    name
+                    for name in self.outages.links
+                    if name not in link_names
+                ]
+                if unknown:
+                    raise ValueError(
+                        f"outage candidates name unknown links: {unknown}"
+                    )
+            if self.admission is None and any(
+                flow.request is not None for flow in self.flows
+            ):
+                raise ValueError(
+                    "outage scenarios with service requests need admission "
+                    "control: re-establishment after a failover goes through "
+                    "signaling, which directly installed reservations cannot"
+                )
 
     # ------------------------------------------------------------------
     def flow(self, name: str) -> FlowSpec:
@@ -717,7 +845,7 @@ class ScenarioSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "topology": self.topology.to_dict(),
             "flows": [flow.to_dict() for flow in self.flows],
@@ -736,6 +864,11 @@ class ScenarioSpec:
             "link_accounting": self.link_accounting,
             "validate": self.validate,
         }
+        # Only-when-present so payloads of outage-free scenarios stay
+        # byte-identical to pre-control-plane goldens.
+        if self.outages is not None:
+            data["outages"] = self.outages.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -765,4 +898,9 @@ class ScenarioSpec:
             ),
             link_accounting=data.get("link_accounting", False),
             validate=data.get("validate", False),
+            outages=(
+                OutageSpec.from_dict(data["outages"])
+                if data.get("outages") is not None
+                else None
+            ),
         )

@@ -18,7 +18,7 @@ The contract:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional
 
 from repro.net.packet import Packet
 
@@ -89,6 +89,23 @@ class Scheduler(abc.ABC):
         raise GuaranteedServiceUnsupported(
             f"{type(self).__name__} has no per-flow bit-rate reservations"
         )
+
+    def drain(self, now: float) -> List[Packet]:
+        """Remove and return every queued packet (link-failure flush).
+
+        The control plane flushes a port's queue when its link dies; the
+        packets are being *dropped*, not served, so eligibility holds do
+        not apply.  Work-conserving schedulers drain through ``dequeue``
+        (their contract guarantees progress while non-empty); non-work-
+        conserving ones override this to bypass their holds.
+        """
+        out: List[Packet] = []
+        while len(self):
+            packet = self.dequeue(now)
+            if packet is None:  # defensive: never spin on a stuck queue
+                break
+            out.append(packet)
+        return out
 
     def select_push_out(self, incoming: Packet) -> Optional[Packet]:
         """When the buffer is full, nominate a queued packet to evict in

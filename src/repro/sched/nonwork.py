@@ -50,6 +50,12 @@ class _HeldPacketScheduler(Scheduler):
         self.sim = sim
         self._port = None
         self._timer: Optional[EventHandle] = None
+        # Packets served before their eligibility (frame credit exceeded,
+        # hold cut short).  Structurally impossible through the normal
+        # dequeue paths; the counter is the seam the eligibility-time
+        # invariant in :mod:`repro.validate` reads, so a future scheduler
+        # bug shows up as a failed invariant instead of silent jitter.
+        self.early_departures = 0
 
     # -- OutputPort protocol -------------------------------------------
     def attach_port(self, port) -> None:
@@ -113,6 +119,12 @@ class StopAndGoScheduler(_HeldPacketScheduler):
         heapq.heappop(self._heap)
         return packet
 
+    def drain(self, now: float) -> List[Packet]:
+        """Flush held packets in eligibility order, ignoring holds."""
+        out = [packet for __, __, packet in sorted(self._heap)]
+        self._heap.clear()
+        return out
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -152,6 +164,7 @@ class HrrScheduler(_HeldPacketScheduler):
         self.default_slots = default_slots
         self._queues: "OrderedDict[str, Deque[Packet]]" = OrderedDict()
         self._credits: Dict[str, int] = {}
+        self._frame_served: Dict[str, int] = {}
         self._frame_index = -1
         self._size = 0
         self.refused = 0
@@ -192,6 +205,7 @@ class HrrScheduler(_HeldPacketScheduler):
         if frame != self._frame_index:
             self._frame_index = frame
             self._credits = dict(self._slots)
+            self._frame_served = {}
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         if packet.flow_id not in self._slots:
@@ -214,12 +228,26 @@ class HrrScheduler(_HeldPacketScheduler):
         for flow_id, queue in self._queues.items():
             if queue and self._credits.get(flow_id, 0) > 0:
                 self._credits[flow_id] -= 1
+                served = self._frame_served.get(flow_id, 0) + 1
+                self._frame_served[flow_id] = served
+                if served > self._slots.get(flow_id, 0):
+                    self.early_departures += 1
                 self._size -= 1
                 return queue.popleft()
         # Backlogged but out of credit: wait for the next frame.
         next_frame_at = (self._frame_index + 1) * self.frame_seconds
         self._arm_wakeup(next_frame_at)
         return None
+
+    def drain(self, now: float) -> List[Packet]:
+        """Flush every per-flow queue in round-robin registration order,
+        ignoring frame credits."""
+        out: List[Packet] = []
+        for queue in self._queues.values():
+            while queue:
+                out.append(queue.popleft())
+        self._size = 0
+        return out
 
     def __len__(self) -> int:
         return self._size
@@ -256,8 +284,10 @@ class JitterEddScheduler(_HeldPacketScheduler):
         self.default_target = default_target
         # Held until eligible: (eligible_time, seq, deadline, packet).
         self._held: List[Tuple[float, int, float, Packet]] = []
-        # Eligible, in deadline order: (deadline, seq, packet).
-        self._ready: List[Tuple[float, int, Packet]] = []
+        # Eligible, in deadline order: (deadline, seq, eligible, packet).
+        # The eligibility time rides along (seq is unique, so it never
+        # participates in heap ordering) for the early-departure check.
+        self._ready: List[Tuple[float, int, float, Packet]] = []
         self._seq = 0
         self.refused = 0
 
@@ -275,7 +305,7 @@ class JitterEddScheduler(_HeldPacketScheduler):
         eligible = now + hold
         deadline = eligible + target
         if hold <= _ELIGIBILITY_EPS:
-            heapq.heappush(self._ready, (deadline, self._seq, packet))
+            heapq.heappush(self._ready, (deadline, self._seq, eligible, packet))
         else:
             heapq.heappush(self._held, (eligible, self._seq, deadline, packet))
         self._seq += 1
@@ -283,19 +313,30 @@ class JitterEddScheduler(_HeldPacketScheduler):
 
     def _mature(self, now: float) -> None:
         while self._held and self._held[0][0] <= now + _ELIGIBILITY_EPS:
-            __, seq, deadline, packet = heapq.heappop(self._held)
-            heapq.heappush(self._ready, (deadline, seq, packet))
+            eligible, seq, deadline, packet = heapq.heappop(self._held)
+            heapq.heappush(self._ready, (deadline, seq, eligible, packet))
 
     def dequeue(self, now: float) -> Optional[Packet]:
         self._mature(now)
         if self._ready:
-            deadline, __, packet = heapq.heappop(self._ready)
+            deadline, __, eligible, packet = heapq.heappop(self._ready)
+            if eligible > now + _ELIGIBILITY_EPS:
+                self.early_departures += 1
             # Stamp the ahead-of-deadline time for the next hop's hold.
             packet.jitter_offset = max(0.0, deadline - now)
             return packet
         if self._held:
             self._arm_wakeup(self._held[0][0])
         return None
+
+    def drain(self, now: float) -> List[Packet]:
+        """Flush ready packets (deadline order) then held ones
+        (eligibility order), ignoring holds."""
+        out = [entry[3] for entry in sorted(self._ready)]
+        out.extend(entry[3] for entry in sorted(self._held))
+        self._ready.clear()
+        self._held.clear()
+        return out
 
     def __len__(self) -> int:
         return len(self._held) + len(self._ready)

@@ -100,6 +100,13 @@ class SimulationAudit:
         self.clock_violations = 0
         self.buffer_violations = 0
         self.negative_wait_violations = 0
+        # Route-liveness: packets enqueued to, or departing onto, a link
+        # that is down (the control plane must never forward onto a dead
+        # wire).  Eligibility: packets departing a Stop-and-Go port
+        # before the frame eligibility recomputed from their arrival time
+        # (non-work-conserving holds must never be cut short).
+        self.liveness_violations = 0
+        self.eligibility_violations = 0
         self.events_observed = 0
         self._last_now = sim.now
         for name, port in net.ports.items():
@@ -126,6 +133,10 @@ class SimulationAudit:
     def _attach(self, name: str, port: "OutputPort") -> None:
         audit = PortAudit(port)
         self.ports[name] = audit
+        link = port.link
+        # Stop-and-Go publishes a pure arrival→eligibility function; when
+        # present, recompute the hold independently on every departure.
+        eligible_time = getattr(port.scheduler, "eligible_time", None)
 
         def on_enqueue(packet: Packet, now: float) -> None:
             self._observe_clock(now, name)
@@ -149,6 +160,24 @@ class SimulationAudit:
             flow = packet.flow_id
             audit.events += 1
             audit.departed[flow] = audit.departed.get(flow, 0) + 1
+            if not link.up:
+                self.liveness_violations += 1
+                self._record(
+                    "route-liveness",
+                    f"{name} forwarded {flow} #{packet.packet_id} onto a "
+                    "down link",
+                )
+            if (
+                eligible_time is not None
+                and now + 1e-12 < eligible_time(packet.enqueued_at)
+            ):
+                self.eligibility_violations += 1
+                self._record(
+                    "eligibility",
+                    f"{name} served {flow} #{packet.packet_id} at {now} "
+                    f"before eligibility "
+                    f"{eligible_time(packet.enqueued_at)}",
+                )
             if wait < 0:
                 self.negative_wait_violations += 1
                 self._record(

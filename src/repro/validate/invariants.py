@@ -28,6 +28,20 @@ The invariants:
 * ``queue-bounds`` — queue occupancy never exceeds the port buffer and
   no packet is served with a negative wait.
 * ``clock-monotonic`` — observed event times never run backwards.
+* ``route-liveness`` — no packet ever departs a port onto a link that is
+  down (the control plane must reconverge before traffic flows again).
+* ``eligibility-time`` — non-work-conserving disciplines never release a
+  packet before its eligibility: the audit independently recomputes
+  Stop-and-Go frame eligibility per departure, and every held-packet
+  scheduler self-reports early departures through its
+  ``early_departures`` counter.
+
+When the control plane is active (``context.controller`` set) flow paths
+change mid-run, so ``flow-conservation`` switches from the static
+hop-by-hop walk to a global per-flow ledger: emissions equal deliveries
+plus drops anywhere (arrival, push-out, wire-killed on failed links,
+no-route at switches) plus packets still queued, within the slack of
+packets physically on some wire.
 """
 
 from __future__ import annotations
@@ -153,7 +167,81 @@ def _wire_capacity(link) -> int:
     return (1 if link.busy else 0) + link.in_transit
 
 
+def _check_flow_conservation_rerouted(
+    context: "ScenarioContext",
+) -> InvariantCheck:
+    """The reroute-aware per-flow ledger (control plane active).
+
+    A flow's path is no longer a constant, so instead of matching hop
+    departures to next-hop arrivals we close a global balance per flow:
+
+        sent = delivered + dropped(any port) + pending(any port)
+               + wire-killed(any link) + no-route(any switch) + on-wire
+
+    where the on-wire remainder is bounded by the total number of
+    packets a wire may legitimately hold right now, summed over all
+    links (it is not per-flow attributable without per-packet wire
+    tracking, which the observation-only tap does not do).
+    """
+    audit = context.audit
+    net = context.net
+    problems: List[str] = []
+    checked = 0
+    slack = sum(_wire_capacity(link) for link in net.links.values())
+    wire_killed: Dict[str, int] = {}
+    for link in net.links.values():
+        for flow_id, count in link.failure_drops.items():
+            wire_killed[flow_id] = wire_killed.get(flow_id, 0) + count
+    no_route: Dict[str, int] = {}
+    for switch in net.switches.values():
+        for flow_id, count in switch.no_route_drops.items():
+            no_route[flow_id] = no_route.get(flow_id, 0) + count
+    for flow in context.spec.flows:
+        source = context.sources.get(flow.name)
+        if source is None:
+            continue
+        if flow.name in context.sinks:
+            delivered = context.sinks[flow.name].received
+        elif flow.name in audit.delivered:
+            delivered = audit.delivered[flow.name]
+        else:  # custom receiver installed by the caller; cannot count
+            continue
+        checked += 1
+        name = flow.name
+        dropped = 0
+        pending = 0
+        for port_audit in audit.ports.values():
+            dropped += port_audit.arrival_dropped.get(name, 0)
+            dropped += port_audit.victim_dropped.get(name, 0)
+            pending += port_audit.queued(name)
+        balance = (
+            source.sent
+            - delivered
+            - dropped
+            - pending
+            - wire_killed.get(name, 0)
+            - no_route.get(name, 0)
+        )
+        if not 0 <= balance <= slack:
+            problems.append(
+                f"{name}: sent={source.sent} minus delivered={delivered}"
+                f"+dropped={dropped}+pending={pending}"
+                f"+wire_killed={wire_killed.get(name, 0)}"
+                f"+no_route={no_route.get(name, 0)} leaves {balance}, "
+                f"wires hold at most {slack}"
+            )
+    return InvariantCheck(
+        name="flow-conservation",
+        ok=not problems,
+        checked=checked,
+        violations=len(problems),
+        detail=_detail(problems),
+    )
+
+
 def _check_flow_conservation(context: "ScenarioContext") -> InvariantCheck:
+    if getattr(context, "controller", None) is not None:
+        return _check_flow_conservation_rerouted(context)
     audit = context.audit
     net = context.net
     problems: List[str] = []
@@ -305,6 +393,38 @@ def _check_queue_bounds(audit: "SimulationAudit") -> InvariantCheck:
     )
 
 
+def _check_route_liveness(audit: "SimulationAudit") -> InvariantCheck:
+    problems = [v for v in audit.violations if v.startswith("route-liveness")]
+    return InvariantCheck(
+        name="route-liveness",
+        ok=audit.liveness_violations == 0,
+        checked=audit.events_observed,
+        violations=audit.liveness_violations,
+        detail=_detail(problems),
+    )
+
+
+def _check_eligibility(context: "ScenarioContext") -> InvariantCheck:
+    audit = context.audit
+    checked = 0
+    violations = audit.eligibility_violations
+    for port_audit in audit.ports.values():
+        early = getattr(port_audit.port.scheduler, "early_departures", None)
+        if early is None:
+            continue  # work-conserving port: nothing is ever held
+        checked += 1
+        violations += early
+    problems = [v for v in audit.violations if v.startswith("eligibility")]
+    return InvariantCheck(
+        name="eligibility-time",
+        ok=violations == 0,
+        checked=checked,
+        violations=violations,
+        detail=_detail(problems)
+        or ("" if checked else "no non-work-conserving ports"),
+    )
+
+
 def _check_clock(audit: "SimulationAudit") -> InvariantCheck:
     problems = [v for v in audit.violations if v.startswith("clock")]
     return InvariantCheck(
@@ -334,4 +454,6 @@ def check_invariants(context: "ScenarioContext") -> Tuple[InvariantCheck, ...]:
         _check_delay_bounds(context),
         _check_queue_bounds(audit),
         _check_clock(audit),
+        _check_route_liveness(audit),
+        _check_eligibility(context),
     )

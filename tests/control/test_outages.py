@@ -1,0 +1,150 @@
+"""OutageProcess: explicit schedules, the sampled process, determinism."""
+
+import pytest
+
+from repro.control import LinkStateController, OutageProcess
+from repro.net.network import Network
+from repro.scenario.spec import OutageEvent, OutageSpec
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+def ring_network(num_switches=5):
+    """A duplex ring: every single-link failure leaves an alternate path."""
+    sim = Simulator()
+    net = Network(sim, lambda name, link: FifoScheduler())
+    names = [f"S-{i}" for i in range(num_switches)]
+    for name in names:
+        net.add_switch(name)
+    for here, there in zip(names, names[1:] + names[:1]):
+        net.add_duplex_link(here, there)
+    net.add_host("h-0", names[0])
+    net.add_host("h-1", names[num_switches // 2])
+    return sim, net
+
+
+def outage_rng(seed=1):
+    return RandomStreams(seed).stream("outage:process")
+
+
+class TestExplicitEvents:
+    def test_fail_and_repair_fire_on_schedule(self):
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        spec = OutageSpec(
+            events=(OutageEvent(link="S-0->S-1", at=1.0, duration=2.0),)
+        )
+        process = OutageProcess(sim, controller, spec)
+        sim.run(until=1.5)
+        assert controller.link_state["S-0->S-1"] is False
+        assert not net.links["S-0->S-1"].up
+        sim.run(until=3.5)
+        assert controller.link_state["S-0->S-1"] is True
+        assert net.links["S-0->S-1"].up
+        assert process.outages_fired == 1
+        assert (controller.outages, controller.restores) == (1, 1)
+
+    def test_overlapping_windows_merge(self):
+        """A second failure of an already-down link merges into the first
+        outage; the earlier repair wins and the later one no-ops."""
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        spec = OutageSpec(
+            events=(
+                OutageEvent(link="S-0->S-1", at=1.0, duration=2.0),
+                OutageEvent(link="S-0->S-1", at=2.0, duration=5.0),
+            )
+        )
+        OutageProcess(sim, controller, spec)
+        sim.run_until_idle()
+        assert controller.outages == 1
+        assert controller.restores == 1
+        assert controller.link_state["S-0->S-1"] is True
+
+
+class TestSampledProcess:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            rate_per_second=0.5, mean_duration_seconds=0.5, start_after=0.0
+        )
+        defaults.update(kwargs)
+        return OutageSpec(**defaults)
+
+    def test_requires_rng(self):
+        sim, net = ring_network()
+        with pytest.raises(ValueError, match="rng"):
+            OutageProcess(sim, LinkStateController(net), self._spec())
+
+    def test_same_seed_same_schedule(self):
+        histories = []
+        for _ in range(2):
+            sim, net = ring_network()
+            controller = LinkStateController(net)
+            events = []
+            original = controller.fail_link
+
+            def spy(name, _orig=original, _events=events, _sim=sim):
+                _events.append((_sim.now, name))
+                _orig(name)
+
+            controller.fail_link = spy
+            OutageProcess(sim, controller, self._spec(), outage_rng(seed=9))
+            sim.run(until=60.0)
+            histories.append(events)
+        assert histories[0] == histories[1]
+        assert len(histories[0]) > 3
+
+    def test_different_seed_different_schedule(self):
+        schedules = []
+        for seed in (1, 2):
+            sim, net = ring_network()
+            controller = LinkStateController(net)
+            process = OutageProcess(
+                sim, controller, self._spec(), outage_rng(seed=seed)
+            )
+            sim.run(until=60.0)
+            schedules.append((process.outages_fired, controller.outages))
+        assert schedules[0] != schedules[1]
+
+    def test_correlated_links_fail_together(self):
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        spec = self._spec(correlated_links=3, max_outages=1)
+        OutageProcess(sim, controller, spec, outage_rng())
+        sim.run(until=120.0)
+        assert controller.outages == 3  # one sampled event, three links
+        assert controller.restores == 3  # repaired together
+
+    def test_max_outages_stops_the_process(self):
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        process = OutageProcess(
+            sim, controller, self._spec(max_outages=2), outage_rng()
+        )
+        sim.run(until=600.0)
+        assert process.outages_fired == 2
+        assert controller.outages == 2
+
+    def test_candidates_restrict_the_victim_pool(self):
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        spec = self._spec(links=("S-0->S-1",), max_outages=4)
+        OutageProcess(sim, controller, spec, outage_rng())
+        sim.run(until=600.0)
+        assert controller.outages >= 1
+        # Only the named candidate ever failed.
+        for name, link in net.links.items():
+            if name != "S-0->S-1":
+                assert link.up
+
+    def test_stop_cancels_pending_timers(self):
+        sim, net = ring_network()
+        controller = LinkStateController(net)
+        process = OutageProcess(
+            sim, controller, self._spec(), outage_rng()
+        )
+        process.stop()
+        sim.run(until=600.0)
+        assert process.outages_fired == 0
+        assert controller.outages == 0

@@ -1,0 +1,103 @@
+"""Failover flagship: pinned regression + the control-plane story.
+
+The golden under ``data/`` was captured from this experiment at seed 2 /
+40 s (a seed whose failure instant catches a packet mid-wire, so the
+ledgered wire kill is part of the pinned payload).  Exact equality pins
+the whole stack: the outage schedule, the in-flight kill, SPF
+reconvergence, re-admission through signaling, and the phase-bucketed
+delay accounting.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import failover
+from repro.scenario import ScenarioSpec
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return failover.run(duration=40.0, seed=2, warmup=2.0)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(DATA / "golden_failover_seed2.json") as handle:
+        return json.load(handle)
+
+
+class TestPinnedRegression:
+    def test_payload_bit_identical(self, result, golden):
+        assert result.to_dict() == golden
+
+
+class TestControlPlaneStory:
+    def test_invariants_clean_through_the_failover(self, result):
+        """Conservation and route-liveness hold across both reroutes."""
+        for row in result.rows:
+            assert row.invariants_clean
+        for run in result.scenario.runs:
+            assert all(check.ok for check in run.invariants)
+
+    def test_wire_kill_is_ledgered_not_lost(self, result):
+        """The packet mid-flight at the failure instant is accounted as a
+        failure drop — conservation closes (previous test) *with* it."""
+        for row in result.rows:
+            assert row.wire_killed == 1
+
+    def test_outage_schedule_is_paired_across_disciplines(self, result):
+        fifo, csz = result.rows
+        assert fifo.phase_packets == csz.phase_packets
+        assert fifo.delivered == csz.delivered
+        assert fifo.wire_killed == csz.wire_killed
+        assert fifo.reroutes == csz.reroutes
+
+    def test_every_flow_reroutes_out_and_back(self, result):
+        """7 flows x 2 route changes (failover + restore)."""
+        for row in result.rows:
+            assert row.reroutes == 14
+        for run in result.scenario.runs:
+            assert not any(flow.torn_down for flow in run.control.flows)
+
+    def test_predicted_flows_readmitted_on_both_transitions(self, result):
+        for row in result.rows:
+            assert row.readmissions == 2 * len(failover.PREDICTED_FLOWS)
+
+    def test_csz_keeps_jitter_below_fifo_in_every_phase(self, result):
+        """The paper's predicted-service claim survives the failover."""
+        fifo = result.row("FIFO")
+        csz = result.row("CSZ")
+        for phase in failover.PHASES:
+            assert csz.phase_jitter[phase] < 0.8 * fifo.phase_jitter[phase]
+            assert csz.phase_mean[phase] < fifo.phase_mean[phase]
+
+    def test_all_phases_observed_traffic(self, result):
+        for row in result.rows:
+            for phase in failover.PHASES:
+                assert row.phase_packets[phase] > 100
+
+
+class TestSpecPlumbing:
+    def test_spec_round_trips_through_json(self):
+        spec = failover.scenario_spec(duration=5.0)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_registry_builds_the_same_spec(self):
+        from repro.scenario import registry
+
+        assert registry.build(
+            "failover", duration=5.0, seed=3
+        ) == failover.scenario_spec(duration=5.0, seed=3)
+
+    def test_runs_through_the_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["failover", "--duration", "6", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Failover" in out
+        assert "invariants: FIFO=clean, CSZ=clean" in out

@@ -10,6 +10,8 @@ from repro.scenario import (
     DisciplineSpec,
     FlowSpec,
     GuaranteedRequest,
+    OutageEvent,
+    OutageSpec,
     PredictedRequest,
     ScenarioSpec,
     TopologySpec,
@@ -207,3 +209,69 @@ class TestJsonRoundTrip:
         spec = minimal_spec()
         payload = json.loads(json.dumps(spec.to_dict()))
         assert ScenarioSpec.from_dict(payload) == spec
+
+
+class TestOutageSpec:
+    def _with_outages(self, outages, **overrides):
+        return minimal_spec(outages=outages, **overrides)
+
+    def test_round_trip_explicit_and_sampled(self):
+        spec = self._with_outages(
+            OutageSpec(
+                events=(OutageEvent(link="A->B", at=2.0, duration=1.0),),
+                rate_per_second=0.25,
+                mean_duration_seconds=0.8,
+                correlated_links=2,
+                links=("A->B",),
+                start_after=5.0,
+                max_outages=3,
+            )
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_omits_outages_when_none(self):
+        """Bit-identity guard: outage-free specs serialize exactly as
+        they did before the control plane existed."""
+        assert "outages" not in minimal_spec().to_dict()
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="at"):
+            OutageEvent(link="A->B", at=-1.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            OutageEvent(link="A->B", at=1.0, duration=0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            OutageSpec(rate_per_second=-0.1)
+        with pytest.raises(ValueError, match="correlated"):
+            OutageSpec(correlated_links=0)
+        with pytest.raises(ValueError, match="max_outages"):
+            OutageSpec(max_outages=0)
+
+    def test_unknown_event_link_rejected(self):
+        with pytest.raises(ValueError, match="unknown link"):
+            self._with_outages(
+                OutageSpec(events=(OutageEvent("ghost", at=1.0, duration=1.0),))
+            )
+
+    def test_unknown_candidate_links_rejected(self):
+        with pytest.raises(ValueError, match="candidates"):
+            self._with_outages(OutageSpec(rate_per_second=0.1, links=("ghost",)))
+
+    def test_service_request_without_admission_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            self._with_outages(
+                OutageSpec(events=(OutageEvent("A->B", at=1.0, duration=1.0),)),
+                flows=(
+                    FlowSpec(
+                        "p",
+                        "src-host",
+                        "dst-host",
+                        request=PredictedRequest(
+                            token_rate_bps=85_000,
+                            bucket_depth_bits=50_000,
+                            target_delay_seconds=0.3,
+                        ),
+                    ),
+                ),
+            )

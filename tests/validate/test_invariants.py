@@ -111,6 +111,8 @@ class TestInvariantsPassOnKnownGoodRuns:
             "guaranteed-delay-bound",
             "queue-bounds",
             "clock-monotonic",
+            "route-liveness",
+            "eligibility-time",
         }
 
     def test_fifo_ports_are_asserted_fifoplus_ports_observed(self):

@@ -1,0 +1,261 @@
+"""Scenario-level control-plane validation: conservation across reroutes,
+route-liveness, eligibility-time, and the reroute edge cases.
+
+Everything here runs real :class:`~repro.scenario.ScenarioRunner`
+simulations with ``validate=True`` and asserts on the eight invariant
+checks plus the attached :class:`~repro.control.ControlPlaneStats`.
+"""
+
+import dataclasses
+
+from repro.scenario import (
+    DisciplineSpec,
+    OutageEvent,
+    OutageSpec,
+    PredictedRequest,
+    ScenarioBuilder,
+    ScenarioRunner,
+    TopologySpec,
+)
+from repro.validate.invariants import invariants_summary
+
+DIAMOND = TopologySpec.graph(
+    nodes=("S-A", "S-B", "S-C", "S-D"),
+    links=[
+        {"src": "S-A", "dst": "S-B"},
+        {"src": "S-B", "dst": "S-C"},
+        {"src": "S-A", "dst": "S-D"},
+        {"src": "S-D", "dst": "S-C"},
+    ],
+    host_attachments=(("h-src", "S-A"), ("h-dst", "S-C")),
+)
+
+
+def diamond_spec(outages, flows=3, sizes=None, **kwargs):
+    builder = (
+        ScenarioBuilder("reroute-test")
+        .topology(DIAMOND)
+        .disciplines(DisciplineSpec.fifo())
+        .duration(kwargs.pop("duration", 20.0))
+        .warmup(0.0)
+        .seed(kwargs.pop("seed", 4))
+        .validate(True)
+    )
+    for i in range(flows):
+        extra = {}
+        if sizes is not None:
+            extra["packet_size_bits"] = sizes[i % len(sizes)]
+        builder.add_flow(f"f{i}", "h-src", "h-dst", **extra)
+    spec = builder.build()
+    return dataclasses.replace(spec, outages=outages)
+
+
+def clean_run(spec):
+    run = ScenarioRunner(spec).run().runs[0]
+    assert run.invariants is not None
+    assert run.invariants_clean, invariants_summary(run.invariants)
+    return run
+
+
+class TestConservationAcrossReroutes:
+    def test_single_failover_conserves_every_flow(self):
+        outages = OutageSpec(
+            events=(OutageEvent(link="S-A->S-B", at=7.0, duration=6.0),)
+        )
+        run = clean_run(diamond_spec(outages))
+        ctl = run.control
+        assert ctl.outages == 1 and ctl.restores == 1
+        assert sum(f.reroutes for f in ctl.flows) == 2 * len(ctl.flows)
+
+    def test_mixed_packet_sizes_conserve(self):
+        """Satellite: heterogeneous per-flow packet sizes through a
+        failover — the global ledger must close for every size."""
+        outages = OutageSpec(
+            events=(OutageEvent(link="S-A->S-B", at=7.0, duration=6.0),)
+        )
+        spec = diamond_spec(outages, flows=4, sizes=(400, 1000, 2400, 7200))
+        assert len({f.packet_size_bits for f in spec.flows}) == 4
+        run = clean_run(spec)
+        for stats in run.flows:
+            assert stats.received > 0
+
+    def test_mixed_sizes_conserve_without_outages_too(self):
+        spec = diamond_spec(None, flows=4, sizes=(400, 1000, 2400, 7200))
+        run = clean_run(spec)
+        assert run.control is None  # controller never built
+
+    def test_flapping_link_stays_conserved(self):
+        """Back-to-back flaps: three short outages in one run."""
+        outages = OutageSpec(
+            events=tuple(
+                OutageEvent(link="S-A->S-B", at=at, duration=0.4)
+                for at in (5.0, 5.5, 6.0)
+            )
+        )
+        run = clean_run(diamond_spec(outages))
+        assert run.control.outages == 3
+        assert run.control.restores == 3
+
+
+class TestRerouteEdgeCases:
+    def test_outage_on_link_carrying_no_flows(self):
+        """The failed link is off every flow's path: statistics must be
+        identical to the outage-free run, packet for packet."""
+        quiet = OutageSpec(
+            events=(OutageEvent(link="S-D->S-C", at=7.0, duration=6.0),)
+        )
+        with_outage = clean_run(diamond_spec(quiet))
+        without = clean_run(diamond_spec(None))
+        for a, b in zip(with_outage.flows, without.flows):
+            assert a.received == b.received
+            assert a.mean_seconds == b.mean_seconds
+        assert sum(f.reroutes for f in with_outage.control.flows) == 0
+
+    def test_only_path_dies_is_an_accounted_teardown(self):
+        """A service flow whose sole path fails: re-establishment is
+        refused (no route), the source stops, and every packet already
+        sent is still accounted — invariants stay clean."""
+        chain = TopologySpec.graph(
+            nodes=("S-A", "S-B"),
+            links=[{"src": "S-A", "dst": "S-B"}],
+            host_attachments=(("h-src", "S-A"), ("h-dst", "S-B")),
+        )
+        spec = (
+            ScenarioBuilder("teardown-test")
+            .topology(chain)
+            .disciplines(DisciplineSpec.unified(num_predicted_classes=2))
+            .admission(class_bounds_seconds=(0.15, 1.5))
+            .add_flow(
+                "svc",
+                "h-src",
+                "h-dst",
+                request=PredictedRequest(
+                    token_rate_bps=100_000.0,
+                    bucket_depth_bits=10_000.0,
+                    target_delay_seconds=1.5,
+                    target_loss_rate=0.01,
+                ),
+            )
+            .duration(20.0)
+            .warmup(0.0)
+            .seed(4)
+            .validate(True)
+            .build()
+        )
+        spec = dataclasses.replace(
+            spec,
+            outages=OutageSpec(
+                events=(OutageEvent(link="S-A->S-B", at=8.0, duration=5.0),)
+            ),
+        )
+        run = clean_run(spec)
+        [flow] = run.control.flows
+        assert flow.torn_down
+        assert flow.refusals == 1
+        assert flow.readmissions == 0
+        stats = run.flow("svc")
+        # The source stopped at the teardown; nothing sent afterwards.
+        assert stats.emitted > 0
+        assert stats.received < stats.emitted  # losses ledgered elsewhere
+
+    def test_torn_down_flow_stays_down_after_restore(self):
+        """Policy: a refused flow is not resurrected when its path heals
+        (its source cannot be restarted deterministically)."""
+        chain = TopologySpec.graph(
+            nodes=("S-A", "S-B"),
+            links=[{"src": "S-A", "dst": "S-B"}],
+            host_attachments=(("h-src", "S-A"), ("h-dst", "S-B")),
+        )
+        spec = (
+            ScenarioBuilder("stay-down-test")
+            .topology(chain)
+            .disciplines(DisciplineSpec.unified(num_predicted_classes=2))
+            .admission(class_bounds_seconds=(0.15, 1.5))
+            .add_flow(
+                "svc",
+                "h-src",
+                "h-dst",
+                request=PredictedRequest(
+                    token_rate_bps=100_000.0,
+                    bucket_depth_bits=10_000.0,
+                    target_delay_seconds=1.5,
+                    target_loss_rate=0.01,
+                ),
+            )
+            .duration(30.0)
+            .warmup(0.0)
+            .seed(4)
+            .validate(True)
+            .build()
+        )
+        spec = dataclasses.replace(
+            spec,
+            outages=OutageSpec(
+                events=(OutageEvent(link="S-A->S-B", at=5.0, duration=2.0),)
+            ),
+        )
+        run = clean_run(spec)
+        [flow] = run.control.flows
+        assert flow.torn_down
+        assert flow.readmissions == 0  # not re-admitted at the restore
+        # Emissions stop at (or shortly after) the teardown at t=5 s.
+        assert run.flow("svc").emitted < 5.0 * 200  # ~100 pps for 5 s max
+
+
+class TestNewInvariants:
+    def test_eligibility_checked_on_stop_and_go(self):
+        spec = (
+            ScenarioBuilder("sg-test")
+            .single_link()
+            .paper_flows(4)
+            .disciplines(DisciplineSpec.stop_and_go())
+            .duration(10.0)
+            .warmup(0.0)
+            .seed(1)
+            .validate(True)
+            .build()
+        )
+        run = clean_run(spec)
+        check = run.invariant("eligibility-time")
+        assert check.checked >= 1  # at least the bottleneck port
+        assert check.violations == 0
+
+    def test_eligibility_checked_on_jitter_edd(self):
+        spec = (
+            ScenarioBuilder("nwc-test")
+            .single_link()
+            .paper_flows(4)
+            .disciplines(DisciplineSpec.jitter_edd())
+            .duration(10.0)
+            .warmup(0.0)
+            .seed(1)
+            .validate(True)
+            .build()
+        )
+        run = clean_run(spec)
+        assert run.invariant("eligibility-time").checked >= 1
+
+    def test_eligibility_vacuous_on_work_conserving_ports(self):
+        run = clean_run(
+            ScenarioBuilder("fifo-test")
+            .single_link()
+            .paper_flows(4)
+            .disciplines(DisciplineSpec.fifo())
+            .duration(10.0)
+            .warmup(0.0)
+            .seed(1)
+            .validate(True)
+            .build()
+        )
+        check = run.invariant("eligibility-time")
+        assert check.checked == 0
+        assert "no non-work-conserving ports" in check.detail
+
+    def test_route_liveness_clean_through_failover(self):
+        outages = OutageSpec(
+            events=(OutageEvent(link="S-A->S-B", at=7.0, duration=6.0),)
+        )
+        run = clean_run(diamond_spec(outages))
+        check = run.invariant("route-liveness")
+        assert check.violations == 0
+        assert check.checked > 0

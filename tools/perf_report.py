@@ -92,6 +92,10 @@ def core_print(report: dict) -> None:
           f"({report['speedup']['table1_wall_clock']:.2f}x baseline)")
     print(f"  table3 wall    : {current['table3']['wall_seconds']:.3f} s "
           f"({report['speedup']['table3_wall_clock']:.2f}x baseline)")
+    seam = current.get("control_seam")
+    if seam:
+        print(f"  control seam   : {seam['overhead_ratio']:.3f}x outage-free overhead "
+              "(contract: ~1.0)")
 
 
 def core_run(scale: float) -> dict:
