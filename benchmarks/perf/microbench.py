@@ -28,6 +28,9 @@ TIMER_CHURN_OPS = 150_000
 SCHED_DURATION_SECONDS = 8.0
 SCHED_NUM_FLOWS = 10
 TABLE_DURATION_SECONDS = 15.0
+QUEUE_DENSITY_EVENTS = 120_000
+BATCH_DRAIN_PACKETS = 60_000
+BATCH_DRAIN_BURST = 32
 
 SCHED_DISCIPLINES = (
     DisciplineSpec.fifo(),
@@ -192,6 +195,129 @@ def bench_control_seam(
     return out
 
 
+def bench_queue_density(
+    total_events: int = QUEUE_DENSITY_EVENTS, chains: int = RAW_EVENT_CHAINS
+) -> Dict[str, Dict[str, float]]:
+    """Heap vs calendar event-store throughput across time densities.
+
+    Both stores run the identical self-rescheduling workload on the
+    pure-Python engine (the compiled core is heap-only, so timing it here
+    would attribute the C win to the calendar comparison).  *Dense* packs
+    every pending event into a ~64 us band — the calendar's best case,
+    one bucket sweep per pop.  *Sparse* spreads periods over five orders
+    of magnitude, so bucket occupancy is wildly uneven and the resize
+    heuristic has to keep the bucket width honest.
+    """
+    from repro.sim.engine import PySimulator
+
+    def drive(queue: str, periods) -> float:
+        sim = PySimulator(queue=queue)
+        budget = [total_events]
+        schedule = sim.schedule
+
+        def make_chain(period: float) -> Callable[[], None]:
+            def fire() -> None:
+                if budget[0] > 0:
+                    budget[0] -= 1
+                    schedule(period, fire)
+
+            return fire
+
+        for period in periods:
+            schedule(0.0, make_chain(period))
+        started = time.perf_counter()
+        sim.run_until_idle()
+        elapsed = time.perf_counter() - started
+        return sim.events_processed / elapsed
+
+    dense = [0.001 + i * 1e-6 for i in range(chains)]
+    sparse = [10.0 ** (-3 + (i % 6)) * (1.0 + i * 1e-3) for i in range(chains)]
+    return {
+        queue: {
+            "dense_events_per_sec": drive(queue, dense),
+            "sparse_events_per_sec": drive(queue, sparse),
+        }
+        for queue in ("heap", "calendar")
+    }
+
+
+def bench_batched_drain(
+    total_packets: int = BATCH_DRAIN_PACKETS, burst: int = BATCH_DRAIN_BURST
+) -> Dict[str, object]:
+    """Burst-heavy FIFO link: batched vs per-packet service.
+
+    Bursts of ``burst`` packets land on an idle megabit link with idle
+    gaps between bursts — the shape the batched drain is built for
+    (every packet after a burst's first is served arithmetically).  The
+    per-packet arm runs the identical workload with the
+    ``REPRO_BATCHED_LINKS=0`` kill switch, so the ratio isolates front
+    (a) of the engine work from the compiled core and the event store:
+    both arms run the authoritative pure-Python engine, where an elided
+    completion event is a real dispatch saved.
+    """
+    import os
+
+    from repro.net.link import Link
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.net.port import OutputPort
+    from repro.sched.fifo import FifoScheduler
+    from repro.sim.engine import PySimulator
+
+    class Sink(Node):
+        def receive(self, packet: Packet) -> None:
+            pass
+
+    def drive(batching: bool) -> Dict[str, float]:
+        saved = os.environ.get("REPRO_BATCHED_LINKS")
+        os.environ["REPRO_BATCHED_LINKS"] = "1" if batching else "0"
+        try:
+            sim = PySimulator(queue="heap")
+            link = Link(sim, "L", rate_bps=1_000_000.0)
+            link.connect(Sink(sim, "sink"))
+            port = OutputPort(sim, "P", FifoScheduler(), link, burst * 2)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_BATCHED_LINKS", None)
+            else:
+                os.environ["REPRO_BATCHED_LINKS"] = saved
+
+        def arrival() -> None:
+            now = sim.now
+            for _ in range(burst):
+                port.enqueue(
+                    Packet(
+                        flow_id="f",
+                        size_bits=1000,
+                        created_at=now,
+                        source="s",
+                        destination="d",
+                    )
+                )
+
+        # 1 ms per packet on the wire; bursts every 100 ms drain in
+        # ``burst`` ms, so the link idles between bursts.
+        for index in range(total_packets // burst):
+            sim.schedule(index * 0.1, arrival)
+        started = time.perf_counter()
+        sim.run_until_idle()
+        elapsed = time.perf_counter() - started
+        return {
+            "packets": port.packets_out,
+            "batched_departures": port.batched_departures,
+            "wall_seconds": elapsed,
+            "packets_per_sec": port.packets_out / elapsed,
+        }
+
+    batched = drive(True)
+    per_packet = drive(False)
+    return {
+        "batched": batched,
+        "per_packet": per_packet,
+        "speedup": batched["packets_per_sec"] / per_packet["packets_per_sec"],
+    }
+
+
 def bench_table1(duration: float = TABLE_DURATION_SECONDS) -> Dict[str, float]:
     """Wall clock of a shortened Table-1 experiment (two full simulations)."""
     started = time.perf_counter()
@@ -228,6 +354,12 @@ def run_all(scale: float = 1.0) -> Dict[str, object]:
         "control_seam": bench_control_seam(
             duration=max(SCHED_DURATION_SECONDS * scale, 0.5)
         ),
+        "queue_density": bench_queue_density(
+            total_events=max(int(QUEUE_DENSITY_EVENTS * scale), 1000)
+        ),
+        "batched_drain": bench_batched_drain(
+            total_packets=max(int(BATCH_DRAIN_PACKETS * scale), 1024)
+        ),
         "table1": bench_table1(
             duration=max(TABLE_DURATION_SECONDS * scale, 1.0)
         ),
@@ -235,3 +367,55 @@ def run_all(scale: float = 1.0) -> Dict[str, object]:
             duration=max(TABLE_DURATION_SECONDS * scale, 1.0)
         ),
     }
+
+
+def _gate(report_path: str, measured_events_per_sec: float,
+          tolerance: float = 0.25) -> int:
+    """CI perf gate: fail if raw events/s regressed >``tolerance`` vs the
+    committed ``BENCH_core.json`` floor.  Absolute rates are noisy across
+    machines, but CI compares a checkout against a report captured in the
+    same container image, where a 25% drop is a real regression."""
+    import json
+
+    with open(report_path) as handle:
+        committed = json.load(handle)
+    floor = committed["current"]["raw_events"]["events_per_sec"]
+    threshold = floor * (1.0 - tolerance)
+    verdict = "ok" if measured_events_per_sec >= threshold else "REGRESSION"
+    print(
+        f"perf gate: measured {measured_events_per_sec:,.0f} events/s vs "
+        f"committed floor {floor:,.0f} (threshold {threshold:,.0f}): {verdict}"
+    )
+    return 0 if measured_events_per_sec >= threshold else 1
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Run the engine microbenches (optionally gating CI)."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run at ~1/8 scale (CI sizing)",
+    )
+    parser.add_argument(
+        "--gate", metavar="BENCH_CORE_JSON", default=None,
+        help="compare raw events/s against the committed report and exit "
+        "non-zero on a >25%% regression",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.125 if args.quick else 1.0
+    if args.gate is not None:
+        # The gate only needs the raw event loop — keep the CI step fast.
+        measured = bench_raw_events(
+            total_events=max(int(RAW_EVENTS_TOTAL * scale), 1000)
+        )
+        return _gate(args.gate, measured["events_per_sec"])
+    print(json.dumps(run_all(scale=scale), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,19 @@
 """Setuptools shim for environments whose pip cannot build PEP 517 wheels
-(the metadata of record lives in pyproject.toml)."""
+(the metadata of record lives in pyproject.toml).
 
-from setuptools import find_packages, setup
+Also builds the optional compiled engine core (``repro.sim._engine_c``):
+the extension is marked optional, so a missing C toolchain degrades to the
+authoritative pure-Python engine instead of failing the install.  Build it
+in place with::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of Clark/Shenker/Zhang SIGCOMM'92: real-time services "
         "in an ISPN"
@@ -13,4 +21,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    ext_modules=[
+        Extension(
+            "repro.sim._engine_c",
+            sources=["src/repro/sim/_engine_c.c"],
+            extra_compile_args=["-O2"],
+            optional=True,
+        )
+    ],
 )

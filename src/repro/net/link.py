@@ -104,6 +104,13 @@ class Link:
         # Called when a transmission completes and the link goes idle; the
         # owning OutputPort uses it to pull the next packet.
         self.on_idle: Optional[Callable[[], None]] = None
+        # Batched-service variant: when set, completion events call this
+        # *instead of* ``on_idle`` so the port's burst loop can serve
+        # several packets inside the one event (see OutputPort).  Other
+        # idle transitions — notably :meth:`restore` — still use
+        # ``on_idle``: their callers run code after the call returns and
+        # must not observe an arithmetically advanced clock.
+        self.on_complete_idle: Optional[Callable[[], None]] = None
         # Hot-path bindings: the link is simplex and transmits one packet
         # at a time, so the in-flight packet lives on the link instead of
         # in a per-packet closure, and the completion callback is one bound
@@ -157,7 +164,10 @@ class Link:
             # The packet was corrupted on the wire: the link was occupied
             # (utilization already counted) but nothing arrives.
             self.packets_lost += 1
-            if self.on_idle is not None:
+            idle = self.on_complete_idle
+            if idle is not None:
+                idle()
+            elif self.on_idle is not None:
                 self.on_idle()
             return
         if self.propagation_delay > 0:
@@ -178,8 +188,55 @@ class Link:
         else:
             self.packets_delivered += 1
             receiver.receive(packet)
-        if self.on_idle is not None:
+        idle = self.on_complete_idle
+        if idle is not None:
+            idle()
+        elif self.on_idle is not None:
             self.on_idle()
+
+    def serve_inline(self, packet: Packet, complete_at: float) -> None:
+        """Transmit *and* complete ``packet`` arithmetically (batched
+        service).
+
+        The caller — the owning port's burst loop, running inside a link
+        completion event — has already proven that no other event can fire
+        in ``(now, complete_at]``, so this replays exactly what
+        :meth:`transmit` followed by :meth:`_complete` would have done
+        without scheduling the completion event: both utilization
+        bookings, the loss draw, and delivery (or the propagation closure)
+        at ``complete_at``.  Neither ``on_idle`` nor ``on_complete_idle``
+        fires — the burst loop itself decides whether to keep serving.
+        """
+        sim = self.sim
+        self._busy_tracker.update(sim.now, 1.0)
+        sim.advance_to(complete_at)
+        self._complete_at = complete_at
+        self._busy_tracker.update(complete_at, 0.0)
+        self.packets_sent += 1
+        self.bits_sent += packet.size_bits
+        if (
+            self.loss_probability > 0.0
+            and self._loss_rng.random() < self.loss_probability
+        ):
+            self.packets_lost += 1
+            return
+        if self.propagation_delay > 0:
+            self.in_transit += 1
+            epoch = self._epoch
+            receiver = self.receiver
+
+            def deliver() -> None:
+                self.in_transit -= 1
+                if epoch != self._epoch:
+                    self._ledger_failure(packet)
+                    return
+                self.packets_delivered += 1
+                receiver.receive(packet)
+
+            sim.schedule(self.propagation_delay, deliver)
+            return
+        self.packets_delivered += 1
+        self.receiver.receive(packet)
 
     # ------------------------------------------------------------------
     # Link-state (control plane)

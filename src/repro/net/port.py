@@ -13,6 +13,7 @@ extension uses).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional
 
 from repro.net.link import Link
@@ -25,6 +26,13 @@ from repro.sim.engine import Simulator
 EnqueueListener = Callable[[Packet, float], None]
 DropListener = Callable[[Packet, float], None]
 DepartListener = Callable[[Packet, float, float], None]
+
+
+def _batching_disabled() -> bool:
+    """``REPRO_BATCHED_LINKS=0`` turns batched link service off globally
+    (read at port construction; the bit-identity harness flips it)."""
+    value = os.environ.get("REPRO_BATCHED_LINKS", "").strip().lower()
+    return value in ("0", "false", "no")
 
 
 class OutputPort:
@@ -46,6 +54,17 @@ class OutputPort:
         self.link = link
         self.buffer_packets = buffer_packets
         link.on_idle = self._on_link_idle
+        # Batched link service: when the scheduler's dequeue order is
+        # clock-independent (``supports_batch_drain``), completion events
+        # hand control to :meth:`_drain_burst`, which serves whole bursts
+        # arithmetically inside the one event.  Restores and enqueues
+        # still go through the per-packet path.
+        self.batching_enabled = (
+            scheduler.supports_batch_drain and not _batching_disabled()
+        )
+        if self.batching_enabled:
+            link.on_complete_idle = self._drain_burst
+        self.batched_departures = 0
         # Non-work-conserving schedulers (Stop-and-Go, HRR, Jitter-EDD)
         # hold packets until they become eligible; they need a handle on
         # the port to re-poll it when a held packet matures.
@@ -133,6 +152,58 @@ class OutputPort:
 
     def _on_link_idle(self) -> None:
         self._send_next()
+
+    def _drain_burst(self) -> None:
+        """Serve as many queued packets as provably unobservable, in one
+        completion event.
+
+        Runs only in link-completion context (``Link.on_complete_idle``):
+        the clock sits exactly at a completion instant and no caller above
+        the engine loop will read it after we return.  Each iteration
+        serves the scheduler's head packet *inline* — identical departure
+        accounting and delivery as the per-packet path, with the clock
+        advanced arithmetically — but only when the departure would be the
+        very next thing the engine does anyway: the completion time must
+        not pass the ``run(until=...)`` horizon, and every pending event
+        must lie strictly after it.  The moment either condition fails
+        (a competing arrival, timer, outage, or window edge), we fall back
+        to the ordinary schedule-one-completion-event path and return.
+        """
+        sim = self.sim
+        link = self.link
+        scheduler = self.scheduler
+        rate = link.rate_bps
+        on_depart = self.on_depart
+        while True:
+            head = scheduler.peek_next()
+            if head is None:
+                return
+            complete_at = sim.now + head.size_bits / rate
+            if complete_at > sim.horizon or sim.peek_next_time() <= complete_at:
+                self._send_next()
+                return
+            now = sim.now
+            packet = scheduler.dequeue(now)
+            wait = now - packet.enqueued_at
+            packet.queueing_delay += wait
+            packet.hops += 1
+            self.packets_out += 1
+            self.queueing_delay_total += wait
+            if on_depart:
+                for listener in on_depart:
+                    listener(packet, now, wait)
+                if sim.peek_next_time() <= complete_at:
+                    # A listener scheduled work inside the span: the
+                    # departure is already booked, so finish this packet
+                    # on the ordinary per-packet path and stop batching.
+                    link.transmit(packet)
+                    return
+            self.batched_departures += 1
+            link.serve_inline(packet, complete_at)
+            if link.busy:
+                # The wire died (and was re-armed) under the delivery:
+                # stop; the restore path will wake us per-packet.
+                return
 
     def flush_queue(self) -> int:
         """Drop every queued packet (link-failure teardown accounting).

@@ -52,6 +52,28 @@ class Scheduler(abc.ABC):
     def peek_is_empty(self) -> bool:
         return len(self) == 0
 
+    #: Whether the owning port may *batch-drain* this scheduler: serve
+    #: several consecutive packets inside one link-completion event, with
+    #: departure timestamps computed arithmetically.  Safe only for
+    #: disciplines whose dequeue order depends on queue contents alone —
+    #: never on the clock value passed to ``dequeue`` (no eligibility
+    #: gates, no time-dependent reordering between two consecutive
+    #: departures with no intervening arrival).  FIFO, FIFO+ and static
+    #: priority opt in; non-work-conserving disciplines (Stop-and-Go,
+    #: HRR, Jitter-EDD) must stay per-packet.  Opting in requires
+    #: implementing :meth:`peek_next`.
+    supports_batch_drain: bool = False
+
+    def peek_next(self) -> Optional[Packet]:
+        """The exact packet the next ``dequeue`` would return, or None.
+
+        Must not mutate scheduler state and must not depend on the clock
+        (see :attr:`supports_batch_drain`).  Only consulted by the port's
+        batch-drain loop, so the default — for disciplines that stay
+        per-packet — is to decline by returning None.
+        """
+        return None
+
     #: Whether :meth:`install_guaranteed` actually reserves a bit rate.
     #: Rate-capable implementations set this to True alongside overriding
     #: the method; a scheduler may override the method purely to refuse

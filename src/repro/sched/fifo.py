@@ -19,6 +19,10 @@ from repro.sched.base import Scheduler
 class FifoScheduler(Scheduler):
     """First-in first-out queue."""
 
+    # Dequeue order is fixed at enqueue and ignores the clock, so the
+    # port may serve bursts arithmetically (see Scheduler.peek_next).
+    supports_batch_drain = True
+
     def __init__(self):
         self._queue: Deque[Packet] = deque()
 
@@ -33,6 +37,9 @@ class FifoScheduler(Scheduler):
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def peek_next(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
 
     def evict_tail(self) -> Optional[Packet]:
         """Remove and return the most recently queued packet.

@@ -89,6 +89,11 @@ class FifoPlusScheduler(Scheduler):
     # their upstream dequeues; within-flow order is only statistical.
     preserves_flow_fifo = False
 
+    # The heap key is fixed at enqueue; ``now`` only feeds the offset
+    # update at dequeue, and the batch loop passes the same departure
+    # times the per-packet path would, so bursts may be served inline.
+    supports_batch_drain = True
+
     def __init__(
         self,
         delay_tracker: Optional[ClassDelayTracker] = None,
@@ -126,6 +131,9 @@ class FifoPlusScheduler(Scheduler):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def peek_next(self) -> Optional[Packet]:
+        return self._heap[0][2] if self._heap else None
 
     def evict_tail(self) -> Optional[Packet]:
         """Evict the packet with the *largest* expected-arrival key — the

@@ -45,6 +45,12 @@ class PriorityScheduler(Scheduler):
         self.levels: List[Scheduler] = [factory() for _ in range(num_classes)]
         self._classifier = classifier or self._default_classifier
         self._size = 0
+        # Strict priority adds no clock dependence of its own, so bursts
+        # may be batch-served iff every level can be (instance attribute:
+        # it depends on the factory the caller chose).
+        self.supports_batch_drain = all(
+            level.supports_batch_drain for level in self.levels
+        )
 
     @property
     def num_classes(self) -> int:
@@ -76,6 +82,12 @@ class PriorityScheduler(Scheduler):
 
     def __len__(self) -> int:
         return self._size
+
+    def peek_next(self) -> Optional[Packet]:
+        for level in self.levels:
+            if len(level):
+                return level.peek_next()
+        return None
 
     def queue_lengths(self) -> Dict[int, int]:
         """Per-class occupancy (diagnostics)."""

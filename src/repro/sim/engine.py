@@ -1,6 +1,6 @@
 """The discrete-event simulation engine.
 
-A deliberately small, fast core: a binary heap of plain
+A deliberately small, fast core: a queue of plain
 ``(time, priority, seq, action)`` tuples, a clock, and run-until helpers.
 Everything else in the library (links, sources, schedulers, measurement) is
 built as callbacks on top of this loop.
@@ -10,24 +10,40 @@ Design notes
 * **Determinism.**  Events at equal times fire in scheduling order (see
   :mod:`repro.sim.events`).  Combined with seeded random streams
   (:mod:`repro.sim.randomness`) this makes whole experiments replayable.
-* **Two scheduling paths.**  :meth:`Simulator.schedule` /
-  :meth:`Simulator.schedule_at` are the allocation-free fast path: they
+* **Two scheduling paths.**  :meth:`PySimulator.schedule` /
+  :meth:`PySimulator.schedule_at` are the allocation-free fast path: they
   push one tuple and return nothing.  The minority of callers that need to
   cancel (retransmission timers, periodic samplers, scheduler wake-ups) use
-  :meth:`Simulator.schedule_handle` / :meth:`Simulator.schedule_handle_at`,
+  :meth:`PySimulator.schedule_handle` / :meth:`PySimulator.schedule_handle_at`,
   which box the callback in a one-cell list and return an
   :class:`~repro.sim.events.EventHandle`.  Both paths share one sequence
   counter, so same-time ordering is FIFO across them.
-* **Lazy cancellation.**  ``EventHandle.cancel()`` swaps the cell to
-  ``None``; the heap pop skips such entries.  This keeps cancel O(1) and is
-  the standard trick for timer-heavy network simulations (retransmission
-  timers get cancelled far more often than they fire).
+* **Lazy cancellation, bounded.**  ``EventHandle.cancel()`` swaps the cell
+  to ``None``; the queue pop skips such entries.  This keeps cancel O(1).
+  Dead cells are counted, and when they outnumber the live entries the
+  queue is compacted in place, so timer-churn workloads (cancel/re-arm far
+  more often than fire) cannot grow the queue without bound.
+* **Pluggable event store.**  ``queue="heap"`` (default) is a binary heap
+  of tuples; ``queue="calendar"`` is a bucket-array calendar queue
+  (:mod:`repro.sim.calendar`) with O(1) amortized operations when event
+  times are dense.  Both order identically on ``(time, priority, seq)``.
+  ``queue="auto"`` resolves via ``REPRO_ENGINE_QUEUE`` (default heap).
+* **Batched-service seam.**  :meth:`PySimulator.peek_next_time`,
+  :attr:`PySimulator.horizon`, and :meth:`PySimulator.advance_to` let the
+  batched link path (:mod:`repro.net.port`) serve a burst of packets
+  arithmetically inside one event, advancing the clock only while it can
+  prove no other event (and no ``run(until=...)`` window edge) could fire
+  in between — which is exactly when the engine itself would have done
+  nothing else.
+* **Optional compiled core.**  If the C accelerator
+  (``repro.sim._engine_c``, built by ``setup.py build_ext``) is importable,
+  the :func:`Simulator` factory returns its engine for heap-queue
+  instances.  The pure-Python :class:`PySimulator` stays authoritative:
+  ``REPRO_PURE_PYTHON=1`` forces it everywhere, and the golden suite must
+  pass bit-identically under both.  See :func:`backend_info`.
 * **Cheap inner loop.**  Validation (negative/NaN/infinite times) happens
   once at the public scheduling boundary as a single chained comparison;
   the run loop itself only pops tuples, advances the clock, and calls.
-  ``heappush``/``heappop`` and the queue are bound to locals inside
-  :meth:`run`.  This matters when reproducing the paper's 10-minute runs
-  with ~10^6 packet events.
 * **No processes/coroutines.**  The paper's model (sources emitting
   packets, links transmitting, switches enqueueing) maps naturally onto
   plain callbacks; avoiding a coroutine layer keeps the hot loop cheap.
@@ -35,30 +51,89 @@ Design notes
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+import os
+from heapq import heapify, heappop, heappush
 from math import inf
 from typing import Any, Callable, Optional
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import EventHandle
+
+#: Compact the queue only past this many dead cells, so small simulations
+#: never pay for a rebuild.
+COMPACT_MIN_CANCELLED = 256
+
+QUEUE_BACKENDS = ("heap", "calendar")
 
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
 
 
-class Simulator:
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def resolve_queue_backend(queue: Optional[str] = None) -> str:
+    """Resolve a ``queue=`` argument to a concrete backend name.
+
+    ``None``/``"auto"`` consult the ``REPRO_ENGINE_QUEUE`` environment
+    variable (read at call time, so tests can flip it per run) and default
+    to ``"heap"``.
+    """
+    if queue is None or queue == "auto":
+        queue = os.environ.get("REPRO_ENGINE_QUEUE", "").strip().lower() or "auto"
+        if queue == "auto":
+            queue = "heap"
+    if queue not in QUEUE_BACKENDS:
+        raise ValueError(
+            f"unknown queue backend {queue!r}; expected one of "
+            f"{QUEUE_BACKENDS + ('auto',)}"
+        )
+    return queue
+
+
+class PySimulator:
     """A discrete-event simulator with a floating-point clock in seconds.
 
     ``now`` is a plain attribute (not a property) so the per-packet layers
     read the clock without descriptor overhead; treat it as read-only.
+
+    Args:
+        start_time: initial clock value.
+        queue: event-store backend, ``"heap"`` or ``"calendar"``
+            (``"auto"``/None resolve via :func:`resolve_queue_backend`).
     """
 
-    def __init__(self, start_time: float = 0.0):
+    __slots__ = (
+        "now",
+        "horizon",
+        "queue_backend",
+        "_queue",
+        "_cal",
+        "_seq",
+        "_running",
+        "_events_processed",
+        "_cancelled",
+    )
+
+    def __init__(self, start_time: float = 0.0, queue: Optional[str] = None):
         self.now = float(start_time)
-        self._queue: list = []
+        #: The active ``run(until=...)`` stop time (``inf`` outside a
+        #: bounded run).  The batched link path never advances the clock
+        #: past it, so sliced run windows stay bit-identical.
+        self.horizon = inf
+        self.queue_backend = resolve_queue_backend(queue)
+        if self.queue_backend == "calendar":
+            self._cal: Optional[CalendarQueue] = CalendarQueue()
+            self._queue: Any = self._cal
+        else:
+            self._cal = None
+            self._queue = []
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Clock / diagnostics
@@ -70,8 +145,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Dead (cancelled-but-unpopped) entries currently in the queue."""
+        return self._cancelled
 
     # ------------------------------------------------------------------
     # Scheduling — fast path (no handle, no allocation beyond the tuple)
@@ -100,7 +180,11 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (self.now + delay, priority, seq, action))
+        cal = self._cal
+        if cal is None:
+            heappush(self._queue, (self.now + delay, priority, seq, action))
+        else:
+            cal.push((self.now + delay, priority, seq, action))
 
     def schedule_at(
         self,
@@ -120,7 +204,11 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (float(time), priority, seq, action))
+        cal = self._cal
+        if cal is None:
+            heappush(self._queue, (float(time), priority, seq, action))
+        else:
+            cal.push((float(time), priority, seq, action))
 
     # ------------------------------------------------------------------
     # Scheduling — cancellable variant
@@ -144,8 +232,12 @@ class Simulator:
         cell = [action]
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (time, priority, seq, cell))
-        return EventHandle(time, cell)
+        cal = self._cal
+        if cal is None:
+            heappush(self._queue, (time, priority, seq, cell))
+        else:
+            cal.push((time, priority, seq, cell))
+        return EventHandle(time, cell, self)
 
     def schedule_handle_at(
         self,
@@ -162,8 +254,98 @@ class Simulator:
         cell = [action]
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (time, priority, seq, cell))
-        return EventHandle(time, cell)
+        cal = self._cal
+        if cal is None:
+            heappush(self._queue, (time, priority, seq, cell))
+        else:
+            cal.push((time, priority, seq, cell))
+        return EventHandle(time, cell, self)
+
+    # ------------------------------------------------------------------
+    # Queue hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A still-queued handle was cancelled (called by EventHandle).
+
+        When dead cells outnumber live entries (and there are enough of
+        them to matter), rebuild the queue without them.  The rebuild is
+        in place — the queue object's identity is preserved — because the
+        run loop holds a local reference while executing actions.
+        """
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        if cancelled >= COMPACT_MIN_CANCELLED and 2 * cancelled > len(self._queue):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry from the queue immediately."""
+        cal = self._cal
+        if cal is None:
+            queue = self._queue
+            alive = [
+                entry
+                for entry in queue
+                if not (entry[3].__class__ is list and entry[3][0] is None)
+            ]
+            if len(alive) != len(queue):
+                queue[:] = alive
+                heapify(queue)
+        else:
+            cal.compact(
+                lambda entry: not (
+                    entry[3].__class__ is list and entry[3][0] is None
+                )
+            )
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Batched-service seam
+    # ------------------------------------------------------------------
+    def peek_next_time(self) -> float:
+        """Time of the earliest live pending event (``inf`` when none).
+
+        Dead (cancelled) entries surfacing at the head are removed on the
+        way, so the answer is exact, not conservative.
+        """
+        cal = self._cal
+        if cal is None:
+            queue = self._queue
+            while queue:
+                head = queue[0]
+                action = head[3]
+                if action.__class__ is list and action[0] is None:
+                    heappop(queue)
+                    self._cancelled -= 1
+                    continue
+                return head[0]
+            return inf
+        while True:
+            head = cal.peek()
+            if head is None:
+                return inf
+            action = head[3]
+            if action.__class__ is list and action[0] is None:
+                cal.pop()
+                self._cancelled -= 1
+                continue
+            return head[0]
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward without firing anything.
+
+        This is the engine's half of the batched link service contract:
+        the caller (one currently-executing event) has verified that
+        ``now <= time``, ``time <= horizon``, and ``time`` does not pass
+        :meth:`peek_next_time` — i.e. the engine itself would have done
+        nothing but advance the clock to ``time``.
+
+        Each jump stands in for exactly one elided event (the completion
+        the caller chose not to schedule), so it counts toward
+        :attr:`events_processed` — keeping the diagnostic equal to the
+        unbatched event schedule regardless of how bursts fell.
+        """
+        self.now = time
+        self._events_processed += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -174,21 +356,41 @@ class Simulator:
         Returns:
             True if an event fired, False if the queue was empty.
         """
-        queue = self._queue
-        while queue:
-            time, _, _, action = heappop(queue)
+        cal = self._cal
+        if cal is None:
+            queue = self._queue
+            while queue:
+                time, _, _, action = heappop(queue)
+                if action.__class__ is list:
+                    fn = action[0]
+                    if fn is None:
+                        self._cancelled -= 1
+                        continue  # cancelled; lazy deletion
+                    action[0] = None  # mark fired so handles report inactive
+                else:
+                    fn = action
+                self.now = time
+                self._events_processed += 1
+                fn()
+                return True
+            return False
+        while True:
+            entry = cal.pop()
+            if entry is None:
+                return False
+            action = entry[3]
             if action.__class__ is list:
                 fn = action[0]
                 if fn is None:
-                    continue  # cancelled; lazy deletion
-                action[0] = None  # mark fired so handles report inactive
+                    self._cancelled -= 1
+                    continue
+                action[0] = None
             else:
                 fn = action
-            self.now = time
+            self.now = entry[0]
             self._events_processed += 1
             fn()
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
@@ -198,6 +400,8 @@ class Simulator:
                 exactly at ``until`` DO fire; the clock is left at ``until``
                 if the queue drains earlier or the next event lies beyond it.
             max_events: optional safety valve on the number of events fired.
+                Batched link service makes one event serve many packets, so
+                this bounds *events*, not packets.
 
         Returns:
             The simulation time when the loop stopped.
@@ -205,33 +409,58 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        queue = self._queue
-        pop = heappop
         stop = inf if until is None else until
+        self.horizon = stop
         limit = inf if max_events is None else max_events
         fired = 0
+        cal = self._cal
         try:
-            while queue:
-                head = queue[0]
-                time = head[0]
-                if time > stop:
-                    break
-                pop(queue)
-                action = head[3]
-                if action.__class__ is list:
-                    fn = action[0]
-                    if fn is None:
-                        continue  # cancelled; lazy deletion
-                    action[0] = None  # mark fired
-                else:
-                    fn = action
-                self.now = time
-                fired += 1
-                fn()
-                if fired >= limit:
-                    break
+            if cal is None:
+                queue = self._queue
+                pop = heappop
+                while queue:
+                    head = queue[0]
+                    time = head[0]
+                    if time > stop:
+                        break
+                    pop(queue)
+                    action = head[3]
+                    if action.__class__ is list:
+                        fn = action[0]
+                        if fn is None:
+                            self._cancelled -= 1
+                            continue  # cancelled; lazy deletion
+                        action[0] = None  # mark fired
+                    else:
+                        fn = action
+                    self.now = time
+                    fired += 1
+                    fn()
+                    if fired >= limit:
+                        break
+            else:
+                while True:
+                    head = cal.peek()
+                    if head is None or head[0] > stop:
+                        break
+                    cal.pop()
+                    action = head[3]
+                    if action.__class__ is list:
+                        fn = action[0]
+                        if fn is None:
+                            self._cancelled -= 1
+                            continue
+                        action[0] = None
+                    else:
+                        fn = action
+                    self.now = head[0]
+                    fired += 1
+                    fn()
+                    if fired >= limit:
+                        break
         finally:
             self._running = False
+            self.horizon = inf
             # Added as a delta, not assigned, so events fired by nested
             # step() calls inside actions stay counted.  The counter is
             # exact whenever the loop is not executing.
@@ -247,9 +476,70 @@ class Simulator:
     def clear(self) -> None:
         """Drop all pending events (used when tearing down an experiment)."""
         self._queue.clear()
+        self._cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"<Simulator t={self.now:.6f} pending={len(self._queue)} "
-            f"fired={self._events_processed}>"
+            f"<PySimulator t={self.now:.6f} pending={len(self._queue)} "
+            f"fired={self._events_processed} queue={self.queue_backend}>"
         )
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+#: Whether ``REPRO_PURE_PYTHON`` forced the pure-Python engine.  Read once
+#: at import: backend selection is an import-time decision by design, so a
+#: process never mixes engine backends mid-run.
+PURE_PYTHON_FORCED = _env_flag("REPRO_PURE_PYTHON")
+
+_COMPILED = None
+if not PURE_PYTHON_FORCED:
+    try:
+        from repro.sim import _engine_c as _COMPILED  # type: ignore[attr-defined]
+    except ImportError:
+        _COMPILED = None
+    else:
+        # Hand the accelerator the canonical exception and handle types so
+        # both backends raise/return exactly the same objects.
+        _COMPILED._wire(SimulationError, EventHandle)
+
+
+def Simulator(start_time: float = 0.0, queue: Optional[str] = None):
+    """Build a simulation engine (factory; also exported as ``Engine``).
+
+    Returns the compiled core when it is importable and the resolved queue
+    backend is ``"heap"`` (the calendar queue is pure Python); otherwise
+    the authoritative :class:`PySimulator`.  ``REPRO_PURE_PYTHON=1``
+    disables the compiled core for the whole process.
+
+    Args:
+        start_time: initial clock value.
+        queue: ``"heap"`` | ``"calendar"`` | ``"auto"`` (default: consult
+            ``REPRO_ENGINE_QUEUE``, then heap).
+    """
+    resolved = resolve_queue_backend(queue)
+    if _COMPILED is not None and resolved == "heap":
+        return _COMPILED.CSimulator(start_time)
+    return PySimulator(start_time, queue=resolved)
+
+
+#: The name the ISSUE/ROADMAP use for the selectable engine.
+Engine = Simulator
+
+
+def backend_info() -> dict:
+    """Report which engine core and queue backends this process uses.
+
+    Also exported as :func:`repro.sim.backend_info`.
+    """
+    compiled = _COMPILED is not None
+    return {
+        "engine": "compiled-c" if compiled else "pure-python",
+        "compiled_available": compiled,
+        "compiled_module": getattr(_COMPILED, "__file__", None),
+        "pure_python_forced": PURE_PYTHON_FORCED,
+        "default_queue": resolve_queue_backend(None),
+        "queue_backends": list(QUEUE_BACKENDS),
+    }

@@ -15,6 +15,12 @@ wake-ups) instead carry a **one-cell list** ``[callback]``; cancelling
 swaps the cell to ``None`` and the engine skips such entries when they
 surface at the top of the heap (O(1) cancel, the standard lazy-deletion
 trick).  :class:`EventHandle` is the public face of that cell.
+
+Cancelled cells linger in the queue until popped, so the handle also
+notifies its owning simulator on a *live* cancel; the engine counts these
+dead entries and compacts the queue when they dominate it (see
+``Simulator._note_cancel``), which keeps timer-churn workloads from
+growing the queue without bound.
 """
 
 from __future__ import annotations
@@ -32,11 +38,12 @@ class EventHandle:
         time: absolute simulation time the event is (or was) scheduled for.
     """
 
-    __slots__ = ("time", "_cell")
+    __slots__ = ("time", "_cell", "_sim")
 
-    def __init__(self, time: float, cell: list):
+    def __init__(self, time: float, cell: list, sim=None):
         self.time = time
         self._cell = cell
+        self._sim = sim
 
     @property
     def active(self) -> bool:
@@ -45,7 +52,15 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event.  Idempotent; cancelling a fired event is a no-op."""
-        self._cell[0] = None
+        cell = self._cell
+        if cell[0] is not None:
+            cell[0] = None
+            sim = self._sim
+            if sim is not None:
+                # The cell is still queued: let the engine account for the
+                # dead entry (and compact when they pile up).  Fired events
+                # never reach here — the engine nulls the cell on pop.
+                sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else "done"

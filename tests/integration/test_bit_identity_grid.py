@@ -1,0 +1,107 @@
+"""Property-grid bit-identity: engine fronts must be invisible to physics.
+
+Generated scenarios (``gen:random-graph``, ``gen:wan-path``,
+``gen:outage`` — the last one exercising control-plane failovers) are run
+across every engine configuration {batched on/off} x {heap, calendar},
+with validation invariants enabled.  Every configuration must produce an
+*identical* ``DisciplineRunResult`` payload: the batched link service and
+the calendar event store are pure hot-path mechanics, and any observable
+divergence — a delay percentile, a drop count, an invariant verdict —
+is a correctness bug, not a tuning difference.
+
+(When the compiled core is built, the heap configurations additionally
+run on it, so the grid also crosses compiled vs pure-Python.)
+"""
+
+import os
+
+import pytest
+
+from repro.scenario import ScenarioRunner, registry
+
+# Short but non-trivial windows: long enough for queue buildup, outages
+# (gen:outage schedules them after warmup), and multi-hop jitter.
+DURATION = 3.0
+WARMUP = 1.0
+
+SCENARIOS = ["gen:random-graph", "gen:wan-path", "gen:outage"]
+
+CONFIGS = [
+    pytest.param("heap", False, id="heap-batched"),
+    pytest.param("heap", True, id="heap-perpacket"),
+    pytest.param("calendar", False, id="calendar-batched"),
+    pytest.param("calendar", True, id="calendar-perpacket"),
+]
+
+
+def _run_grid_point(spec, queue, batching_off):
+    overrides = {
+        "REPRO_ENGINE_QUEUE": queue,
+        "REPRO_BATCHED_LINKS": "0" if batching_off else "",
+    }
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update(overrides)
+    try:
+        runner = ScenarioRunner(spec)
+        return [
+            runner.run_discipline(d).comparable_dict()
+            for d in spec.disciplines
+        ]
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@pytest.fixture(scope="module", params=SCENARIOS)
+def scenario_payloads(request):
+    """Run one generated scenario across the whole config grid."""
+    kwargs = {"gen_seed": 3, "duration": DURATION, "warmup": WARMUP, "seed": 1}
+    if request.param == "gen:outage":
+        # Enough failures in the short post-warmup window that the grid
+        # point really crosses batching with control-plane reroutes.
+        kwargs.update(outage_rate_per_second=2.0, mean_outage_seconds=0.5)
+    spec = registry.build(request.param, **kwargs)
+    assert spec.validate, "generated scenarios must run with invariants on"
+    payloads = {}
+    for param in CONFIGS:
+        queue, batching_off = param.values
+        payloads[param.id] = _run_grid_point(spec, queue, batching_off)
+    return request.param, spec, payloads
+
+
+class TestBitIdentityGrid:
+    def test_all_configs_identical(self, scenario_payloads):
+        name, spec, payloads = scenario_payloads
+        reference_id = "heap-perpacket"  # the pre-batching ground truth
+        reference = payloads[reference_id]
+        for config_id, payload in payloads.items():
+            assert payload == reference, (
+                f"{name}: engine config {config_id} diverged from "
+                f"{reference_id}"
+            )
+
+    def test_invariants_present_and_clean(self, scenario_payloads):
+        name, spec, payloads = scenario_payloads
+        for config_id, payload in payloads.items():
+            for run in payload:
+                checks = run.get("invariants")
+                assert checks, f"{name}/{config_id}: no invariant checks ran"
+                bad = [c for c in checks if not c.get("ok", False)]
+                assert not bad, f"{name}/{config_id}: {bad}"
+
+    def test_outage_scenario_exercised_failover(self, scenario_payloads):
+        """The outage grid point only means something if reroutes really
+        happened under batching: assert the control-plane block is there."""
+        name, spec, payloads = scenario_payloads
+        if name != "gen:outage":
+            pytest.skip("control-plane block only expected for gen:outage")
+        for config_id, payload in payloads.items():
+            for run in payload:
+                control = run.get("control")
+                assert control is not None, f"{config_id}: no control stats"
+                assert control.get("outages", 0) > 0, (
+                    f"{config_id}: outage scenario saw no outages"
+                )

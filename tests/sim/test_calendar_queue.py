@@ -1,0 +1,161 @@
+"""Calendar-queue event store: unit behaviour + randomized heap cross-check.
+
+The calendar queue must be *ordering-identical* to the heap on the full
+``(time, priority, seq)`` key — the randomized cross-check drives both
+backends through the same self-scheduling, handle-cancelling event script
+and requires the firing logs to match element for element.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import CalendarQueue, PySimulator
+from repro.sim.engine import backend_info
+
+
+class TestCalendarQueueUnit:
+    def test_push_pop_sorted(self):
+        q = CalendarQueue()
+        entries = [(t, 0, i, None) for i, t in enumerate([5.0, 1.0, 3.0, 2.0, 4.0])]
+        for e in entries:
+            q.push(e)
+        popped = [q.pop()[0] for _ in range(len(entries))]
+        assert popped == sorted(popped)
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_same_time_orders_by_priority_then_seq(self):
+        q = CalendarQueue()
+        q.push((1.0, 1, 0, "late-prio"))
+        q.push((1.0, 0, 1, "first"))
+        q.push((1.0, 1, 2, "after-seq"))
+        assert [q.pop()[3] for _ in range(3)] == [
+            "first", "late-prio", "after-seq",
+        ]
+
+    def test_push_earlier_day_after_peek_rewinds_scan(self):
+        """Regression: peek advances the scan over empty days; a later
+        push into an earlier day must still surface first."""
+        q = CalendarQueue(width=1.0)
+        q.push((100.0, 0, 0, "far"))
+        assert q.peek()[3] == "far"  # scan jumped toward day 100
+        q.push((2.0, 0, 1, "near"))
+        assert q.pop()[3] == "near"
+        assert q.pop()[3] == "far"
+
+    def test_far_future_gap_is_bridged(self):
+        """Events more than a whole year ahead are found via the direct
+        search fallback, not by scanning millions of empty days."""
+        q = CalendarQueue(width=0.001, nbuckets=8)
+        q.push((0.0005, 0, 0, "now"))
+        q.push((10_000.0, 0, 1, "next-era"))
+        assert q.pop()[3] == "now"
+        assert q.pop()[3] == "next-era"
+
+    def test_resize_preserves_order(self):
+        rng = random.Random(7)
+        q = CalendarQueue()
+        entries = [(rng.uniform(0, 50), 0, i, i) for i in range(500)]
+        for e in entries:
+            q.push(e)  # grows through several resizes
+        out = [q.pop() for _ in range(250)]  # shrinks on the way down
+        rest = [q.pop() for _ in range(250)]
+        assert out + rest == sorted(entries)
+
+    def test_interleaved_push_pop_never_reorders(self):
+        rng = random.Random(42)
+        q = CalendarQueue()
+        seq = 0
+        last = -1.0
+        pending = 0
+        for _ in range(2000):
+            if pending and rng.random() < 0.45:
+                entry = q.pop()
+                assert entry[0] >= last
+                last = entry[0]
+                pending -= 1
+            else:
+                # Times at/after the last pop, clustered to force dense
+                # buckets and occasional same-bucket ties.
+                t = last + rng.choice([0.0, 0.001, 0.01, 1.0]) * rng.random()
+                q.push((max(t, last), rng.randint(-1, 1), seq, None))
+                seq += 1
+                pending += 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=12)  # not a power of two
+
+
+def _run_script(sim_factory, script_seed: int):
+    """Drive a simulator through a randomized self-scheduling script.
+
+    Callbacks log ``(now, label)``, schedule 0-2 further events (zero
+    delays included, to stress same-time FIFO), occasionally via handles
+    that later get cancelled.  The script's decisions come from a seeded
+    RNG, so two backends that fire in the same order draw identically —
+    any ordering divergence derails the logs immediately.
+    """
+    sim = sim_factory()
+    rng = random.Random(script_seed)
+    log = []
+    handles = []
+    counter = [0]
+
+    def make_action(label):
+        def action():
+            log.append((sim.now, label))
+            for _ in range(rng.randint(0, 2)):
+                counter[0] += 1
+                child = f"{label}.{counter[0]}"
+                delay = rng.choice([0.0, 0.0, 0.001, 0.1, 1.5]) * rng.random()
+                priority = rng.randint(-1, 1)
+                if len(log) < 400 or rng.random() < 0.05:
+                    if rng.random() < 0.3:
+                        handles.append(
+                            sim.schedule_handle(
+                                delay, make_action(child), priority=priority
+                            )
+                        )
+                    else:
+                        sim.schedule(delay, make_action(child), priority=priority)
+            if handles and rng.random() < 0.25:
+                handles.pop(rng.randrange(len(handles))).cancel()
+
+        return action
+
+    for i in range(20):
+        sim.schedule(rng.random() * 2.0, make_action(f"root{i}"))
+    sim.run(until=50.0, max_events=5000)
+    return log, sim.events_processed
+
+
+class TestHeapCalendarCrossCheck:
+    @pytest.mark.parametrize("script_seed", [1, 2, 3, 11, 23])
+    def test_backends_fire_identically(self, script_seed):
+        heap_log, heap_count = _run_script(
+            lambda: PySimulator(queue="heap"), script_seed
+        )
+        cal_log, cal_count = _run_script(
+            lambda: PySimulator(queue="calendar"), script_seed
+        )
+        assert len(heap_log) > 100  # the script actually did something
+        assert heap_log == cal_log
+        assert heap_count == cal_count
+
+    @pytest.mark.skipif(
+        not backend_info()["compiled_available"],
+        reason="compiled core not built",
+    )
+    def test_compiled_core_fires_identically(self):
+        from repro.sim.engine import _COMPILED
+
+        heap_log, heap_count = _run_script(
+            lambda: PySimulator(queue="heap"), 5
+        )
+        c_log, c_count = _run_script(lambda: _COMPILED.CSimulator(), 5)
+        assert c_log == heap_log
+        assert c_count == heap_count

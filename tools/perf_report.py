@@ -19,6 +19,12 @@ Every report has three blocks:
 * ``current`` — this checkout, measured now.
 * ``speedup`` — headline ratios current/baseline (>1 is faster).
 
+plus a ``trajectory`` array: one entry per recorded run (commit, date,
+scale, the full measurement block, and the speedup ratios), carried
+forward across overwrites so the report doubles as the per-PR perf
+history.  The first run on an old report backfills the history from the
+file's own git revisions.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_report.py                  # core suite
@@ -34,9 +40,11 @@ Absolute numbers are machine-dependent; compare runs from the same host
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
 import platform
+import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -206,6 +214,99 @@ SUITES = {
 }
 
 
+# ----------------------------------------------------------------------
+# Trajectory: the per-PR perf history carried inside each report
+# ----------------------------------------------------------------------
+
+
+def _git(*argv: str) -> str:
+    return subprocess.run(
+        ["git", *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        check=True,
+    ).stdout.strip()
+
+
+def head_commit() -> str:
+    try:
+        commit = _git("rev-parse", "--short", "HEAD")
+        dirty = _git("status", "--porcelain") != ""
+        return commit + ("+dirty" if dirty else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def trajectory_entry(report: dict, commit: str, date: str) -> dict:
+    """One point of perf history: enough to plot, small enough to keep."""
+    return {
+        "commit": commit,
+        "date": date,
+        "scale": report.get("scale", 1.0),
+        "quick": report.get("quick", False),
+        "python": report.get("python"),
+        "measurements": report["current"],
+        "speedup": report["speedup"],
+    }
+
+
+def recover_trajectory(out: pathlib.Path) -> list:
+    """Backfill perf points from every commit that touched the report.
+
+    Older reports carried only ``current`` — the history is still in git,
+    so reconstruct one entry per committed revision of the file (PR 2
+    onward for ``BENCH_core.json``, PR 4 for ``BENCH_sweep.json``).
+    Unreadable or pre-schema revisions are skipped, not fatal.
+    """
+    try:
+        relpath = str(out.resolve().relative_to(REPO_ROOT))
+        commits = _git(
+            "log", "--reverse", "--follow", "--format=%h %ad",
+            "--date=short", "--", relpath,
+        ).splitlines()
+    except (OSError, subprocess.CalledProcessError, ValueError):
+        return []
+    points = []
+    for line in commits:
+        commit, _, date = line.partition(" ")
+        try:
+            old = json.loads(_git("show", f"{commit}:{relpath}"))
+            existing = old.get("trajectory")
+            if existing:
+                # The file already carried history at that commit; keep
+                # only its newest point to avoid quadratic duplication.
+                points.append(existing[-1])
+            else:
+                points.append(trajectory_entry(old, commit, date))
+        except (subprocess.CalledProcessError, KeyError, ValueError):
+            continue
+    return points
+
+
+def extend_trajectory(out: pathlib.Path, report: dict) -> None:
+    """Append this run as a trajectory point (in place on ``report``).
+
+    Carries forward the history already in the on-disk report, or
+    backfills it from git the first time.  Re-runs on the same checkout
+    replace their previous point instead of piling up.
+    """
+    trajectory = []
+    if out.exists():
+        try:
+            trajectory = json.loads(out.read_text()).get("trajectory") or []
+        except ValueError:
+            trajectory = []
+    if not trajectory:
+        trajectory = recover_trajectory(out)
+    commit = head_commit()
+    today = datetime.date.today().isoformat()
+    if trajectory and trajectory[-1].get("commit") == commit:
+        trajectory = trajectory[:-1]
+    trajectory.append(trajectory_entry(report, commit, today))
+    report["trajectory"] = trajectory
+
+
 def capture_sweep_baseline(path: pathlib.Path, scale: float) -> int:
     """Re-measure the vendored per-call-Pool model and freeze it."""
     from benchmarks.perf import sweepbench
@@ -286,6 +387,7 @@ def main(argv=None) -> int:
         "current": current,
         "speedup": suite["speedups"](baseline, current),
     }
+    extend_trajectory(out, report)
     out.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {out}")
