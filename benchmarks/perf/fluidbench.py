@@ -1,0 +1,227 @@
+"""Fluid-engine benchmarks: flows/sec at scale and the packet crossover.
+
+Three measurements feed ``tools/perf_report.py --suite fluid`` (the
+tracked ``BENCH_fluid.json`` trajectory) and the CI fluid perf gate:
+
+* :func:`bench_fluid_scale` — generated fat-tree populations at 10k and
+  100k flows, run end-to-end on the fluid engine; the headline metric is
+  *flow-advances per wall-clock second* (``events_processed`` /
+  engine wall), the fluid analogue of the packet engine's events/sec.
+* :func:`bench_crossover` — one instance small enough for both engines
+  (k=4 fat-tree), timed on each.  This is where the fluid engine's
+  reason to exist becomes a number: the packet engine's wall scales with
+  packets sent, the fluid engine's with flows x epochs.
+* :func:`run_baseline` — freezes the packet-engine side of the
+  crossover (captured once into
+  ``benchmarks/perf/baseline_fluid_packet.json``) plus the founding
+  fluid flows/sec floor the CI gate regresses against.
+
+Run directly for the CI gate::
+
+    PYTHONPATH=src python benchmarks/perf/fluidbench.py --quick \\
+        --gate BENCH_fluid.json
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.fluid import model as _fluid_model
+from repro.fluid.model import FluidOptions
+from repro.scenario import ScenarioRunner, registry
+
+
+def _resolved_backend() -> str:
+    backend = FluidOptions.from_env().backend
+    if backend == "auto":
+        backend = "numpy" if _fluid_model._np is not None else "pure"
+    return backend
+
+#: Scale-bench sizes (num_flows on a fat-tree sized to carry them).
+SCALE_SIZES = ((10_000, 8), (100_000, 16))
+#: Crossover instance: small enough for the packet engine.  ECMP off so
+#: both engines route identically (the packet engine's per-destination
+#: router ignores ``ecmp_seed``; comparing walls across different route
+#: sets would compare different workloads).
+CROSSOVER_KWARGS = dict(
+    gen_seed=1, k=4, num_flows=64, record_flows=16, ecmp=False
+)
+CROSSOVER_DURATION_SECONDS = 20.0
+SCALE_DURATION_SECONDS = 60.0
+#: The gate instance (mid-size: big enough to be numpy-bound, small
+#: enough for a CI smoke step).
+GATE_FLOWS, GATE_K = 10_000, 8
+
+
+def _fluid_point(num_flows: int, k: int, duration: float) -> Dict[str, float]:
+    built = time.perf_counter()
+    spec = registry.build(
+        "gen:fat-tree", gen_seed=1, k=k, num_flows=num_flows,
+        duration=duration, engine="fluid",
+    )
+    build_wall = time.perf_counter() - built
+    started = time.perf_counter()
+    run = ScenarioRunner(spec).run_discipline("CSZ")
+    total_wall = time.perf_counter() - started
+    return {
+        "num_flows": num_flows,
+        "k": k,
+        "duration": duration,
+        "backend": _resolved_backend(),
+        "build_wall_seconds": build_wall,
+        "wall_seconds": total_wall,
+        "engine_wall_seconds": run.wall_seconds,
+        "flow_advances": run.events_processed,
+        "flows_per_sec": run.events_processed / run.wall_seconds,
+    }
+
+
+def bench_fluid_scale(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Fluid throughput at (scaled) 10k and 100k flows."""
+    duration = max(SCALE_DURATION_SECONDS * scale, 5.0)
+    out = {}
+    for num_flows, k in SCALE_SIZES:
+        flows = max(int(num_flows * scale), 1000)
+        out[f"flows_{num_flows}"] = _fluid_point(flows, k, duration)
+    return out
+
+
+def bench_crossover(scale: float = 1.0) -> Dict[str, float]:
+    """The same small fat-tree on both engines.
+
+    Also reports how closely the engines agree on delivered traffic
+    (mean relative received-packet difference over recorded flows) so a
+    wall-clock win can't silently come from simulating something else.
+    """
+    duration = max(CROSSOVER_DURATION_SECONDS * scale, 5.0)
+    fluid_spec = registry.build(
+        "gen:fat-tree", duration=duration, engine="fluid",
+        **CROSSOVER_KWARGS,
+    )
+    packet_spec = registry.build(
+        "gen:fat-tree", duration=duration, engine="packet",
+        **CROSSOVER_KWARGS,
+    )
+    started = time.perf_counter()
+    fluid = ScenarioRunner(fluid_spec).run_discipline("CSZ")
+    fluid_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    packet = ScenarioRunner(packet_spec).run_discipline("CSZ")
+    packet_wall = time.perf_counter() - started
+    by_name = {f.name: f for f in packet.flows}
+    rel_diffs = [
+        abs(f.received - by_name[f.name].received)
+        / max(by_name[f.name].received, 1)
+        for f in fluid.flows
+        if f.name in by_name
+    ]
+    return {
+        "num_flows": CROSSOVER_KWARGS["num_flows"],
+        "duration": duration,
+        "fluid_wall_seconds": fluid_wall,
+        "packet_wall_seconds": packet_wall,
+        "packet_events": packet.events_processed,
+        "fluid_flow_advances": fluid.events_processed,
+        "speedup": packet_wall / fluid_wall,
+        "mean_received_rel_diff": (
+            sum(rel_diffs) / len(rel_diffs) if rel_diffs else 0.0
+        ),
+    }
+
+
+def run_all(scale: float = 1.0) -> Dict[str, object]:
+    scale = max(scale, 0.01)
+    return {
+        "scale_sweep": bench_fluid_scale(scale),
+        "crossover": bench_crossover(scale),
+    }
+
+
+def run_baseline(scale: float = 1.0) -> Dict[str, object]:
+    """The frozen reference: packet engine on the crossover instance,
+    plus the founding fluid flows/sec floor (the gate's regression
+    anchor, re-frozen only deliberately)."""
+    scale = max(scale, 0.01)
+    crossover = bench_crossover(scale)
+    gate = _fluid_point(
+        GATE_FLOWS, GATE_K, max(SCALE_DURATION_SECONDS * scale, 5.0)
+    )
+    return {
+        "crossover_packet": {
+            "num_flows": crossover["num_flows"],
+            "duration": crossover["duration"],
+            "wall_seconds": crossover["packet_wall_seconds"],
+            "packet_events": crossover["packet_events"],
+        },
+        "fluid_floor": gate,
+    }
+
+
+# ----------------------------------------------------------------------
+# CI gate
+# ----------------------------------------------------------------------
+
+
+def _gate(report_path: str, tolerance: float = 0.25) -> int:
+    """Fail CI when fluid flows/sec regresses >``tolerance`` against the
+    committed ``BENCH_fluid.json`` gate point (same container image, so
+    a 25% drop is a real regression, not machine noise)."""
+    import json
+
+    with open(report_path) as handle:
+        committed = json.load(handle)
+    floor_point = committed["baseline"]["measurements"]["fluid_floor"]
+    floor = floor_point["flows_per_sec"]
+    backend = _resolved_backend()
+    if backend != floor_point.get("backend", backend):
+        # A pure-Python run against a numpy floor (or vice versa) is an
+        # environment bug, not a perf regression — fail loudly as such.
+        print(
+            f"fluid perf gate: backend mismatch — running {backend!r} but "
+            f"the committed floor was captured on "
+            f"{floor_point.get('backend')!r}; fix the environment"
+        )
+        return 1
+    # Re-measure the exact committed shape (flows, fabric, duration):
+    # flows/sec depends on the epoch grid, so a different duration would
+    # compare different workloads.
+    measured = _fluid_point(
+        floor_point["num_flows"], floor_point["k"], floor_point["duration"]
+    )
+    threshold = floor * (1.0 - tolerance)
+    rate = measured["flows_per_sec"]
+    verdict = "ok" if rate >= threshold else "REGRESSION"
+    print(
+        f"fluid perf gate: measured {rate:,.0f} flow-adv/s vs committed "
+        f"floor {floor:,.0f} (threshold {threshold:,.0f}): {verdict}"
+    )
+    return 0 if rate >= threshold else 1
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Run the fluid-engine benches (optionally gating CI)."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run at ~1/8 scale (CI sizing)",
+    )
+    parser.add_argument(
+        "--gate", metavar="BENCH_FLUID_JSON", default=None,
+        help="compare fluid flows/sec against the committed report and "
+        "exit non-zero on a >25%% regression",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.125 if args.quick else 1.0
+    if args.gate is not None:
+        return _gate(args.gate)
+    print(json.dumps(run_all(scale=scale), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -218,6 +218,44 @@ def bench_task_pickle(duration: float = WIDE_DURATION_SECONDS) -> Dict[str, floa
     }
 
 
+def bench_override_pickle(
+    duration: float = TINY_DURATION_SECONDS,
+) -> Dict[str, float]:
+    """Bytes shipped for a *whole-spec override* sweep (the ``gen:*``
+    shape, where every run replaces the entire spec).
+
+    Before the fingerprint cache each task payload carried a full pickled
+    spec; now each distinct spec ships once per worker at pool start and
+    payloads carry a ~60-byte reference, so re-sweeping the same specs
+    (seed ladders, early-stop reruns) re-ships nothing.
+    """
+    from repro.scenario import registry
+
+    specs = [
+        registry.build(
+            "gen:random-graph", gen_seed=g, duration=duration, warmup=0.2
+        )
+        for g in (1, 2, 3)
+    ]
+    with SweepExecutor(workers=2, track_task_bytes=True) as executor:
+        executor.run_sweep(specs[0], over=specs)
+        executor.run_sweep(specs[0], over=specs)  # pool + spec-table reuse
+        stats = dict(executor.stats)
+    naive_bytes = sum(
+        len(pickle.dumps(s, pickle.HIGHEST_PROTOCOL)) for s in specs
+    ) / len(specs)
+    return {
+        "override_specs": len(specs),
+        "sweeps": 2,
+        "pools_created": stats["pools_created"],
+        "naive_bytes_per_task": naive_bytes,
+        "executor_bytes_per_task": (
+            stats["task_bytes"] / stats["tasks_dispatched"]
+        ),
+        "override_bytes_per_worker": stats["override_bytes"] / 2,
+    }
+
+
 def run_all(scale: float = 1.0) -> Dict[str, object]:
     """Run every sweep bench, optionally scaled down (``scale < 1``).
 
@@ -235,6 +273,7 @@ def run_all(scale: float = 1.0) -> Dict[str, object]:
         "ladder_to_decision": bench_ladder_to_decision(duration=wide_duration),
         "task_overhead": bench_task_overhead(duration=tiny_duration),
         "task_pickle": bench_task_pickle(duration=wide_duration),
+        "override_pickle": bench_override_pickle(duration=tiny_duration),
     }
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments dynamics [--duration 600] [--seed 1]
     python -m repro.experiments parkinglot [--duration 600] [--seed 1]
     python -m repro.experiments failover [--duration 600] [--seed 1]
+    python -m repro.experiments scale [--duration 60] [--seed 1]
     python -m repro.experiments all [--duration 600] [--seed 1]
 
     python -m repro.experiments --spec scenario.json     # serialized spec
@@ -23,6 +24,10 @@ Usage::
     python -m repro.experiments --spec gen:random-graph --gen-seed 7
     python -m repro.experiments generated --gen-seeds 1..3 --duration 20
     python -m repro.experiments --spec table1 --validate   # opt any spec in
+
+    # engine seam: run any spec on the flow-level fluid model
+    python -m repro.experiments --spec gen:fat-tree --engine fluid
+    python -m repro.experiments --spec parking_lot --engine fluid
 
 ``--spec`` runs one declarative :class:`~repro.scenario.ScenarioSpec`
 loaded from a JSON file (``ScenarioSpec.to_dict`` payload) or built from
@@ -65,6 +70,7 @@ from repro.experiments import (
     failover,
     generated,
     parkinglot,
+    scale,
     table1,
     table2,
     table3,
@@ -82,6 +88,7 @@ EXPERIMENTS = (
     "parkinglot",
     "generated",
     "failover",
+    "scale",
 )
 
 
@@ -184,7 +191,8 @@ def _run_sweep_cli(spec: ScenarioSpec, sweep_plan: tuple, args) -> tuple:
 
 
 def _load_spec(
-    name_or_path: str, duration, seed, gen_seed=None, validate=False
+    name_or_path: str, duration, seed, gen_seed=None, validate=False,
+    engine=None,
 ) -> ScenarioSpec:
     """Resolve ``--spec``: a registered scenario name or a JSON file."""
     if os.path.isfile(name_or_path):
@@ -197,16 +205,22 @@ def _load_spec(
             overrides["seed"] = seed
         if validate:
             overrides["validate"] = True
-        return spec.replace(**overrides) if overrides else spec
-    kwargs = {}
-    if duration is not None:
-        kwargs["duration"] = duration
-    if seed is not None:
-        kwargs["seed"] = seed
-    if gen_seed is not None:
-        kwargs["gen_seed"] = gen_seed
-    spec = registry.build(name_or_path, **kwargs)
-    return spec.replace(validate=True) if validate else spec
+    else:
+        kwargs = {}
+        if duration is not None:
+            kwargs["duration"] = duration
+        if seed is not None:
+            kwargs["seed"] = seed
+        if gen_seed is not None:
+            kwargs["gen_seed"] = gen_seed
+        spec = registry.build(name_or_path, **kwargs)
+        overrides = {"validate": True} if validate else {}
+    # --engine is a plain spec-field override, applied after building so
+    # it works identically for JSON files and registered names (most
+    # builders don't take an engine kwarg).
+    if engine is not None:
+        overrides["engine"] = engine
+    return spec.replace(**overrides) if overrides else spec
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -249,6 +263,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="with the 'generated' experiment: generator seeds to sweep "
         "('1,2,5' or inclusive '1..20'; default 1..20)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("packet", "fluid"),
+        default=None,
+        help="with --spec: override the simulation engine (the "
+        "packet-level simulator or the flow-level fluid model); "
+        "defaults to the spec's own engine field",
     )
     parser.add_argument(
         "--validate",
@@ -316,6 +338,11 @@ def main(argv: list[str] | None = None) -> int:
             "--gen-seed applies to --spec gen:* scenarios (use --gen-seeds "
             "with the 'generated' experiment)"
         )
+    if args.engine is not None and args.spec is None:
+        parser.error(
+            "--engine applies to --spec runs (experiments pick their own "
+            "engine; 'scale' is fluid by construction)"
+        )
     if args.validate and args.spec is None:
         parser.error(
             "--validate applies to --spec runs (the 'generated' experiment "
@@ -342,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.seed,
                 gen_seed=args.gen_seed,
                 validate=args.validate,
+                engine=args.engine,
             )
             if sweep_mode:
                 # Parse and expand up front so flag mistakes surface as
@@ -437,6 +465,15 @@ def main(argv: list[str] | None = None) -> int:
                 print(result.render())
                 payloads[name] = result.to_dict()
                 if not all(row.invariants_clean for row in result.rows):
+                    print("error: invariant violations detected", file=sys.stderr)
+                    exit_code = 1
+            elif name == "scale":
+                # The fluid flagship sizes its own duration (60s); the
+                # 600s paper default is a packet-experiment convention.
+                result = scale.run(duration=args.duration, seed=seed)
+                print(result.render())
+                payloads[name] = result.to_dict()
+                if not result.all_invariants_clean:
                     print("error: invariant violations detected", file=sys.stderr)
                     exit_code = 1
             print(f"[{name} regenerated in {time.monotonic() - started:.1f}s]\n")

@@ -1,0 +1,1043 @@
+"""Flow-level (fluid) co-simulator: bandwidth per epoch, not per packet.
+
+The packet engine is the source of truth but caps out at hundreds of
+flows; this model trades packet-level exactness for three to five orders
+of magnitude more flows.  It consumes a :class:`ScenarioSpec` unchanged
+and emits the same :class:`~repro.scenario.runner.DisciplineRunResult`
+shape, so the runner, sweep executor, CLI, and experiments never know
+which engine ran.
+
+The model, per epoch of length ``dt`` over each flow's static route:
+
+1. **Arrivals.**  Each flow is the *fluid limit* of its on/off source: a
+   deterministic periodic burst train with the same peak rate, duty
+   cycle (average/peak), and mean burst length as the packet source, at
+   a per-flow random phase.  The on-time overlapping ``[t0, t1)`` is
+   closed-form, so arrivals are exact at any epoch size and integrate to
+   the source's average rate.
+2. **Allocation.**  A tiered, demand-bounded, weighted max-min
+   water-filling assigns every flow a rate over its links.  The run's
+   discipline family picks weights and tiers: FIFO-family disciplines
+   share proportionally to offered demand; WFQ-family disciplines weight
+   by clock rate (installed guaranteed rates, or the auto-register /
+   equal-share rate); the unified/priority (CSZ) family allocates in
+   strict tier order — guaranteed, predicted classes by priority,
+   datagram last — which is exactly the isolation structure the paper's
+   Figure 1 experiments measure.
+3. **Backlog and delay.**  Unserved arrivals accumulate as per-flow
+   backlog attributed to the flow's bottleneck link, clamped to the
+   link buffer with drops taken from the *highest* tiers first (datagram
+   eats the overflow, as CSZ intends).  A flow's queueing delay is the
+   shared-queue wait ``sum over path links of Q(link, tiers <= own) /
+   capacity`` for FIFO-family flows, and the isolated ``own backlog /
+   own rate`` for clock-weighted flows.  Delay statistics are weighted
+   by delivered packets per epoch, mirroring the packet sink's
+   per-packet samples.
+
+What the fluid model does *not* capture: packet-granularity effects
+(per-packet jitter inside an epoch, FIFO+ jitter sharing), transient
+bursts shorter than an epoch, TCP dynamics, and control-plane outages —
+specs with ``tcps`` or ``outages`` are rejected.  Cross-validation
+tolerances against the packet engine live in
+``tests/fluid/test_equivalence.py`` and the README.
+
+Two interchangeable backends: a pure-Python reference (authoritative,
+always available) and a vectorized NumPy path (the scale engine,
+~100–1000x faster at 10k+ flows).  ``REPRO_FLUID_BACKEND=pure|numpy``
+pins one; the default uses NumPy when installed and the population is
+large enough to benefit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.packet import ServiceClass
+from repro.net.routing import RoutingError
+from repro.scenario.disciplines import resolve_port_discipline
+from repro.scenario.runner import DisciplineRunResult, FlowStats
+from repro.scenario.spec import (
+    DisciplineSpec,
+    FlowSpec,
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioSpec,
+)
+
+try:  # NumPy is optional everywhere in this repo; pure Python is
+    import numpy as _np  # authoritative and the only hard dependency.
+except ImportError:  # pragma: no cover - exercised on numpy-free CI
+    _np = None
+
+#: Discipline kinds that weight flows by clock rate (isolating).
+FAIR_KINDS = frozenset({"wfq", "virtual_clock", "round_robin", "drr"})
+#: Discipline kinds that allocate in strict service-tier order.
+TIERED_KINDS = frozenset({"unified", "priority"})
+
+#: Phase stream salt — the fluid analogue of the runner's
+#: ``source:<name>`` streams: phases depend only on (spec.seed, flow
+#: name), so disciplines of one spec see identical arrivals (the
+#: paper's A/B methodology) and reruns are bit-identical.
+_PHASE_SALT = "fluid-phase"
+
+_EPOCH_ENV = "REPRO_FLUID_EPOCH"
+_BACKEND_ENV = "REPRO_FLUID_BACKEND"
+
+
+@dataclasses.dataclass(frozen=True)
+class FluidOptions:
+    """Tuning knobs of the fluid engine (all have sound defaults).
+
+    Attributes:
+        epoch_seconds: fixed epoch length; ``None`` picks one
+            automatically — fine enough to resolve the shortest on/off
+            period at small populations, coarsening so the whole run
+            stays within ``target_flow_epochs`` flow-advances at large
+            ones (that budget is what makes a 100k-flow fat-tree finish
+            in tens of seconds).
+        target_flow_epochs: auto-epoch budget, in flow-epoch advances.
+        max_rounds: water-filling round cap per tier per epoch; when
+            exhausted the remaining flows get one final demand-capped
+            proportional fill (counted in ``waterfill_exhausted``).
+        backend: ``"auto"`` / ``"numpy"`` / ``"pure"``.
+    """
+
+    epoch_seconds: Optional[float] = None
+    target_flow_epochs: float = 12e6
+    max_rounds: int = 200
+    backend: str = "auto"
+
+    @classmethod
+    def from_env(cls, **overrides) -> "FluidOptions":
+        epoch = os.environ.get(_EPOCH_ENV)
+        if epoch and "epoch_seconds" not in overrides:
+            overrides["epoch_seconds"] = float(epoch)
+        backend = os.environ.get(_BACKEND_ENV)
+        if backend and "backend" not in overrides:
+            overrides["backend"] = backend
+        return cls(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Spec compilation
+# ----------------------------------------------------------------------
+
+
+def _routes_for(spec: ScenarioSpec):
+    """Per-flow node paths: the packet engine's static routes, or the
+    seeded ECMP choice when the spec carries an ``ecmp_seed``."""
+    from repro.scenario.generators import topology_routes
+
+    if spec.ecmp_seed is not None:
+        from repro.net.fabric import EcmpPaths
+
+        chooser = EcmpPaths(spec.topology, seed=spec.ecmp_seed)
+        return lambda flow: chooser.path(
+            flow.source_host, flow.dest_host, flow.name
+        )
+    routing = topology_routes(spec.topology)
+    return lambda flow: routing.path(flow.source_host, flow.dest_host)
+
+
+def _admit(spec: ScenarioSpec, path_links: Dict[str, Tuple[int, ...]],
+           link_rates: Sequence[float]):
+    """Static admission: the fluid stand-in for the signaling round-trip.
+
+    Request-bearing flows visit admission in establish order (mirroring
+    :class:`~repro.scenario.runner.ScenarioContext`): a guaranteed
+    request is granted iff its clock rate fits under the realtime quota
+    on every path link given earlier commitments; a predicted request
+    checks its token rate the same way.  Denied flows run as datagram —
+    the paper's fallback service.  Without an ``admission`` block every
+    request is honoured (the runner's direct-install path).
+
+    Returns ``(service, clock, admitted, denied)``: per-flow resolved
+    ``(ServiceClass, priority)``, per-flow granted clock rate (or None),
+    and the admitted/denied flow-name lists.
+    """
+    quota = spec.admission.realtime_quota if spec.admission else None
+    committed = [0.0] * len(link_rates)
+    service: Dict[str, Tuple[ServiceClass, int]] = {}
+    clock: Dict[str, Optional[float]] = {}
+    admitted: List[str] = []
+    denied: List[str] = []
+
+    flows_by_name = {flow.name: flow for flow in spec.flows}
+    order = list(spec.establish_order or ())
+    listed = set(order)
+    order += [
+        f.name for f in spec.flows
+        if f.request is not None and f.name not in listed
+    ]
+    for name in order:
+        flow = flows_by_name[name]
+        links = path_links[name]
+        if isinstance(flow.request, GuaranteedRequest):
+            rate = flow.request.clock_rate_bps
+            fits = quota is None or all(
+                committed[l] + rate <= quota * link_rates[l] for l in links
+            )
+            if fits:
+                for l in links:
+                    committed[l] += rate
+                service[name] = (ServiceClass.GUARANTEED, 0)
+                clock[name] = rate
+                admitted.append(name)
+            else:
+                service[name] = (ServiceClass.DATAGRAM, 0)
+                clock[name] = None
+                denied.append(name)
+        elif isinstance(flow.request, PredictedRequest):
+            rate = flow.request.token_rate_bps
+            fits = quota is None or all(
+                committed[l] + rate <= quota * link_rates[l] for l in links
+            )
+            if fits:
+                for l in links:
+                    committed[l] += rate
+                service[name] = (ServiceClass.PREDICTED, flow.priority_class)
+                admitted.append(name)
+            else:
+                service[name] = (ServiceClass.DATAGRAM, 0)
+                denied.append(name)
+            clock[name] = None
+    for flow in spec.flows:
+        if flow.name not in service:
+            service[flow.name] = (flow.service_class, flow.priority_class)
+            clock[flow.name] = None
+    return service, clock, admitted, denied
+
+
+class FluidSimulation:
+    """One discipline's fluid run, built from a spec.
+
+    Mirrors the :class:`~repro.scenario.runner.ScenarioContext` surface
+    the executor needs: construct, :meth:`run`, :meth:`collect`.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        discipline: DisciplineSpec,
+        options: Optional[FluidOptions] = None,
+    ):
+        if spec.tcps:
+            raise ValueError(
+                "the fluid engine does not model TCP; run TCP specs on "
+                "the packet engine"
+            )
+        if spec.outages is not None:
+            raise ValueError(
+                "the fluid engine does not model link outages; run "
+                "outage specs on the packet engine"
+            )
+        self.spec = spec
+        self.discipline = discipline
+        self.options = options or FluidOptions.from_env()
+
+        topology = spec.topology
+        self.link_names: Tuple[str, ...] = topology.link_names
+        link_index = {name: i for i, name in enumerate(self.link_names)}
+        self.caps = [float(link.rate_bps) for link in topology.links]
+        # Buffer bound in bits: packets x the rate-weighted mean packet
+        # size of the population (the packet engine bounds in packets;
+        # a single spec-wide mean keeps the bound flow-independent).
+        mean_size = (
+            sum(f.average_rate_pps * f.packet_size_bits * f.packet_size_bits
+                for f in spec.flows)
+            / sum(f.average_rate_pps * f.packet_size_bits
+                  for f in spec.flows)
+            if spec.flows else 1000.0
+        )
+        self.buffer_bits = [
+            float(link.buffer_packets) * mean_size for link in topology.links
+        ]
+
+        # -- routes ----------------------------------------------------
+        path_of = _routes_for(spec)
+        link_set = set(self.link_names)
+        self.paths: List[Tuple[int, ...]] = []
+        path_links: Dict[str, Tuple[int, ...]] = {}
+        for flow in spec.flows:
+            try:
+                nodes = path_of(flow)
+            except RoutingError as exc:
+                raise RoutingError(f"flow {flow.name!r}: {exc}") from None
+            links = tuple(
+                link_index[f"{a}->{b}"]
+                for a, b in zip(nodes, nodes[1:])
+                if f"{a}->{b}" in link_set
+            )
+            self.paths.append(links)
+            path_links[flow.name] = links
+
+        # -- admission + per-flow service resolution -------------------
+        service, clock, self.admitted, self.denied = _admit(
+            spec, path_links, self.caps
+        )
+
+        # -- discipline family: weights, modes, tiers ------------------
+        # Per-port overrides resolve per link; a flow is governed by the
+        # discipline at its minimum-capacity path link (its structural
+        # bottleneck) — the documented fluid approximation of mixed
+        # per-tier fabrics.
+        resolved: Dict[int, DisciplineSpec] = {
+            i: resolve_port_discipline(discipline, name)
+            for i, name in enumerate(self.link_names)
+        }
+        run_tiered = any(d.kind in TIERED_KINDS for d in resolved.values())
+        num_predicted = max(
+            [d.param_dict.get("num_predicted_classes", 2)
+             for d in resolved.values() if d.kind in TIERED_KINDS] or [2]
+        )
+        if run_tiered:
+            num_predicted = max(
+                [num_predicted]
+                + [service[f.name][1] + 1 for f in spec.flows
+                   if service[f.name][0] is ServiceClass.PREDICTED]
+            )
+        self.num_tiers = 2 + num_predicted if run_tiered else 1
+
+        F = len(spec.flows)
+        self.flow_names = [f.name for f in spec.flows]
+        self.size_bits = [float(f.packet_size_bits) for f in spec.flows]
+        self.avg_bps = [
+            f.average_rate_pps * f.packet_size_bits for f in spec.flows
+        ]
+        self.peak_bps = []
+        self.duty = []
+        self.period = []
+        self.phase = []
+        self.tier = []
+        self.fair = []           # clock-weighted (isolated) vs demand-shared
+        self.weight_static = []  # clock weight for fair flows; unused else
+        self.realtime = []
+        self.record = [bool(f.record) for f in spec.flows]
+        for f, flow in enumerate(spec.flows):
+            peak_pps = flow.peak_rate_pps or 2.0 * flow.average_rate_pps
+            self.peak_bps.append(peak_pps * flow.packet_size_bits)
+            self.duty.append(min(1.0, flow.average_rate_pps / peak_pps))
+            self.period.append(
+                flow.mean_burst_packets / flow.average_rate_pps
+                / max(self.duty[-1], 1e-12)
+            )
+            self.phase.append(
+                random.Random(
+                    f"{_PHASE_SALT}:{spec.seed}:{flow.name}"
+                ).random()
+            )
+            cls, priority = service[flow.name]
+            self.realtime.append(cls.is_realtime)
+            if run_tiered:
+                if cls is ServiceClass.GUARANTEED:
+                    self.tier.append(0)
+                elif cls is ServiceClass.PREDICTED:
+                    self.tier.append(1 + min(priority, num_predicted - 1))
+                else:
+                    self.tier.append(1 + num_predicted)
+            else:
+                self.tier.append(0)
+            governing = None
+            if self.paths[f]:
+                bottleneck = min(self.paths[f], key=lambda l: self.caps[l])
+                governing = resolved[bottleneck]
+            granted = clock[flow.name]
+            if granted is not None and (
+                governing is None
+                or governing.kind in FAIR_KINDS
+                or governing.kind in TIERED_KINDS
+            ):
+                # An installed clock rate isolates the flow wherever a
+                # rate-capable scheduler runs.
+                self.fair.append(True)
+                self.weight_static.append(granted)
+            elif governing is not None and governing.kind in FAIR_KINDS:
+                params = governing.param_dict
+                share = params.get("equal_share_flows")
+                if share:
+                    rate = self.caps[bottleneck] / share
+                else:
+                    rate = params.get("auto_register_rate_bps")
+                self.fair.append(True)
+                # Unregistered flows under WFQ-family schedulers share
+                # proportionally to their offered rate.
+                self.weight_static.append(rate or self.avg_bps[-1])
+            else:
+                self.fair.append(False)
+                self.weight_static.append(0.0)
+
+        # -- epoch grid ------------------------------------------------
+        duration = float(spec.duration)
+        if self.options.epoch_seconds is not None:
+            epoch = float(self.options.epoch_seconds)
+        else:
+            budget = self.options.target_flow_epochs
+            if self.options.backend == "pure" or (
+                self.options.backend == "auto" and _np is None
+            ):
+                budget /= 16.0  # pure Python advances ~16x slower
+            shortest = min(self.period) if self.period else duration
+            fine = max(shortest / 4.0, duration / 65536.0)
+            coarse = duration / max(64.0, budget / max(F, 1))
+            epoch = max(fine, min(coarse, duration / 8.0)) if F else duration
+        self.epoch_seconds = min(epoch, duration) if duration else epoch
+        self.num_epochs = (
+            max(1, math.ceil(duration / self.epoch_seconds - 1e-9))
+            if duration > 0
+            else 0
+        )
+
+        # -- run accumulators (plain Python; backends fill them) -------
+        self.generated_bits = [0.0] * F
+        self.delivered_bits = [0.0] * F
+        self.dropped_bits = [0.0] * F
+        self.backlog_bits = [0.0] * F
+        self.link_served_bits = [0.0] * len(self.caps)
+        self.link_drop_packets = [0.0] * len(self.caps)
+        self.link_wait_num = [0.0] * len(self.caps)   # wait x served bits
+        self.link_wait_den = [0.0] * len(self.caps)
+        self.link_realtime_bits = [0.0] * len(self.caps)
+        # Per recorded flow: [(delay_seconds, delivered_packets), ...]
+        self.samples: Dict[int, List[Tuple[float, float]]] = {
+            f: [] for f in range(F) if self.record[f]
+        }
+        self.events_processed = 0
+        self.waterfill_exhausted = 0
+        self.max_capacity_overuse = 0.0   # relative, across epochs/links
+        self.max_buffer_overuse = 0.0     # relative, after clamping
+        self._wall_seconds: Optional[float] = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The backend :meth:`run` will use (resolved from options)."""
+        choice = self.options.backend
+        if choice == "auto":
+            return "numpy" if _np is not None else "pure"
+        if choice not in ("numpy", "pure"):
+            raise ValueError(
+                f"unknown fluid backend {choice!r}; expected auto|numpy|pure"
+            )
+        if choice == "numpy" and _np is None:
+            raise RuntimeError("numpy backend requested but numpy is absent")
+        return choice
+
+    def _on_seconds(self, f: int, t0: float, t1: float) -> float:
+        """Closed-form on-time of flow ``f``'s periodic burst train
+        overlapping ``[t0, t1)`` — exact for any epoch size."""
+        period = self.period[f]
+        duty = self.duty[f]
+        if duty >= 1.0:
+            return t1 - t0
+        a = t0 / period + self.phase[f]
+        b = t1 / period + self.phase[f]
+
+        def measure(u: float) -> float:
+            whole = math.floor(u)
+            return duty * whole + min(u - whole, duty)
+
+        return (measure(b) - measure(a)) * period
+
+    # ------------------------------------------------------------------
+    def run(self) -> "FluidSimulation":
+        started = time.perf_counter()
+        if not self._ran:
+            if self.num_epochs:
+                if self.backend == "numpy":
+                    self._advance_numpy()
+                else:
+                    self._advance_pure()
+            self._ran = True
+        self._wall_seconds = (self._wall_seconds or 0.0) + (
+            time.perf_counter() - started
+        )
+        return self
+
+    # -- pure-Python reference backend ---------------------------------
+    def _advance_pure(self) -> None:
+        F = len(self.flow_names)
+        L = len(self.caps)
+        T = self.num_tiers
+        duration = float(self.spec.duration)
+        warmup = float(self.spec.warmup)
+        eps = [max(1e-9 * c, 1e-6) for c in self.caps]
+        tier_flows = [
+            [f for f in range(F) if self.tier[f] == t and self.paths[f]]
+            for t in range(T)
+        ]
+        unrouted = [f for f in range(F) if not self.paths[f]]
+        backlog = self.backlog_bits
+        bottleneck = [-1] * F
+
+        for e in range(self.num_epochs):
+            t0 = e * self.epoch_seconds
+            t1 = min(duration, t0 + self.epoch_seconds)
+            dt = t1 - t0
+            if dt <= 0:
+                break
+            arrival = [
+                self.peak_bps[f] * self._on_seconds(f, t0, t1)
+                for f in range(F)
+            ]
+            demand = [(arrival[f] + backlog[f]) / dt for f in range(F)]
+            weight = [
+                self.weight_static[f] if self.fair[f] else demand[f]
+                for f in range(F)
+            ]
+            rate = [0.0] * F
+            for f in range(F):
+                bottleneck[f] = -1
+            slack = list(self.caps)
+            for t in range(T):
+                self._waterfill_pure(
+                    tier_flows[t], demand, weight, rate, bottleneck,
+                    slack, eps,
+                )
+            for f in unrouted:
+                rate[f] = demand[f]
+
+            # Served bits, backlog update, buffer clamp (drop high tiers
+            # first), per-link queues, delays, accumulators.
+            used = [0.0] * L
+            for f in range(F):
+                r = rate[f]
+                if r > 0:
+                    for l in self.paths[f]:
+                        used[l] += r
+            for l in range(L):
+                over = used[l] / self.caps[l] - 1.0
+                if over > self.max_capacity_overuse:
+                    self.max_capacity_overuse = over
+
+            queue = [[0.0] * T for _ in range(L)]
+            for f in range(F):
+                served = rate[f] * dt
+                new_backlog = backlog[f] + arrival[f] - served
+                backlog[f] = new_backlog if new_backlog > 0 else 0.0
+                self.generated_bits[f] += arrival[f]
+                self.delivered_bits[f] += served
+                if backlog[f] > 0 and self.paths[f]:
+                    if bottleneck[f] < 0:
+                        bottleneck[f] = self.paths[f][0]
+                    queue[bottleneck[f]][self.tier[f]] += backlog[f]
+
+            scale = [[1.0] * T for _ in range(L)]
+            for l in range(L):
+                remaining = self.buffer_bits[l]
+                for t in range(T):
+                    q = queue[l][t]
+                    if q <= 0:
+                        continue
+                    keep = min(q, remaining)
+                    scale[l][t] = keep / q
+                    remaining -= keep
+                    queue[l][t] = keep
+            for f in range(F):
+                if backlog[f] > 0 and bottleneck[f] >= 0:
+                    s = scale[bottleneck[f]][self.tier[f]]
+                    if s < 1.0:
+                        dropped = backlog[f] * (1.0 - s)
+                        backlog[f] -= dropped
+                        self.dropped_bits[f] += dropped
+                        self.link_drop_packets[bottleneck[f]] += (
+                            dropped / self.size_bits[f]
+                        )
+
+            cumwait = [[0.0] * T for _ in range(L)]
+            for l in range(L):
+                acc = 0.0
+                for t in range(T):
+                    acc += queue[l][t]
+                    cumwait[l][t] = acc / self.caps[l]
+
+            for f in range(F):
+                served = rate[f] * dt
+                if served > 0:
+                    for l in self.paths[f]:
+                        self.link_served_bits[l] += served
+                        self.link_wait_num[l] += (
+                            cumwait[l][self.tier[f]] * served
+                        )
+                        self.link_wait_den[l] += served
+                        if self.realtime[f]:
+                            self.link_realtime_bits[l] += served
+                if self.record[f] and t0 >= warmup:
+                    if self.fair[f]:
+                        delay = backlog[f] / rate[f] if rate[f] > 0 else 0.0
+                    else:
+                        delay = sum(
+                            cumwait[l][self.tier[f]] for l in self.paths[f]
+                        )
+                    self.samples[f].append(
+                        (delay, served / self.size_bits[f])
+                    )
+            self.events_processed += F
+
+    def _waterfill_pure(
+        self, flows, demand, weight, rate, bottleneck, slack, eps
+    ) -> None:
+        """Demand-bounded weighted max-min over one tier's flows, eating
+        into ``slack`` (shared across tiers, already reduced by earlier
+        tiers).  Freezes flows either at their demand or at the first
+        link of theirs that saturates (recorded in ``bottleneck``)."""
+        active = {
+            f for f in flows if demand[f] > 0 and weight[f] > 0
+        }
+        rounds = 0
+        while active and rounds < self.options.max_rounds:
+            rounds += 1
+            wsum: Dict[int, float] = {}
+            for f in active:
+                for l in self.paths[f]:
+                    wsum[l] = wsum.get(l, 0.0) + weight[f]
+            lam = min(
+                (max(slack[l], 0.0) / wsum[l] for l in wsum), default=0.0
+            )
+            hit = [
+                f for f in active
+                if demand[f] - rate[f] <= lam * weight[f] * (1 + 1e-12)
+            ]
+            if hit:
+                for f in hit:
+                    rate[f] = demand[f]
+                    active.discard(f)
+            else:
+                for f in active:
+                    rate[f] += lam * weight[f]
+            # Exact slack from scratch (over *all* flows, so earlier
+            # tiers' allocations stay counted) — mirrors the NumPy
+            # backend's bincount and is immune to incremental drift.
+            used_all = [0.0] * len(self.caps)
+            for g, r in enumerate(rate):
+                if r > 0:
+                    for l in self.paths[g]:
+                        used_all[l] += r
+            for l in range(len(self.caps)):
+                slack[l] = self.caps[l] - used_all[l]
+            frozen = []
+            for f in active:
+                saturated = [
+                    l for l in self.paths[f] if slack[l] <= eps[l]
+                ]
+                if saturated:
+                    bottleneck[f] = min(saturated)
+                    frozen.append(f)
+            for f in frozen:
+                active.discard(f)
+        if active:
+            # Round cap exhausted: one final demand-capped proportional
+            # fill so no capacity is silently stranded.
+            self.waterfill_exhausted += len(active)
+            wsum = {}
+            for f in active:
+                for l in self.paths[f]:
+                    wsum[l] = wsum.get(l, 0.0) + weight[f]
+            lam = min(
+                (max(slack[l], 0.0) / wsum[l] for l in wsum), default=0.0
+            )
+            for f in active:
+                rate[f] = min(demand[f], rate[f] + lam * weight[f])
+
+    # -- NumPy backend --------------------------------------------------
+    def _advance_numpy(self) -> None:
+        np = _np
+        F = len(self.flow_names)
+        L = len(self.caps)
+        T = self.num_tiers
+        duration = float(self.spec.duration)
+        warmup = float(self.spec.warmup)
+        caps = np.asarray(self.caps)
+        eps = np.maximum(1e-9 * caps, 1e-6)
+        buffer_bits = np.asarray(self.buffer_bits)
+        peak = np.asarray(self.peak_bps)
+        duty = np.asarray(self.duty)
+        period = np.asarray(self.period)
+        phase = np.asarray(self.phase)
+        tier = np.asarray(self.tier, dtype=np.int64)
+        fair = np.asarray(self.fair, dtype=bool)
+        w_static = np.asarray(self.weight_static)
+        size_bits = np.asarray(self.size_bits)
+        realtime = np.asarray(self.realtime, dtype=bool)
+        routed = np.asarray([bool(p) for p in self.paths], dtype=bool)
+        first_link = np.asarray(
+            [p[0] if p else 0 for p in self.paths], dtype=np.int64
+        )
+        # Flat incidence (flow, link) entries, plus per-tier views.
+        ef = np.asarray(
+            [f for f in range(F) for _ in self.paths[f]], dtype=np.int64
+        )
+        el = np.asarray(
+            [l for f in range(F) for l in self.paths[f]], dtype=np.int64
+        )
+        e_tier = tier[ef]
+        e_lt = el * T + e_tier
+        e_rt = realtime[ef]
+        tier_members = [
+            np.flatnonzero((tier == t) & routed) for t in range(T)
+        ]
+        rec_idx = np.flatnonzero(np.asarray(self.record, dtype=bool))
+
+        backlog = np.zeros(F)
+        generated = np.zeros(F)
+        delivered = np.zeros(F)
+        dropped = np.zeros(F)
+        link_served = np.zeros(L)
+        link_drops = np.zeros(L)
+        wait_num = np.zeros(L)
+        wait_den = np.zeros(L)
+        link_rt = np.zeros(L)
+        rec_delays: List = []
+        rec_weights: List = []
+
+        inv_period = 1.0 / period
+        for e in range(self.num_epochs):
+            t0 = e * self.epoch_seconds
+            t1 = min(duration, t0 + self.epoch_seconds)
+            dt = t1 - t0
+            if dt <= 0:
+                break
+            a = t0 * inv_period + phase
+            b = t1 * inv_period + phase
+            fa = np.floor(a)
+            fb = np.floor(b)
+            on = (
+                duty * fb + np.minimum(b - fb, duty)
+                - (duty * fa + np.minimum(a - fa, duty))
+            ) * period
+            np.minimum(on, t1 - t0, out=on)
+            arrival = peak * on
+            demand = (arrival + backlog) / dt
+            weight = np.where(fair, w_static, demand)
+
+            rate = np.zeros(F)
+            bottleneck = np.full(F, -1, dtype=np.int64)
+            slack = caps.copy()
+            for t in range(T):
+                self._waterfill_numpy(
+                    np, tier_members[t], demand, weight, rate,
+                    bottleneck, slack, caps, eps, ef, el,
+                )
+            rate[~routed] = demand[~routed]
+
+            used = np.bincount(el, weights=rate[ef], minlength=L)
+            over = float(np.max(used / caps)) - 1.0
+            if over > self.max_capacity_overuse:
+                self.max_capacity_overuse = over
+
+            served = rate * dt
+            backlog += arrival - served
+            np.maximum(backlog, 0.0, out=backlog)
+            generated += arrival
+            delivered += served
+
+            queued = routed & (backlog > 0)
+            bn = np.where(bottleneck >= 0, bottleneck, first_link)
+            q_lt = np.bincount(
+                (bn * T + tier)[queued], weights=backlog[queued],
+                minlength=L * T,
+            ).astype(float).reshape(L, T)
+            # Clamp to the buffer, keeping low tiers and shedding high
+            # ones: cumulative-from-tier-0 occupancy against the bound.
+            cum = np.cumsum(q_lt, axis=1)
+            keep = np.clip(
+                buffer_bits[:, None] - (cum - q_lt), 0.0, q_lt
+            )
+            with np.errstate(invalid="ignore", divide="ignore"):
+                scale = np.where(q_lt > 0, keep / np.maximum(q_lt, 1e-300),
+                                 1.0)
+            flow_scale = np.ones(F)
+            flow_scale[queued] = scale[bn[queued], tier[queued]]
+            shed = backlog * (1.0 - flow_scale)
+            backlog *= flow_scale
+            dropped += shed
+            link_drops += np.bincount(
+                bn[queued], weights=(shed / size_bits)[queued], minlength=L
+            )
+            q_lt *= scale
+
+            cumwait = np.cumsum(q_lt, axis=1) / caps[:, None]
+            cumwait_flat = cumwait.reshape(-1)
+
+            served_lt = np.bincount(
+                e_lt, weights=(rate[ef] * dt), minlength=L * T
+            )
+            link_served += np.bincount(el, weights=rate[ef] * dt,
+                                       minlength=L)
+            wait_num += (
+                (cumwait_flat * served_lt).reshape(L, T).sum(axis=1)
+            )
+            wait_den += served_lt.reshape(L, T).sum(axis=1)
+            link_rt += np.bincount(
+                el[e_rt], weights=(rate[ef] * dt)[e_rt], minlength=L
+            )
+
+            if rec_idx.size and t0 >= warmup:
+                shared = np.bincount(
+                    ef, weights=cumwait_flat[e_lt], minlength=F
+                )
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    isolated = np.where(
+                        rate > 0, backlog / np.maximum(rate, 1e-300), 0.0
+                    )
+                delay = np.where(fair, isolated, shared)
+                rec_delays.append(delay[rec_idx].copy())
+                rec_weights.append((served / size_bits)[rec_idx].copy())
+            self.events_processed += F
+
+        self.generated_bits = generated.tolist()
+        self.delivered_bits = delivered.tolist()
+        self.dropped_bits = dropped.tolist()
+        self.backlog_bits = backlog.tolist()
+        self.link_served_bits = link_served.tolist()
+        self.link_drop_packets = link_drops.tolist()
+        self.link_wait_num = wait_num.tolist()
+        self.link_wait_den = wait_den.tolist()
+        self.link_realtime_bits = link_rt.tolist()
+        for f in self.samples:
+            pos = int(np.searchsorted(rec_idx, f))
+            self.samples[f] = [
+                (float(d[pos]), float(w[pos]))
+                for d, w in zip(rec_delays, rec_weights)
+            ]
+
+    def _waterfill_numpy(
+        self, np, members, demand, weight, rate, bottleneck, slack,
+        caps, eps, ef, el,
+    ) -> None:
+        """Vectorized mirror of :meth:`_waterfill_pure`."""
+        F = rate.shape[0]
+        L = caps.shape[0]
+        active = np.zeros(F, dtype=bool)
+        active[members] = (demand[members] > 0) & (weight[members] > 0)
+        if not active.any():
+            return
+        rounds = 0
+        while rounds < self.options.max_rounds:
+            rounds += 1
+            aw = np.where(active, weight, 0.0)
+            wsum = np.bincount(el, weights=aw[ef], minlength=L)
+            contended = wsum > 0
+            if not contended.any():
+                return
+            lam = float(
+                np.min(np.maximum(slack[contended], 0.0) / wsum[contended])
+            )
+            gap = demand - rate
+            hit = active & (gap <= lam * weight * (1 + 1e-12))
+            if hit.any():
+                rate[hit] = demand[hit]
+                active &= ~hit
+            else:
+                rate += lam * aw
+            used = np.bincount(el, weights=rate[ef], minlength=L)
+            slack[:] = caps - used
+            sat_entry = (slack[el] <= eps[el]) & active[ef]
+            if sat_entry.any():
+                bn = np.full(F, L, dtype=np.int64)
+                np.minimum.at(bn, ef[sat_entry], el[sat_entry])
+                frozen = bn < L
+                bottleneck[frozen] = bn[frozen]
+                active &= ~frozen
+            if not active.any():
+                return
+        # Round cap exhausted: final demand-capped proportional fill.
+        self.waterfill_exhausted += int(active.sum())
+        aw = np.where(active, weight, 0.0)
+        wsum = np.bincount(el, weights=aw[ef], minlength=L)
+        contended = wsum > 0
+        if contended.any():
+            lam = float(
+                np.min(np.maximum(slack[contended], 0.0) / wsum[contended])
+            )
+            rate[active] = np.minimum(
+                demand[active], rate[active] + lam * weight[active]
+            )
+
+    # ------------------------------------------------------------------
+    def collect(self) -> DisciplineRunResult:
+        """Snapshot the fluid run into the packet engine's result shape."""
+        spec = self.spec
+        duration = float(spec.duration) or 1.0
+        flow_stats = []
+        for f, flow in enumerate(spec.flows):
+            if not self.record[f]:
+                continue
+            flow_stats.append(self._flow_stats(f, flow))
+        invariants = None
+        if spec.validate:
+            invariants = self._check_invariants()
+        accounting = bool(spec.link_accounting)
+        datagram_dropped = 0
+        if accounting:
+            datagram_dropped = int(round(sum(
+                self.dropped_bits[f] / self.size_bits[f]
+                for f in range(len(spec.flows))
+                if not self.realtime[f]
+            )))
+        return DisciplineRunResult(
+            discipline=self.discipline.name,
+            flows=tuple(flow_stats),
+            link_utilizations=tuple(
+                (name, self.link_served_bits[l] / (self.caps[l] * duration))
+                for l, name in enumerate(self.link_names)
+            ),
+            link_queueing=tuple(
+                (
+                    name,
+                    (
+                        self.link_wait_num[l] / self.link_wait_den[l]
+                        if self.link_wait_den[l]
+                        else 0.0
+                    ),
+                )
+                for l, name in enumerate(self.link_names)
+            ),
+            link_drops=tuple(
+                (name, int(round(self.link_drop_packets[l])))
+                for l, name in enumerate(self.link_names)
+            ),
+            port_disciplines=tuple(sorted(
+                (name, resolve_port_discipline(self.discipline, name).name)
+                for name in self.link_names
+            )),
+            realtime_fraction=tuple(
+                (
+                    name,
+                    (
+                        self.link_realtime_bits[l] / self.link_served_bits[l]
+                        if self.link_served_bits[l]
+                        else 0.0
+                    ),
+                )
+                for l, name in enumerate(self.link_names)
+            ) if accounting else (),
+            datagram_dropped=datagram_dropped,
+            tcp_stats=(),
+            events_processed=self.events_processed,
+            wall_seconds=self._wall_seconds or 0.0,
+            worker_pid=os.getpid(),
+            invariants=invariants,
+            control=None,
+        )
+
+    def _flow_stats(self, f: int, flow: FlowSpec) -> FlowStats:
+        samples = [s for s in self.samples.get(f, ()) if s[1] > 0]
+        total_w = sum(w for _, w in samples)
+        if total_w > 0:
+            mean = sum(d * w for d, w in samples) / total_w
+            max_d = max(d for d, _ in samples)
+            min_d = min(d for d, _ in samples)
+        else:
+            mean = max_d = min_d = 0.0
+        generated = int(round(self.generated_bits[f] / self.size_bits[f]))
+        received = int(round(self.delivered_bits[f] / self.size_bits[f]))
+        return FlowStats(
+            name=flow.name,
+            generated=generated,
+            emitted=generated,
+            filtered=0,
+            received=received,
+            recorded=int(round(total_w)),
+            mean_seconds=mean,
+            max_seconds=max_d,
+            jitter_seconds=max_d - min_d if total_w > 0 else 0.0,
+            percentiles=tuple(
+                (pct, self._weighted_percentile(samples, total_w, pct))
+                for pct in self.spec.percentile_points
+            ),
+        )
+
+    @staticmethod
+    def _weighted_percentile(
+        samples: List[Tuple[float, float]], total_w: float, pct: float
+    ) -> float:
+        """Delivered-packet-weighted nearest-rank percentile."""
+        if total_w <= 0:
+            return 0.0
+        target = (pct / 100.0) * total_w
+        acc = 0.0
+        for delay, w in sorted(samples):
+            acc += w
+            if acc >= target:
+                return delay
+        return max(d for d, _ in samples)
+
+    # ------------------------------------------------------------------
+    def _check_invariants(self):
+        """Fluid-specific invariants, in the packet layer's
+        :class:`~repro.validate.InvariantCheck` currency so ``--validate``
+        and sweep assertions work identically across engines."""
+        from repro.validate import InvariantCheck
+
+        F = len(self.flow_names)
+        L = len(self.caps)
+        cap_tol = 1e-6
+        cap_ok = self.max_capacity_overuse <= cap_tol
+        checks = [
+            InvariantCheck(
+                name="fluid-link-capacity",
+                ok=cap_ok,
+                checked=L * max(self.num_epochs, 1),
+                violations=0 if cap_ok else 1,
+                detail=(
+                    f"max allocation overuse "
+                    f"{self.max_capacity_overuse:.2e} (rel)"
+                ),
+            )
+        ]
+        bad = 0
+        worst = 0.0
+        for f in range(F):
+            lhs = self.generated_bits[f]
+            rhs = (
+                self.delivered_bits[f]
+                + self.backlog_bits[f]
+                + self.dropped_bits[f]
+            )
+            err = abs(lhs - rhs)
+            tol = 1e-6 * max(lhs, 1.0) + 1.0
+            if err > tol:
+                bad += 1
+                worst = max(worst, err)
+        checks.append(
+            InvariantCheck(
+                name="fluid-flow-conservation",
+                ok=bad == 0,
+                checked=F,
+                violations=bad,
+                detail=(
+                    f"worst imbalance {worst:.3g} bits" if bad else
+                    "arrivals = delivered + backlog + dropped for all flows"
+                ),
+            )
+        )
+        negative = sum(
+            1 for f in range(F)
+            if self.delivered_bits[f] < -1e-6 or self.backlog_bits[f] < -1e-6
+        )
+        checks.append(
+            InvariantCheck(
+                name="fluid-nonnegative",
+                ok=negative == 0,
+                checked=F,
+                violations=negative,
+                detail="delivered and backlog stay non-negative",
+            )
+        )
+        buf_ok = self.max_buffer_overuse <= 1e-6
+        checks.append(
+            InvariantCheck(
+                name="fluid-buffer-bounds",
+                ok=buf_ok,
+                checked=L,
+                violations=0 if buf_ok else 1,
+                detail="per-link backlog clamped to the buffer bound",
+            )
+        )
+        return tuple(checks)

@@ -1,0 +1,237 @@
+"""Datacenter fabric topologies and ECMP-style multipath routing.
+
+The paper's topologies top out at a handful of switches; datacenter
+fabrics are the modern workload that stresses the same questions
+(isolation, jitter, admission) at four orders of magnitude more flows.
+This module builds the two canonical families as plain
+:class:`~repro.scenario.spec.TopologySpec` values — nothing downstream
+needs to know they are fabrics — and adds the one routing ingredient
+fabrics require that chains and random graphs do not: *equal-cost
+multipath*.  :class:`StaticRouting` deterministically picks a single
+BFS shortest path per (src, dst); on a fat-tree that collapses the
+whole bisection onto one core switch.  :class:`EcmpPaths` spreads flows
+across all shortest paths with a seeded per-flow choice, the software
+analogue of hashing a 5-tuple onto an ECMP group.
+
+Topologies:
+
+* :func:`fat_tree_topology` — the k-ary Clos fat-tree (Al-Fares et al.):
+  ``k`` pods of ``k/2`` edge and ``k/2`` aggregation switches,
+  ``(k/2)^2`` core switches, ``k^3/4`` hosts.  Full bisection bandwidth
+  at ``oversubscription=1``; larger values thin the uplink tiers the
+  way real deployments do.
+* :func:`leaf_spine_topology` — every leaf duplex-connected to every
+  spine; hosts hang off leaves.
+
+Both are host-attachment topologies: the host↔edge hop is the
+simulator's infinitely-fast attachment, so the first contended tier is
+the edge uplink, which is where fabric queueing happens in this model.
+
+Multipath:
+
+* :class:`EcmpPaths` — all-shortest-path DAG per destination (reverse
+  BFS level sets) with a seeded per-flow walk.  The same ``(seed,
+  flow)`` always takes the same path, in any process, because draws
+  come from string-seeded :class:`random.Random` — the same
+  determinism contract as the scenario generators.  When a node has a
+  single shortest next hop no randomness is consumed, so single-path
+  topologies route identically to :class:`StaticRouting`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.net.routing import RoutingError
+from repro.scenario import paper
+from repro.scenario.spec import HostAttachment, LinkSpec, TopologySpec
+
+#: Default fabric link speed: keep the paper's 1 Mbit/s transmission
+#: scale so generated flow populations (85 pps of 1000-bit packets)
+#: load fabric links the same way they load every other topology.
+EDGE_RATE_BPS = paper.LINK_RATE_BPS
+
+
+def _duplex(
+    src: str, dst: str, rate_bps: float, buffer_packets: int
+) -> Tuple[LinkSpec, LinkSpec]:
+    return (
+        LinkSpec(src=src, dst=dst, rate_bps=rate_bps,
+                 buffer_packets=buffer_packets),
+        LinkSpec(src=dst, dst=src, rate_bps=rate_bps,
+                 buffer_packets=buffer_packets),
+    )
+
+
+def fat_tree_topology(
+    k: int = 4,
+    hosts_per_edge: int = 0,
+    edge_rate_bps: float = EDGE_RATE_BPS,
+    oversubscription: float = 1.0,
+    buffer_packets: int = paper.BUFFER_PACKETS,
+) -> TopologySpec:
+    """The k-ary fat-tree: ``k`` pods, ``(k/2)^2`` cores, ``k^3/4`` hosts.
+
+    Node naming: cores ``C-i``, aggregation ``A-<pod>-<i>``, edge
+    ``E-<pod>-<i>``, hosts ``H-<pod>-<edge>-<j>``.  Every inter-switch
+    link is duplex.  Edge→agg links run at ``edge_rate_bps``; agg→core
+    links at ``edge_rate_bps / oversubscription`` (``1.0`` = full
+    bisection bandwidth, rearrangeably non-blocking).
+
+    Args:
+        k: pod arity; must be even and >= 2.
+        hosts_per_edge: hosts attached to each edge switch
+            (default ``k/2``, the canonical fat-tree).
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    if oversubscription < 1.0:
+        raise ValueError("oversubscription must be >= 1")
+    half = k // 2
+    hosts_per_edge = hosts_per_edge or half
+    core_rate = edge_rate_bps / oversubscription
+
+    cores = [f"C-{i + 1}" for i in range(half * half)]
+    nodes: List[str] = list(cores)
+    links: List[LinkSpec] = []
+    hosts: List[HostAttachment] = []
+    for pod in range(k):
+        aggs = [f"A-{pod + 1}-{i + 1}" for i in range(half)]
+        edges = [f"E-{pod + 1}-{i + 1}" for i in range(half)]
+        nodes += aggs + edges
+        for edge in edges:
+            for agg in aggs:
+                links += _duplex(edge, agg, edge_rate_bps, buffer_packets)
+        # Aggregation switch i in every pod uplinks to the same stripe
+        # of k/2 core switches — the canonical Clos wiring, giving every
+        # pod pair (k/2)^2 equal-cost core paths.
+        for i, agg in enumerate(aggs):
+            for core in cores[i * half:(i + 1) * half]:
+                links += _duplex(agg, core, core_rate, buffer_packets)
+        for e, edge in enumerate(edges):
+            hosts += [
+                HostAttachment(host=f"H-{pod + 1}-{e + 1}-{j + 1}",
+                               switch=edge)
+                for j in range(hosts_per_edge)
+            ]
+    return TopologySpec(
+        nodes=tuple(nodes),
+        links=tuple(links),
+        host_attachments=tuple(hosts),
+        kind="fat-tree",
+    )
+
+
+def leaf_spine_topology(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    leaf_rate_bps: float = EDGE_RATE_BPS,
+    spine_rate_bps: float = 0.0,
+    buffer_packets: int = paper.BUFFER_PACKETS,
+) -> TopologySpec:
+    """A two-tier leaf-spine fabric: every leaf duplex-wired to every
+    spine (``L-i`` / ``SP-i``), ``hosts_per_leaf`` hosts per leaf
+    (``H-<leaf>-<j>``).
+
+    ``spine_rate_bps`` defaults to ``leaf_rate_bps`` (uniform fabric);
+    any leaf pair has exactly ``spines`` equal-cost two-hop paths.
+    """
+    if leaves < 2 or spines < 1 or hosts_per_leaf < 1:
+        raise ValueError(
+            "leaf-spine needs >= 2 leaves, >= 1 spine, >= 1 host per leaf"
+        )
+    spine_rate_bps = spine_rate_bps or leaf_rate_bps
+    leaf_names = [f"L-{i + 1}" for i in range(leaves)]
+    spine_names = [f"SP-{i + 1}" for i in range(spines)]
+    links: List[LinkSpec] = []
+    for leaf in leaf_names:
+        for spine in spine_names:
+            links += _duplex(leaf, spine, spine_rate_bps, buffer_packets)
+    hosts = tuple(
+        HostAttachment(host=f"H-{l + 1}-{j + 1}", switch=leaf)
+        for l, leaf in enumerate(leaf_names)
+        for j in range(hosts_per_leaf)
+    )
+    return TopologySpec(
+        nodes=tuple(leaf_names + spine_names),
+        links=tuple(links),
+        host_attachments=hosts,
+        kind="leaf-spine",
+    )
+
+
+class EcmpPaths:
+    """Seeded per-flow path choice over the all-shortest-paths DAG.
+
+    Works on the same node graph :class:`StaticRouting` sees (directed
+    inter-switch links, bidirectional host attachments).  For each
+    destination a reverse BFS yields hop distances; a flow's path is a
+    walk that, at every node, picks uniformly among the neighbours one
+    hop closer to the destination, drawing from
+    ``random.Random(f"ecmp:{seed}:{flow}")`` so the choice is a pure
+    function of (topology, seed, flow name) — process-stable and
+    identical between the fluid engine and any future packet-engine
+    flow-hashing front.
+    """
+
+    def __init__(self, topology: TopologySpec, seed: int = 0):
+        self.seed = int(seed)
+        adj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
+        radj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
+
+        def edge(src: str, dst: str) -> None:
+            adj.setdefault(src, []).append(dst)
+            radj.setdefault(dst, []).append(src)
+
+        for link in topology.links:
+            edge(link.src, link.dst)
+        for att in topology.host_attachments:
+            adj.setdefault(att.host, [])
+            radj.setdefault(att.host, [])
+            edge(att.host, att.switch)
+            edge(att.switch, att.host)
+        self._adj = {n: sorted(set(out)) for n, out in adj.items()}
+        self._radj = {n: sorted(set(out)) for n, out in radj.items()}
+        self._dist_to: Dict[str, Dict[str, int]] = {}
+
+    def _distances(self, dst: str) -> Dict[str, int]:
+        """Hop count from every node *to* ``dst`` (reverse BFS)."""
+        cached = self._dist_to.get(dst)
+        if cached is not None:
+            return cached
+        if dst not in self._radj:
+            raise RoutingError(f"unknown node {dst!r}")
+        dist = {dst: 0}
+        frontier = [dst]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for prev in self._radj[node]:
+                    if prev not in dist:
+                        dist[prev] = dist[node] + 1
+                        nxt.append(prev)
+            frontier = nxt
+        self._dist_to[dst] = dist
+        return dist
+
+    def path(self, src: str, dst: str, flow: str) -> List[str]:
+        """The seeded shortest path for ``flow`` from ``src`` to ``dst``."""
+        dist = self._distances(dst)
+        if src not in dist:
+            raise RoutingError(f"no route from {src} to {dst}")
+        rng: random.Random = None  # lazily created: single-path = no draw
+        here, walk = src, [src]
+        while here != dst:
+            hops = [n for n in self._adj[here] if dist.get(n) == dist[here] - 1]
+            if not hops:  # pragma: no cover - dist guarantees a next hop
+                raise RoutingError(f"no route from {here} to {dst}")
+            if len(hops) == 1:
+                here = hops[0]
+            else:
+                if rng is None:
+                    rng = random.Random(f"ecmp:{self.seed}:{flow}")
+                here = hops[rng.randrange(len(hops))]
+            walk.append(here)
+        return walk

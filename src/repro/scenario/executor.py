@@ -38,6 +38,7 @@ what a completed run contains is not.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
 import pickle
 import threading
@@ -312,18 +313,50 @@ def stop_when_ci_below(
 # ----------------------------------------------------------------------
 
 # The base spec a pool's workers were warm-started with (one-cell mutable
-# so the initializer can assign it under fork and spawn alike).
+# so the initializer can assign it under fork and spawn alike), and the
+# whole-spec overrides shipped alongside it, keyed by blob fingerprint.
+# Whole-spec overrides (``gen:*`` sweeps replace the entire spec per run)
+# would otherwise be re-pickled into every task payload; instead each
+# distinct spec ships once per worker at pool start and task payloads
+# carry a ``(_SPEC_REF, fingerprint)`` marker.
 _WORKER_BASE: List[Optional[ScenarioSpec]] = [None]
+_WORKER_SPECS: Dict[str, ScenarioSpec] = {}
+
+_SPEC_REF = "__specref__"
 
 
-def _init_worker(base_blob: bytes) -> None:
-    """Pool initializer: unpack the base spec shipped once per worker."""
+def _fingerprint(blob: bytes) -> str:
+    return hashlib.sha1(blob).hexdigest()
+
+
+def _deref_override(
+    override: Any, table: Dict[str, ScenarioSpec]
+) -> Override:
+    """Resolve a spec-reference marker back to its shipped spec."""
+    if (
+        isinstance(override, tuple)
+        and len(override) == 2
+        and override[0] == _SPEC_REF
+    ):
+        return table[override[1]]
+    return override
+
+
+def _init_worker(
+    base_blob: bytes, override_blobs: Tuple[Tuple[str, bytes], ...] = ()
+) -> None:
+    """Pool initializer: unpack the base spec (and any whole-spec
+    overrides) shipped once per worker."""
     _WORKER_BASE[0] = pickle.loads(base_blob)
+    _WORKER_SPECS.clear()
+    for fingerprint, blob in override_blobs:
+        _WORKER_SPECS[fingerprint] = pickle.loads(blob)
 
 
 def _execute_delta(payload: tuple) -> TaskResult:
     """Worker entry point: rebuild the task's spec from its delta and run."""
     index, run_index, discipline_index, override, seed, budget, slices, task_fn = payload
+    override = _deref_override(override, _WORKER_SPECS)
     if task_fn is not None:
         # Custom task functions own the whole run (all disciplines).
         spec = resolve_run_spec(_WORKER_BASE[0], override, seed)
@@ -375,6 +408,21 @@ def run_task(
             discipline="+".join(d.name for d in spec.disciplines),
             status=COMPLETED,
             result=payload,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=spec.duration,
+        )
+    from repro.fluid.engine import effective_engine, run_fluid_discipline
+
+    if effective_engine(spec) == "fluid":
+        # The fluid engine advances whole epochs, not events; budgets
+        # (already coarse-grained guards) do not slice it.
+        return TaskResult(
+            index=index,
+            run_index=run_index,
+            discipline_index=discipline_index,
+            discipline=spec.disciplines[0].name,
+            status=COMPLETED,
+            result=run_fluid_discipline(spec),
             wall_seconds=time.perf_counter() - started,
             sim_seconds=spec.duration,
         )
@@ -540,6 +588,7 @@ class SweepExecutor:
         self._pool = None
         self._pool_base: Optional[ScenarioSpec] = None
         self._pool_size = 0
+        self._pool_fps: frozenset = frozenset()
         self.stats: Dict[str, int] = {
             "pools_created": 0,
             "sweeps": 0,
@@ -550,6 +599,8 @@ class SweepExecutor:
             "tasks_skipped": 0,
             "base_bytes": 0,
             "task_bytes": 0,
+            "override_specs_shipped": 0,
+            "override_bytes": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -567,28 +618,45 @@ class SweepExecutor:
             self._pool = None
             self._pool_base = None
             self._pool_size = 0
+            self._pool_fps = frozenset()
 
-    def _ensure_pool(self, base: ScenarioSpec, task_count: int) -> None:
+    def _ensure_pool(
+        self,
+        base: ScenarioSpec,
+        task_count: int,
+        override_blobs: Optional[Dict[str, bytes]] = None,
+    ) -> None:
         # Never fork more workers than there are tasks; grow (recycle) a
-        # pool that was sized for a smaller earlier sweep.
+        # pool that was sized for a smaller earlier sweep.  Reuse also
+        # requires the workers to already hold every whole-spec override
+        # this sweep references (initializers only run at worker start).
+        override_blobs = override_blobs or {}
         size = min(self.workers, task_count)
+        fps = frozenset(override_blobs)
         if (
             self._pool is not None
             and self._pool_base == base
             and self._pool_size >= size
+            and fps <= self._pool_fps
         ):
             return
         self.close()
         import multiprocessing
 
         blob = pickle.dumps(base, _PICKLE_PROTOCOL)
+        shipped = tuple(sorted(override_blobs.items()))
         self._pool = multiprocessing.Pool(
-            size, initializer=_init_worker, initargs=(blob,)
+            size, initializer=_init_worker, initargs=(blob, shipped)
         )
         self._pool_base = base
         self._pool_size = size
+        self._pool_fps = fps
         self.stats["pools_created"] += 1
         self.stats["base_bytes"] += len(blob) * size
+        self.stats["override_specs_shipped"] += len(shipped) * size
+        self.stats["override_bytes"] += (
+            sum(len(b) for _, b in shipped) * size
+        )
 
     # -- the sweep -----------------------------------------------------
     def run_sweep(
@@ -645,6 +713,22 @@ class SweepExecutor:
         run_specs = [
             resolve_run_spec(spec, override, seed) for override, seed in deltas
         ]
+        # Whole-spec overrides are pickled once here, deduplicated by
+        # fingerprint, and replaced in task payloads by a tiny reference:
+        # workers get the spec table at pool start instead of a full
+        # spec inside every task.
+        override_blobs: Dict[str, bytes] = {}
+        ref_specs: Dict[str, ScenarioSpec] = {}
+        payload_overrides: List[Any] = []
+        for override, _seed in deltas:
+            if isinstance(override, ScenarioSpec):
+                blob = pickle.dumps(override, _PICKLE_PROTOCOL)
+                fingerprint = _fingerprint(blob)
+                override_blobs.setdefault(fingerprint, blob)
+                ref_specs.setdefault(fingerprint, override)
+                payload_overrides.append((_SPEC_REF, fingerprint))
+            else:
+                payload_overrides.append(override)
         payloads: List[tuple] = []
         run_task_counts: List[int] = []
         for run_index, ((override, seed), run_spec) in enumerate(
@@ -658,7 +742,7 @@ class SweepExecutor:
                         len(payloads),
                         run_index,
                         discipline_index,
-                        override,
+                        payload_overrides[run_index],
                         seed,
                         budget,
                         self.budget_slices,
@@ -676,9 +760,9 @@ class SweepExecutor:
             custom_tasks=task_fn is not None,
         )
         if self.workers > 1 and len(payloads) > 1:
-            self._run_pooled(spec, payloads, assembler)
+            self._run_pooled(spec, payloads, assembler, override_blobs)
         else:
-            self._run_serial(spec, payloads, assembler)
+            self._run_serial(spec, payloads, assembler, ref_specs)
         outcome = assembler.outcome()
         for run in outcome.runs:
             for task in run.tasks:
@@ -693,13 +777,18 @@ class SweepExecutor:
 
     # -- serial path ---------------------------------------------------
     def _run_serial(
-        self, base: ScenarioSpec, payloads: List[tuple], assembler: _Assembler
+        self,
+        base: ScenarioSpec,
+        payloads: List[tuple],
+        assembler: _Assembler,
+        ref_specs: Optional[Dict[str, ScenarioSpec]] = None,
     ) -> None:
         for payload in payloads:
             if assembler.stop:
                 break
             (index, run_index, discipline_index, override, seed, budget,
              slices, task_fn) = payload
+            override = _deref_override(override, ref_specs or {})
             self.stats["tasks_dispatched"] += 1
             if task_fn is not None:
                 spec = resolve_run_spec(base, override, seed)
@@ -721,9 +810,13 @@ class SweepExecutor:
 
     # -- pooled path ---------------------------------------------------
     def _run_pooled(
-        self, base: ScenarioSpec, payloads: List[tuple], assembler: _Assembler
+        self,
+        base: ScenarioSpec,
+        payloads: List[tuple],
+        assembler: _Assembler,
+        override_blobs: Optional[Dict[str, bytes]] = None,
     ) -> None:
-        self._ensure_pool(base, len(payloads))
+        self._ensure_pool(base, len(payloads), override_blobs)
         window = self.window or max(2 * self._pool_size, 4)
         slots = threading.Semaphore(window)
         # Byte accounting re-pickles each payload; off by default so the

@@ -53,6 +53,7 @@ def _load_builtins() -> None:
     """
     import repro.experiments  # noqa: F401  (side effect: registrations)
     import repro.scenario.generators  # noqa: F401  (gen: scenarios)
+    import repro.scenario.datacenter  # noqa: F401  (gen: fabrics)
 
 
 def names() -> tuple:

@@ -32,7 +32,15 @@ from repro.sim.engine import Simulator
 # Provenance tags the named constructors stamp; free-form graphs are
 # "graph".  from_dict still accepts the legacy serialized forms of the
 # named kinds (num_switches/rate_bps/duplex) and recompiles them.
-TOPOLOGY_KINDS = ("graph", "single_link", "chain", "figure1", "parking_lot")
+TOPOLOGY_KINDS = (
+    "graph",
+    "single_link",
+    "chain",
+    "figure1",
+    "parking_lot",
+    "fat-tree",
+    "leaf-spine",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -717,6 +725,12 @@ class OutageSpec:
 
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0, 99.9, 99.99)
 
+#: Simulation engines a spec may request.  ``packet`` is the
+#: discrete-event engine (authoritative); ``fluid`` is the flow-level
+#: epoch model in :mod:`repro.fluid` (fast, approximate, cross-validated
+#: against the packet engine on small instances).
+ENGINE_KINDS = ("packet", "fluid")
+
 
 @dataclasses.dataclass(frozen=True)
 class ScenarioSpec:
@@ -748,6 +762,21 @@ class ScenarioSpec:
             reroute/re-admission summary.  None (the default) leaves the
             control plane entirely unwired, so static-route scenarios
             stay bit-identical.
+        engine: which simulation engine runs this spec — ``"packet"``
+            (the discrete-event engine, the default and the source of
+            truth) or ``"fluid"`` (the flow-level epoch model in
+            :mod:`repro.fluid`, for populations the packet engine cannot
+            reach).  The ``REPRO_ENGINE`` environment variable overrides
+            the spec at run time; see
+            :func:`repro.fluid.effective_engine`.
+        ecmp_seed: ECMP-style load balancing for multipath topologies
+            (fat-tree, leaf-spine): when set, each flow's path is a
+            seeded per-flow choice among the equal-cost shortest paths
+            (:class:`repro.net.fabric.EcmpPaths`) instead of the static
+            router's single deterministic pick.  Honoured by the fluid
+            engine; the packet engine's per-destination router ignores
+            it (documented approximation).  ``None`` (the default)
+            routes every flow exactly as the packet engine does.
     """
 
     name: str
@@ -764,8 +793,14 @@ class ScenarioSpec:
     link_accounting: bool = False
     validate: bool = False
     outages: Optional[OutageSpec] = None
+    engine: str = "packet"
+    ecmp_seed: Optional[int] = None
 
     def __post_init__(self):
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_KINDS}"
+            )
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
@@ -868,6 +903,12 @@ class ScenarioSpec:
         # byte-identical to pre-control-plane goldens.
         if self.outages is not None:
             data["outages"] = self.outages.to_dict()
+        # Same rule: the engine field appears only when it deviates from
+        # the packet default, keeping pre-fluid spec payloads byte-stable.
+        if self.engine != "packet":
+            data["engine"] = self.engine
+        if self.ecmp_seed is not None:
+            data["ecmp_seed"] = self.ecmp_seed
         return data
 
     @classmethod
@@ -903,4 +944,6 @@ class ScenarioSpec:
                 if data.get("outages") is not None
                 else None
             ),
+            engine=data.get("engine", "packet"),
+            ecmp_seed=data.get("ecmp_seed"),
         )

@@ -202,6 +202,20 @@ class WfqScheduler(Scheduler):
         heapq.heappush(self._heap, (tag, seq, packet))
         return True
 
+    # Batched link service is safe here even though dequeue() takes the
+    # clock: departure order is fixed entirely by the finish tags assigned
+    # at *enqueue* time, and dequeue's ``vt.advance(now)`` is pure V(t)
+    # bookkeeping that never reorders the tag heap.  The port's burst loop
+    # dequeues at exactly the per-packet completion instants (each serve
+    # advances ``sim.now`` to the departure time before the next dequeue),
+    # so V(t) sees the identical sequence of ``now`` values — and the
+    # identical float arithmetic — as the per-packet path.
+    supports_batch_drain = True
+
+    def peek_next(self) -> Optional[Packet]:
+        """The smallest-tag packet, without popping or advancing V(t)."""
+        return self._heap[0][2] if self._heap else None
+
     def dequeue(self, now: float) -> Optional[Packet]:
         if not self._heap:
             return None

@@ -331,3 +331,39 @@ class TestCliAll:
                       "Dynamic adaptation",
                       "seeded multi-bottleneck topologies"):
             assert token in out
+
+
+class TestEngineCli:
+    def test_engine_fluid_on_registered_spec(self, capsys):
+        assert (
+            main(
+                ["--spec", "gen:fat-tree", "--engine", "fluid",
+                 "--duration", "5"]
+            )
+            == 0
+        )
+        assert "fat-tree-k4-g1" in capsys.readouterr().out
+
+    def test_engine_fluid_on_spec_file(self, capsys, tmp_path):
+        import json
+
+        from repro.scenario import registry
+
+        spec = registry.build("parking_lot", duration=5.0)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["--spec", str(path), "--engine", "fluid"]) == 0
+        capsys.readouterr()
+
+    def test_engine_requires_spec(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--engine", "fluid"])
+
+    def test_scale_experiment_runs_small(self, capsys, monkeypatch):
+        from repro.experiments import scale
+
+        monkeypatch.setattr(scale, "DEFAULT_SIZES", (300,))
+        assert main(["scale", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Scale flagship" in out
+        assert "admit" in out

@@ -1,0 +1,127 @@
+"""Fabric family tests: fat-tree / leaf-spine wiring and seeded ECMP."""
+
+import pytest
+
+from repro.net.fabric import (
+    EcmpPaths,
+    fat_tree_topology,
+    leaf_spine_topology,
+)
+from repro.scenario.generators import topology_routes
+
+
+class TestFatTree:
+    def test_k4_node_and_link_counts(self):
+        topo = fat_tree_topology(k=4)
+        half = 2
+        cores = half * half
+        switches = [n for n in topo.nodes]
+        assert sum(n.startswith("C-") for n in switches) == cores
+        assert sum(n.startswith("A-") for n in switches) == 4 * half
+        assert sum(n.startswith("E-") for n in switches) == 4 * half
+        # Hosts default to k/2 per edge switch.
+        assert len(topo.host_names) == 4 * half * half
+        # Duplex inter-switch links: edge-agg full bipartite per pod
+        # (half x half x 4 pods) + every agg's half core uplinks.
+        inter = 2 * (4 * half * half + 4 * half * half)
+        assert len(topo.links) == inter
+
+    def test_k6_scales(self):
+        topo = fat_tree_topology(k=6)
+        assert sum(n.startswith("C-") for n in topo.nodes) == 9
+        assert len(topo.host_names) == 6 * 3 * 3
+
+    def test_every_host_pair_routes(self):
+        topo = fat_tree_topology(k=4)
+        routing = topology_routes(topo)
+        hosts = topo.host_names
+        # Intra-pod and inter-pod pairs both resolve.
+        assert routing.path(hosts[0], hosts[1])
+        assert routing.path(hosts[0], hosts[-1])
+
+    def test_oversubscription_trims_core_uplinks(self):
+        flat = fat_tree_topology(k=4)
+        over = fat_tree_topology(k=4, oversubscription=4.0)
+        rates = lambda topo: {
+            link.name: link.rate_bps for link in topo.links
+        }
+        flat_r, over_r = rates(flat), rates(over)
+        for name in flat_r:
+            if "->C-" in name or name.startswith("C-"):
+                assert over_r[name] == pytest.approx(flat_r[name] / 4.0)
+            else:
+                assert over_r[name] == flat_r[name]
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree_topology(k=5)
+
+
+class TestLeafSpine:
+    def test_counts(self):
+        topo = leaf_spine_topology(leaves=4, spines=3, hosts_per_leaf=5)
+        assert sum(n.startswith("L-") for n in topo.nodes) == 4
+        assert sum(n.startswith("SP-") for n in topo.nodes) == 3
+        assert len(topo.host_names) == 20
+        # Full duplex leaf-spine mesh + host access links are separate
+        # (hosts are attachments, not links).
+        assert len(topo.links) == 2 * 4 * 3
+
+    def test_cross_leaf_paths_are_two_hops(self):
+        topo = leaf_spine_topology(leaves=3, spines=2, hosts_per_leaf=1)
+        routing = topology_routes(topo)
+        path = routing.path(topo.host_names[0], topo.host_names[-1])
+        # host -> leaf -> spine -> leaf -> host
+        assert len(path) == 5
+
+
+class TestEcmpPaths:
+    def test_deterministic_per_flow(self):
+        topo = fat_tree_topology(k=4)
+        hosts = topo.host_names
+        a = EcmpPaths(topo, seed=7)
+        b = EcmpPaths(topo, seed=7)
+        for i in range(10):
+            name = f"flow-{i}"
+            assert a.path(hosts[0], hosts[-1], name) == b.path(
+                hosts[0], hosts[-1], name
+            )
+
+    def test_seed_changes_spread(self):
+        topo = fat_tree_topology(k=4)
+        hosts = topo.host_names
+        paths = {
+            seed: tuple(
+                tuple(EcmpPaths(topo, seed=seed).path(
+                    hosts[0], hosts[-1], f"flow-{i}"
+                ))
+                for i in range(16)
+            )
+            for seed in (1, 2)
+        }
+        assert paths[1] != paths[2]
+
+    def test_paths_are_valid_and_shortest(self):
+        topo = fat_tree_topology(k=4)
+        link_set = {link.name for link in topo.links}
+        routing = topology_routes(topo)
+        chooser = EcmpPaths(topo, seed=3)
+        hosts = topo.host_names
+        static_len = len(routing.path(hosts[0], hosts[-1]))
+        for i in range(16):
+            nodes = chooser.path(hosts[0], hosts[-1], f"flow-{i}")
+            assert len(nodes) == static_len
+            for a, b in zip(nodes[1:-1], nodes[2:-1]):
+                assert f"{a}->{b}" in link_set
+
+    def test_multipath_actually_spreads(self):
+        topo = fat_tree_topology(k=4)
+        hosts = topo.host_names
+        chooser = EcmpPaths(topo, seed=5)
+        cores = {
+            next(n for n in chooser.path(hosts[0], hosts[-1], f"flow-{i}")
+                 if n.startswith("C-"))
+            for i in range(32)
+        }
+        # 32 inter-pod flows over 4 equal-cost cores hit more than one.
+        assert len(cores) > 1

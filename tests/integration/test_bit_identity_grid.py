@@ -24,7 +24,16 @@ from repro.scenario import ScenarioRunner, registry
 DURATION = 3.0
 WARMUP = 1.0
 
-SCENARIOS = ["gen:random-graph", "gen:wan-path", "gen:outage"]
+# gen:wan-guaranteed pins the WFQ batch drain: it compares CSZ against a
+# WFQ discipline with installed guaranteed clock rates, so any divergence
+# introduced by serving WFQ bursts arithmetically (virtual-time
+# bookkeeping, tag assignment, P-G bound invariants) breaks the grid.
+SCENARIOS = [
+    "gen:random-graph",
+    "gen:wan-path",
+    "gen:outage",
+    "gen:wan-guaranteed",
+]
 
 CONFIGS = [
     pytest.param("heap", False, id="heap-batched"),

@@ -361,6 +361,77 @@ class TestPersistentPool:
         assert outcome.counts[COMPLETED] == 1
 
 
+class TestWholeSpecOverrideCache:
+    """Whole-spec overrides ship once per worker (keyed by fingerprint),
+    not once per task payload."""
+
+    def arms(self):
+        spec = base_spec(disciplines=(DisciplineSpec.fifo(),))
+        return spec, [
+            spec.replace(name="arm-a", duration=4.0),
+            spec.replace(name="arm-b", duration=6.0),
+        ]
+
+    def test_payloads_carry_references_not_specs(self):
+        spec, arms = self.arms()
+        with SweepExecutor(workers=2, track_task_bytes=True) as executor:
+            executor.run_sweep(spec, over=arms)
+            stats = dict(executor.stats)
+        # Two distinct whole specs x two workers shipped at pool start...
+        assert stats["override_specs_shipped"] == 4
+        assert stats["override_bytes"] > 0
+        # ...so per-task payloads stay tiny despite whole-spec arms.
+        per_task = stats["task_bytes"] / stats["tasks_dispatched"]
+        assert per_task < stats["override_bytes"] / 4 / 5
+
+    def test_duplicate_arms_ship_once(self):
+        spec, arms = self.arms()
+        with SweepExecutor(workers=2) as executor:
+            executor.run_sweep(spec, over=[arms[0], arms[0], arms[0]])
+            assert executor.stats["override_specs_shipped"] == 2  # x workers
+
+    def test_pool_reused_when_override_set_shrinks(self):
+        spec, arms = self.arms()
+        with SweepExecutor(workers=2) as executor:
+            executor.run_sweep(spec, over=arms)
+            assert executor.stats["pools_created"] == 1
+            # A subset of the already-shipped specs: same pool.
+            executor.run_sweep(spec, over=[arms[0], arms[0]])
+            assert executor.stats["pools_created"] == 1
+            # A new whole spec forces a recycle.
+            executor.run_sweep(
+                spec,
+                over=[
+                    spec.replace(name="arm-c", duration=8.0),
+                    spec.replace(name="arm-d", duration=9.0),
+                ],
+            )
+            assert executor.stats["pools_created"] == 2
+
+    def test_pooled_matches_serial_for_spec_arms(self):
+        def strip_walls(payload):
+            """Drop the runtime block (wall clock, worker pid): the
+            simulation payload itself must be bit-identical."""
+            if isinstance(payload, dict):
+                return {
+                    key: strip_walls(value)
+                    for key, value in payload.items()
+                    if key != "runtime" and "wall" not in key
+                }
+            if isinstance(payload, list):
+                return [strip_walls(item) for item in payload]
+            return payload
+
+        spec, arms = self.arms()
+        with SweepExecutor(workers=2) as executor:
+            pooled = executor.run_sweep(spec, over=arms)
+        with SweepExecutor() as executor:
+            serial = executor.run_sweep(spec, over=arms)
+        assert [strip_walls(r.result.to_dict()) for r in pooled.runs] == [
+            strip_walls(r.result.to_dict()) for r in serial.runs
+        ]
+
+
 def _double_duration_payload(spec):
     """Module-level custom task (must pickle into workers)."""
     return {"name": spec.name, "seed": spec.seed, "duration": spec.duration}

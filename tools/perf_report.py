@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run a perf suite and write its tracked report (BENCH_*.json).
 
-Two suites share the harness:
+Three suites share the harness:
 
 * ``--suite core`` (default) — engine/hot-path microbenches
   (``benchmarks/perf/microbench.py``) against the frozen pre-fast-path
@@ -10,6 +10,10 @@ Two suites share the harness:
   (``benchmarks/perf/sweepbench.py``: wide sweep, early-stopped seed
   ladder, task overhead, pickle bytes) against the frozen per-call-Pool
   baseline; writes ``BENCH_sweep.json``.
+* ``--suite fluid`` — flow-level engine benches
+  (``benchmarks/perf/fluidbench.py``: flows/sec at 10k/100k flows,
+  packet-engine crossover) against the frozen packet-crossover
+  baseline; writes ``BENCH_fluid.json``.
 
 Every report has three blocks:
 
@@ -196,6 +200,78 @@ def sweep_run(scale: float) -> dict:
     return sweepbench.run_all(scale=scale)
 
 
+# ----------------------------------------------------------------------
+# Fluid suite
+# ----------------------------------------------------------------------
+
+
+def fluid_speedups(baseline: dict, current: dict) -> dict:
+    """Fluid-vs-packet and fluid-vs-floor ratios (>1 is faster).
+
+    The crossover ratio compares engines on the identical instance; it
+    is only meaningful when this run's scale matches the frozen
+    baseline's (the packet wall was captured at that scale).
+    """
+    base = baseline["measurements"]
+    scales_match = baseline.get("scale", 1.0) == current.get("scale", 1.0)
+    floor = base["fluid_floor"]
+    sizes = current["scale_sweep"]
+    # Compare the size matching the floor's own shape; fall back to the
+    # largest (flows/sec shifts with population and fabric size).
+    matching = [
+        row for row in sizes.values()
+        if row["num_flows"] == floor["num_flows"]
+    ]
+    anchor = matching[0] if matching else max(
+        sizes.values(), key=lambda row: row["num_flows"]
+    )
+    out = {
+        # Same-machine in-run comparison: always meaningful.
+        "crossover_fluid_vs_packet": current["crossover"]["speedup"],
+        "flows_per_sec_vs_floor": (
+            anchor["flows_per_sec"] / floor["flows_per_sec"]
+        ),
+        "crossover_wall_clock": None,
+    }
+    if scales_match:
+        out["crossover_wall_clock"] = (
+            base["crossover_packet"]["wall_seconds"]
+            / current["crossover"]["fluid_wall_seconds"]
+        )
+    else:
+        out["note"] = (
+            "scale differs from the frozen baseline; cross-run wall-clock "
+            "ratio suppressed"
+        )
+    return out
+
+
+def fluid_print(report: dict) -> None:
+    current = report["current"]
+    speedup = report["speedup"]
+    for key, row in sorted(
+        current["scale_sweep"].items(), key=lambda kv: kv[1]["num_flows"]
+    ):
+        print(f"  {row['num_flows']:>9,} flows : "
+              f"{row['flows_per_sec']:>12,.0f} flow-adv/s, "
+              f"{row['wall_seconds']:.2f} s wall ({row['backend']})")
+    crossover = current["crossover"]
+    print(f"  crossover      : fluid {crossover['fluid_wall_seconds']:.2f} s vs "
+          f"packet {crossover['packet_wall_seconds']:.2f} s "
+          f"({speedup['crossover_fluid_vs_packet']:.1f}x), "
+          f"recv rel-diff {crossover['mean_received_rel_diff']:.3f}")
+    print(f"  vs floor       : {speedup['flows_per_sec_vs_floor']:.2f}x the "
+          "committed flows/sec floor")
+    if speedup.get("note"):
+        print(f"  note           : {speedup['note']}")
+
+
+def fluid_run(scale: float) -> dict:
+    from benchmarks.perf import fluidbench
+
+    return fluidbench.run_all(scale=scale)
+
+
 SUITES = {
     "core": {
         "baseline": REPO_ROOT / "benchmarks" / "perf" / "baseline_pre_fastpath.json",
@@ -210,6 +286,13 @@ SUITES = {
         "run": sweep_run,
         "speedups": sweep_speedups,
         "print": sweep_print,
+    },
+    "fluid": {
+        "baseline": REPO_ROOT / "benchmarks" / "perf" / "baseline_fluid_packet.json",
+        "default_out": REPO_ROOT / "BENCH_fluid.json",
+        "run": fluid_run,
+        "speedups": fluid_speedups,
+        "print": fluid_print,
     },
 }
 
@@ -327,6 +410,26 @@ def capture_sweep_baseline(path: pathlib.Path, scale: float) -> int:
     return 0
 
 
+def capture_fluid_baseline(path: pathlib.Path, scale: float) -> int:
+    """Freeze the packet-engine crossover reference and the founding
+    fluid flows/sec floor the CI gate regresses against."""
+    from benchmarks.perf import fluidbench
+
+    print(f"capturing fluid baseline (scale={scale:g}) ...", flush=True)
+    payload = {
+        "note": "packet engine on the crossover instance + founding fluid "
+        "flows/sec floor; captured via benchmarks/perf/fluidbench"
+        ".run_baseline",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": scale,
+        "measurements": fluidbench.run_baseline(scale=scale),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -358,12 +461,14 @@ def main(argv=None) -> int:
 
     scale = 0.125 if args.quick else 1.0
     if args.capture_baseline is not None:
-        if args.suite != "sweep":
-            parser.error("--capture-baseline applies to --suite sweep")
+        if args.suite not in ("sweep", "fluid"):
+            parser.error("--capture-baseline applies to --suite sweep|fluid")
         if args.quick:
             # A quick-scale baseline would silently skew every future
             # full-scale report's ratios.
             parser.error("--capture-baseline requires full scale (no --quick)")
+        if args.suite == "fluid":
+            return capture_fluid_baseline(args.capture_baseline, scale)
         return capture_sweep_baseline(args.capture_baseline, scale)
 
     suite = SUITES[args.suite]
