@@ -1,0 +1,625 @@
+"""Fused multi-epoch fluid kernel: the NumPy hot path without the
+per-epoch Python loop.
+
+PR 8's NumPy backend vectorised the *arithmetic* of one epoch but
+re-entered the interpreter between epochs: per-epoch list building,
+accumulator updates, and the waterfill driver capped the engine at
+~3M flow-advances/s regardless of how fast the array math ran.  This
+module is the fluid-model analogue of the packet engine's batched link
+drain (PR 7): whole stretches of simulated time collapse into one
+vectorised step whenever the model can prove the collapsed epochs are
+indistinguishable from stepping them one by one.
+
+Three coordinated mechanisms:
+
+* **CSR incidence** (:class:`CsrIncidence`) — the (flow, link) incidence
+  is compiled once per run into int32/float64 arrays: flow-major entry
+  lists (``ef``/``el``, the bincount currency) plus a link-major
+  permutation with row pointers (``lk_entry``/``link_ptr``) so per-link
+  per-epoch loads come out of one ``add.reduceat`` instead of a Python
+  rebuild per call.  Waterfill, backlog updates, and the accumulators
+  all share it.
+
+* **Fused multi-epoch blocks** — the on/off phase grid for a block of
+  ``K`` epochs is evaluated as one ``(flows, K)`` array; per-link
+  offered load per epoch comes from one reduceat over the link-major
+  view.  Every *uncongested* prefix of the block (offered load strictly
+  under capacity on every link, entering backlog zero) is accumulated
+  in closed form: the waterfill provably assigns every flow its demand,
+  queues stay empty, and per-flow served bits equal the per-epoch
+  values bit-for-bit — only the accumulator *fold order* changes
+  (reassociation round-off, pinned ≤1e-9 by the property grid).  The
+  moment any link would saturate, the kernel falls back to the exact
+  single-epoch waterfill for that epoch.
+
+* **Steady-state fast-forward** — when every flow is constant-rate
+  (duty >= 1: no on/off transitions) the kernel computes one reference
+  epoch and, if the backlog vector comes back bit-identical (steady:
+  empty and uncongested, or clamped into a stable queue), jumps in
+  closed form to the next *boundary*: the warmup crossing (where sample
+  recording switches on — the event an elided epoch must not straddle)
+  or the first epoch with a different length (the trailing partial
+  epoch).  Elided epochs replay the reference epoch's cached deltas, so
+  per-flow state and recorded samples are bit-identical to the
+  epoch-by-epoch schedule and ``events_processed`` counts every elided
+  epoch exactly — the same guarantee discipline as the packet engine's
+  ``Simulator.advance_to``.  ``FluidOptions(fast_forward=False)`` or
+  ``REPRO_FLUID_FF=0`` disables the jump (the equivalence tests run
+  both ways).
+
+The pure-Python backend in :mod:`repro.fluid.model` stays authoritative
+and untouched; ``tests/fluid/test_kernel.py`` pins kernel-vs-pure
+agreement across generated fabrics, disciplines, and epoch sizes, and
+kernel-vs-kernel (fused/fast-forward on vs off) agreement at tighter
+tolerance still.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+try:  # optional: C-speed load matrix for the congestion check
+    from scipy import sparse as _sparse
+except Exception:  # pragma: no cover - scipy is optional
+    _sparse = None
+
+#: Entry budget for one fused block: K is sized so the (entries, K)
+#: scratch stays around this many float64 cells (~64 MB), shrinking at
+#: 1M-flow incidences and growing at small ones.
+_BLOCK_ENTRY_BUDGET = 8_000_000
+_MAX_BLOCK_EPOCHS = 64
+
+
+class CsrIncidence:
+    """The (flow, link) incidence of one compiled spec, as flat arrays.
+
+    Built once at compile time (``FluidSimulation.__init__``) and shared
+    by the waterfill, the fused load check, and every accumulator
+    update.  ``ef``/``el`` list the entries flow-major — ``ef[i]`` is
+    the flow and ``el[i]`` the link of entry ``i`` — exactly the order
+    the pure backend's nested loops visit, so bincounts over them
+    accumulate in the same sequence.  ``lk_entry``/``link_ptr`` are the
+    link-major permutation: entries of link ``l`` occupy
+    ``lk_entry[link_ptr[l]:link_ptr[l+1]]``.
+    """
+
+    __slots__ = (
+        "num_flows", "num_links", "ef", "el", "flow_ptr",
+        "lk_flow", "link_ptr", "nonempty_links", "nonempty_starts",
+        "matrix",
+    )
+
+    def __init__(self, paths, num_links: int):
+        from itertools import chain
+
+        F = len(paths)
+        counts = np.fromiter(
+            (len(p) for p in paths), dtype=np.int64, count=F
+        )
+        total = int(counts.sum())
+        self.num_flows = F
+        self.num_links = num_links
+        self.ef = np.repeat(
+            np.arange(F, dtype=np.int32), counts
+        )
+        self.el = np.fromiter(
+            chain.from_iterable(paths), dtype=np.int32, count=total
+        )
+        el = self.el
+        self.flow_ptr = np.zeros(F + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.flow_ptr[1:])
+        order = np.argsort(el, kind="stable")
+        self.lk_flow = self.ef[order]
+        link_counts = np.bincount(el, minlength=num_links)
+        self.link_ptr = np.zeros(num_links + 1, dtype=np.int64)
+        np.cumsum(link_counts, out=self.link_ptr[1:])
+        # reduceat cannot express empty segments, so the load gather
+        # runs over non-empty links only and scatters back.
+        self.nonempty_links = np.flatnonzero(link_counts > 0)
+        self.nonempty_starts = self.link_ptr[self.nonempty_links]
+        # Optional (link x flow) 0/1 sparse matrix: the congestion check
+        # only *compares* loads against capacity (with a 2*eps margin
+        # that dwarfs summation-order noise), so it may use whichever
+        # summation is fastest.  Result accumulators keep reduceat.
+        self.matrix = None
+        if _sparse is not None and total:
+            self.matrix = _sparse.csr_matrix(
+                (np.ones(total), (el, self.ef)),
+                shape=(num_links, F),
+            )
+
+    def link_loads(self, per_flow: np.ndarray) -> np.ndarray:
+        """Per-link sums of a per-flow quantity, vectorised over the
+        trailing epoch axis: ``per_flow`` is ``(F,)`` or ``(F, K)``;
+        the result is ``(L,)`` or ``(L, K)``."""
+        gathered = per_flow[self.lk_flow]
+        out_shape = (self.num_links,) + per_flow.shape[1:]
+        out = np.zeros(out_shape)
+        if self.nonempty_starts.size:
+            out[self.nonempty_links] = np.add.reduceat(
+                gathered, self.nonempty_starts, axis=0
+            )
+        return out
+
+    def approx_link_loads(self, per_flow: np.ndarray) -> np.ndarray:
+        """Per-link sums for *threshold checks only*: summation order is
+        unspecified (sparse matmul when scipy is present), accurate to
+        float64 round-off — far inside the congestion check's 2*eps
+        margin, but not the fold the result accumulators use."""
+        if self.matrix is not None:
+            return self.matrix @ per_flow
+        return self.link_loads(per_flow)
+
+
+class FluidKernel:
+    """One fluid run's compiled hot path.
+
+    Owns preallocated accumulator arrays for the whole run; the
+    per-epoch fallback, the fused block path, and the fast-forward jump
+    all write into the same arrays, and :meth:`run` writes them back to
+    the :class:`~repro.fluid.model.FluidSimulation` in the plain-list
+    currency ``collect()`` reads.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.opts = sim.options
+        csr = sim.incidence
+        if csr is None:  # pragma: no cover - numpy run implies incidence
+            csr = CsrIncidence(sim.paths, len(sim.caps))
+        self.csr = csr
+        F = len(sim.flow_names)
+        L = len(sim.caps)
+        self.F, self.L, self.T = F, L, sim.num_tiers
+        self.duration = float(sim.spec.duration)
+        self.warmup = float(sim.spec.warmup)
+
+        self.caps = np.asarray(sim.caps)
+        self.eps = np.maximum(1e-9 * self.caps, 1e-6)
+        self.buffer_bits = np.asarray(sim.buffer_bits)
+        self.peak = np.asarray(sim.peak_bps)
+        self.duty = np.asarray(sim.duty)
+        self.period = np.asarray(sim.period)
+        self.inv_period = 1.0 / self.period
+        self.phase = np.asarray(sim.phase)
+        self.tier = np.asarray(sim.tier, dtype=np.int64)
+        self.fair = np.asarray(sim.fair, dtype=bool)
+        self.w_static = np.asarray(sim.weight_static)
+        self.size_bits = np.asarray(sim.size_bits)
+        self.realtime = np.asarray(sim.realtime, dtype=bool)
+        self.routed = np.asarray([bool(p) for p in sim.paths], dtype=bool)
+        self.first_link = np.asarray(
+            [p[0] if p else 0 for p in sim.paths], dtype=np.int64
+        )
+        self.constant = self.duty >= 1.0
+        ef, el = self.csr.ef, self.csr.el
+        self.e_tier = self.tier[ef]
+        self.e_lt = el * self.T + self.e_tier
+        self.e_rt = self.realtime[ef]
+        self.tier_members = [
+            np.flatnonzero((self.tier == t) & self.routed)
+            for t in range(self.T)
+        ]
+        self.rec_idx = (
+            np.flatnonzero(np.asarray(sim.record, dtype=bool))
+            if sim.record_samples else np.zeros(0, dtype=np.int64)
+        )
+
+        # -- preallocated run accumulators -----------------------------
+        self.backlog = np.zeros(F)
+        self.generated = np.zeros(F)
+        self.delivered = np.zeros(F)
+        self.dropped = np.zeros(F)
+        self.link_served = np.zeros(L)
+        self.link_drops = np.zeros(L)
+        self.wait_num = np.zeros(L)
+        self.wait_den = np.zeros(L)
+        self.link_rt = np.zeros(L)
+        self.rec_delays: List[np.ndarray] = []
+        self.rec_weights: List[np.ndarray] = []
+        self.events = 0
+        self.max_capacity_overuse = 0.0
+
+        # -- epoch grid (precomputed once) -----------------------------
+        N = sim.num_epochs
+        self.num_epochs = N
+        eps_s = sim.epoch_seconds
+        self.t0s = np.arange(N) * eps_s
+        self.t1s = np.minimum(self.duration, self.t0s + eps_s)
+        self.dts = self.t1s - self.t0s
+
+    # ------------------------------------------------------------------
+    def _block_size(self) -> int:
+        fuse = int(getattr(self.opts, "fuse_epochs", 0) or 0)
+        if fuse > 0:
+            return fuse
+        entries = max(int(self.csr.ef.size), self.F, 1)
+        return int(
+            np.clip(_BLOCK_ENTRY_BUDGET // entries, 1, _MAX_BLOCK_EPOCHS)
+        )
+
+    def _on_block(self, e0: int, e1: int) -> np.ndarray:
+        """Closed-form on-seconds per (flow, epoch) for epochs
+        ``[e0, e1)`` — the whole phase grid in one broadcast.
+
+        Constant-rate flows (duty >= 1) are pinned to exactly ``dt``,
+        matching the pure backend's early return bit-for-bit (the
+        trigonometric form only differs in the last ulp, but that ulp
+        is what lets fast-forward treat their demand as constant).
+        """
+        t0 = self.t0s[e0:e1]
+        t1 = self.t1s[e0:e1]
+        dt = self.dts[e0:e1]
+        duty = self.duty[:, None]
+        # In-place evaluation of the pure backend's measure():
+        #   on = (duty*floor(b) + min(b - floor(b), duty))
+        #      - (duty*floor(a) + min(a - floor(a), duty)), then *period;
+        # every step below keeps that association (commuted adds and
+        # multiplies only), so the values match the naive form bitwise
+        # and are identical per column for any block partition.
+        a = np.multiply.outer(self.inv_period, t0)
+        a += self.phase[:, None]
+        b = np.multiply.outer(self.inv_period, t1)
+        b += self.phase[:, None]
+        fa = np.floor(a)
+        fb = np.floor(b)
+        a -= fa
+        np.minimum(a, duty, out=a)
+        b -= fb
+        np.minimum(b, duty, out=b)
+        fa *= duty
+        fb *= duty
+        a += fa
+        b += fb
+        b -= a
+        b *= self.period[:, None]
+        np.minimum(b, dt[None, :], out=b)
+        b[self.constant] = dt[None, :]
+        return b
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        sim = self.sim
+        N = self.num_epochs
+        fast_forward = bool(getattr(self.opts, "fast_forward", True))
+        all_constant = bool(self.constant.all()) and self.F > 0
+        block = self._block_size()
+        e = 0
+        while e < N:
+            if self.dts[e] <= 0:
+                break
+            if all_constant and fast_forward:
+                deltas = self._single_epoch(
+                    e, self.peak * self.dts[e], capture=True
+                )
+                e += 1
+                if deltas is not None:
+                    boundary = self._next_boundary(e)
+                    if boundary > e:
+                        self._replay(deltas, e, boundary)
+                        e = boundary
+                continue
+            e = self._advance_block(e, min(block, N - e))
+        self._writeback()
+
+    # -- fused block path ----------------------------------------------
+    def _advance_block(self, e0: int, count: int) -> int:
+        """Advance epochs ``[e0, e0+count)``; returns the next epoch.
+
+        The uncongested prefix (entering backlog zero, offered load
+        strictly under capacity everywhere) is accumulated in closed
+        form; the first epoch that breaks either condition runs through
+        the exact single-epoch waterfill.
+        """
+        e1 = e0 + count
+        arrival = self.peak[:, None] * self._on_block(e0, e1)
+        if self.backlog.any():
+            # A queued flow couples epochs; serve this epoch exactly
+            # and re-enter with whatever the block has left.
+            self._single_epoch(e0, arrival[:, 0])
+            return e0 + 1
+        demand = arrival / self.dts[None, e0:e1]
+        loads = self.csr.approx_link_loads(demand)
+        congested = np.any(
+            loads > (self.caps - 2.0 * self.eps)[:, None], axis=0
+        )
+        fused = int(np.argmax(congested)) if congested.any() else count
+        if fused:
+            self._accumulate_uncongested(e0, e0 + fused, arrival, demand)
+        if fused < count:
+            self._single_epoch(e0 + fused, arrival[:, fused])
+            return e0 + fused + 1
+        return e1
+
+    def _accumulate_uncongested(
+        self, e0: int, e1: int, arrival: np.ndarray, demand: np.ndarray
+    ) -> None:
+        """Closed-form accumulation of uncongested epochs ``[e0, e1)``:
+        every flow is served exactly its demand, queues stay empty,
+        delays are zero.  Per-flow served bits per epoch equal the
+        single-epoch values bit-for-bit (``demand * dt`` with zero
+        backlog); only the accumulator fold order differs."""
+        K = e1 - e0
+        arrival = arrival[:, :K]
+        served = demand[:, :K] * self.dts[None, e0:e1]
+        arrival_sum = arrival.sum(axis=1)
+        served_sum = served.sum(axis=1)
+        self.generated += arrival_sum
+        self.delivered += served_sum
+        link_sum = self.csr.link_loads(served_sum)
+        self.link_served += link_sum
+        self.wait_den += link_sum
+        rt = self.e_rt
+        self.link_rt += np.bincount(
+            self.csr.el[rt], weights=served_sum[self.csr.ef[rt]],
+            minlength=self.L,
+        )
+        if self.rec_idx.size:
+            recordable = self.t0s[e0:e1] >= self.warmup
+            if recordable.any():
+                w = served[self.rec_idx][:, recordable] / (
+                    self.size_bits[self.rec_idx, None]
+                )
+                zeros = np.zeros(self.rec_idx.size)
+                for k in range(w.shape[1]):
+                    self.rec_delays.append(zeros)
+                    self.rec_weights.append(w[:, k])
+        self.events += self.F * K
+
+    # -- exact single-epoch fallback -------------------------------------
+    def _single_epoch(
+        self, e: int, arrival: np.ndarray, capture: bool = False
+    ) -> Optional[dict]:
+        """One epoch through the full waterfill — the authoritative
+        schedule the fused paths must be indistinguishable from.
+
+        With ``capture=True`` returns the epoch's deltas when the
+        backlog vector is bit-identical before and after (a steady
+        state), for :meth:`_replay` to apply verbatim; returns ``None``
+        otherwise.
+        """
+        csr, np_ = self.csr, np
+        F, L, T = self.F, self.L, self.T
+        dt = self.dts[e]
+        prev_backlog = self.backlog.copy() if capture else None
+
+        demand = (arrival + self.backlog) / dt
+        weight = np_.where(self.fair, self.w_static, demand)
+        rate = np_.zeros(F)
+        bottleneck = np_.full(F, -1, dtype=np_.int64)
+        slack = self.caps.copy()
+        for t in range(T):
+            self._waterfill(
+                self.tier_members[t], demand, weight, rate, bottleneck,
+                slack,
+            )
+        rate[~self.routed] = demand[~self.routed]
+
+        used = np_.bincount(csr.el, weights=rate[csr.ef], minlength=L)
+        over = float(np_.max(used / self.caps)) - 1.0 if L else -1.0
+        if over > self.max_capacity_overuse:
+            self.max_capacity_overuse = over
+
+        served = rate * dt
+        self.backlog += arrival - served
+        np_.maximum(self.backlog, 0.0, out=self.backlog)
+        self.generated += arrival
+        self.delivered += served
+
+        queued = self.routed & (self.backlog > 0)
+        bn = np_.where(bottleneck >= 0, bottleneck, self.first_link)
+        q_lt = np_.bincount(
+            (bn * T + self.tier)[queued], weights=self.backlog[queued],
+            minlength=L * T,
+        ).astype(float).reshape(L, T)
+        cum = np_.cumsum(q_lt, axis=1)
+        keep = np_.clip(
+            self.buffer_bits[:, None] - (cum - q_lt), 0.0, q_lt
+        )
+        with np_.errstate(invalid="ignore", divide="ignore"):
+            scale = np_.where(
+                q_lt > 0, keep / np_.maximum(q_lt, 1e-300), 1.0
+            )
+        flow_scale = np_.ones(F)
+        flow_scale[queued] = scale[bn[queued], self.tier[queued]]
+        shed = self.backlog * (1.0 - flow_scale)
+        self.backlog *= flow_scale
+        self.dropped += shed
+        drop_delta = np_.bincount(
+            bn[queued], weights=(shed / self.size_bits)[queued],
+            minlength=L,
+        )
+        self.link_drops += drop_delta
+        q_lt *= scale
+
+        cumwait = np_.cumsum(q_lt, axis=1) / self.caps[:, None]
+        cumwait_flat = cumwait.reshape(-1)
+
+        served_entry = rate[csr.ef] * dt
+        served_lt = np_.bincount(
+            self.e_lt, weights=served_entry, minlength=L * T
+        )
+        link_served_delta = np_.bincount(
+            csr.el, weights=served_entry, minlength=L
+        )
+        wait_num_delta = (
+            (cumwait_flat * served_lt).reshape(L, T).sum(axis=1)
+        )
+        wait_den_delta = served_lt.reshape(L, T).sum(axis=1)
+        rt_delta = np_.bincount(
+            csr.el[self.e_rt], weights=served_entry[self.e_rt],
+            minlength=L,
+        )
+        self.link_served += link_served_delta
+        self.wait_num += wait_num_delta
+        self.wait_den += wait_den_delta
+        self.link_rt += rt_delta
+
+        sample = None
+        if self.rec_idx.size and self.t0s[e] >= self.warmup:
+            shared = np_.bincount(
+                csr.ef, weights=cumwait_flat[self.e_lt], minlength=F
+            )
+            with np_.errstate(invalid="ignore", divide="ignore"):
+                isolated = np_.where(
+                    rate > 0,
+                    self.backlog / np_.maximum(rate, 1e-300),
+                    0.0,
+                )
+            delay = np_.where(self.fair, isolated, shared)
+            sample = (
+                delay[self.rec_idx].copy(),
+                (served / self.size_bits)[self.rec_idx].copy(),
+            )
+            self.rec_delays.append(sample[0])
+            self.rec_weights.append(sample[1])
+        self.events += F
+
+        if not capture:
+            return None
+        if not np_.array_equal(prev_backlog, self.backlog):
+            return None
+        return {
+            "arrival": arrival,
+            "served": served,
+            "link_served": link_served_delta,
+            "wait_num": wait_num_delta,
+            "wait_den": wait_den_delta,
+            "link_rt": rt_delta,
+            "link_drops": drop_delta,
+            "shed": shed,
+            "sample": sample,
+        }
+
+    # -- steady-state fast-forward ---------------------------------------
+    def _next_boundary(self, e: int) -> int:
+        """The last epoch (exclusive) a steady jump from ``e`` may
+        cover: every covered epoch must share ``e-1``'s length (the
+        trailing partial epoch re-runs exactly) and its side of the
+        warmup line (sample recording switches on there)."""
+        if e >= self.num_epochs:
+            return e
+        dt = self.dts[e - 1]
+        boundary = e
+        before_warmup = self.t0s[e - 1] < self.warmup
+        while boundary < self.num_epochs:
+            if self.dts[boundary] != dt:
+                break
+            if before_warmup and self.t0s[boundary] >= self.warmup:
+                break
+            boundary += 1
+        return boundary
+
+    def _replay(self, deltas: dict, e0: int, e1: int) -> None:
+        """Apply a steady reference epoch's deltas to epochs
+        ``[e0, e1)`` without recomputing them.  The backlog vector is
+        bit-identical across the interval by construction, so every
+        elided epoch's per-flow state and samples equal the
+        epoch-by-epoch schedule exactly; run totals fold the identical
+        per-epoch deltas in closed form."""
+        n = e1 - e0
+        self.generated += deltas["arrival"] * n
+        self.delivered += deltas["served"] * n
+        self.dropped += deltas["shed"] * n
+        self.link_served += deltas["link_served"] * n
+        self.wait_num += deltas["wait_num"] * n
+        self.wait_den += deltas["wait_den"] * n
+        self.link_rt += deltas["link_rt"] * n
+        self.link_drops += deltas["link_drops"] * n
+        if deltas["sample"] is not None:
+            delay, w = deltas["sample"]
+            for _ in range(n):
+                self.rec_delays.append(delay)
+                self.rec_weights.append(w)
+        self.events += self.F * n
+
+    # -- waterfill -------------------------------------------------------
+    def _waterfill(
+        self, members, demand, weight, rate, bottleneck, slack
+    ) -> None:
+        """Demand-bounded weighted max-min over one tier (vectorised;
+        identical algorithm to the pure backend's ``_waterfill_pure``)."""
+        np_ = np
+        csr = self.csr
+        F, L = self.F, self.L
+        ef, el = csr.ef, csr.el
+        active = np_.zeros(F, dtype=bool)
+        active[members] = (demand[members] > 0) & (weight[members] > 0)
+        if not active.any():
+            return
+        max_rounds = self.opts.max_rounds
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            aw = np_.where(active, weight, 0.0)
+            wsum = np_.bincount(el, weights=aw[ef], minlength=L)
+            contended = wsum > 0
+            if not contended.any():
+                return
+            lam = float(
+                np_.min(
+                    np_.maximum(slack[contended], 0.0) / wsum[contended]
+                )
+            )
+            gap = demand - rate
+            hit = active & (gap <= lam * weight * (1 + 1e-12))
+            if hit.any():
+                rate[hit] = demand[hit]
+                active &= ~hit
+            else:
+                rate += lam * aw
+            used = np_.bincount(el, weights=rate[ef], minlength=L)
+            slack[:] = self.caps - used
+            sat_entry = (slack[el] <= self.eps[el]) & active[ef]
+            if sat_entry.any():
+                bn = np_.full(F, L, dtype=np_.int64)
+                np_.minimum.at(bn, ef[sat_entry], el[sat_entry])
+                frozen = bn < L
+                bottleneck[frozen] = bn[frozen]
+                active &= ~frozen
+            if not active.any():
+                return
+        # Round cap exhausted: final demand-capped proportional fill.
+        self.sim.waterfill_exhausted += int(active.sum())
+        aw = np_.where(active, weight, 0.0)
+        wsum = np_.bincount(el, weights=aw[ef], minlength=L)
+        contended = wsum > 0
+        if contended.any():
+            lam = float(
+                np_.min(
+                    np_.maximum(slack[contended], 0.0) / wsum[contended]
+                )
+            )
+            rate[active] = np_.minimum(
+                demand[active], rate[active] + lam * weight[active]
+            )
+
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        sim = self.sim
+        sim.generated_bits = self.generated.tolist()
+        sim.delivered_bits = self.delivered.tolist()
+        sim.dropped_bits = self.dropped.tolist()
+        sim.backlog_bits = self.backlog.tolist()
+        sim.link_served_bits = self.link_served.tolist()
+        sim.link_drop_packets = self.link_drops.tolist()
+        sim.link_wait_num = self.wait_num.tolist()
+        sim.link_wait_den = self.wait_den.tolist()
+        sim.link_realtime_bits = self.link_rt.tolist()
+        sim.events_processed += self.events
+        if self.max_capacity_overuse > sim.max_capacity_overuse:
+            sim.max_capacity_overuse = self.max_capacity_overuse
+        for f in sim.samples:
+            pos = int(np.searchsorted(self.rec_idx, f))
+            sim.samples[f] = [
+                (float(d[pos]), float(w[pos]))
+                for d, w in zip(self.rec_delays, self.rec_weights)
+            ]
+
+
+def run_kernel(sim) -> None:
+    """Advance ``sim`` (a :class:`~repro.fluid.model.FluidSimulation`)
+    to completion on the fused kernel."""
+    FluidKernel(sim).run()

@@ -87,6 +87,7 @@ _PHASE_SALT = "fluid-phase"
 
 _EPOCH_ENV = "REPRO_FLUID_EPOCH"
 _BACKEND_ENV = "REPRO_FLUID_BACKEND"
+_FF_ENV = "REPRO_FLUID_FF"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,12 +106,26 @@ class FluidOptions:
             exhausted the remaining flows get one final demand-capped
             proportional fill (counted in ``waterfill_exhausted``).
         backend: ``"auto"`` / ``"numpy"`` / ``"pure"``.
+        record_flows: accumulate per-flow delay sample lists for
+            recorded flows (the default).  Benchmark and sweep runs
+            that only read aggregate results turn this off to skip the
+            per-epoch sample bookkeeping; ``FlowStats`` rows still
+            appear, with zeroed delay statistics.
+        fast_forward: let the NumPy kernel jump steady constant-demand
+            intervals in closed form (``REPRO_FLUID_FF=0`` kill
+            switch); results stay bit-identical to the epoch-by-epoch
+            schedule — see :mod:`repro.fluid.kernel`.
+        fuse_epochs: epochs per fused kernel block (0 = sized
+            automatically from the incidence, the default).
     """
 
     epoch_seconds: Optional[float] = None
     target_flow_epochs: float = 12e6
     max_rounds: int = 200
     backend: str = "auto"
+    record_flows: bool = True
+    fast_forward: bool = True
+    fuse_epochs: int = 0
 
     @classmethod
     def from_env(cls, **overrides) -> "FluidOptions":
@@ -120,6 +135,11 @@ class FluidOptions:
         backend = os.environ.get(_BACKEND_ENV)
         if backend and "backend" not in overrides:
             overrides["backend"] = backend
+        ff = os.environ.get(_FF_ENV)
+        if ff and "fast_forward" not in overrides:
+            overrides["fast_forward"] = ff.strip().lower() not in (
+                "0", "false", "off", "no"
+            )
         return cls(**overrides)
 
 
@@ -136,7 +156,7 @@ def _routes_for(spec: ScenarioSpec):
     if spec.ecmp_seed is not None:
         from repro.net.fabric import EcmpPaths
 
-        chooser = EcmpPaths(spec.topology, seed=spec.ecmp_seed)
+        chooser = EcmpPaths.shared(spec.topology, seed=spec.ecmp_seed)
         return lambda flow: chooser.path(
             flow.source_host, flow.dest_host, flow.name
         )
@@ -166,6 +186,17 @@ def _admit(spec: ScenarioSpec, path_links: Dict[str, Tuple[int, ...]],
     clock: Dict[str, Optional[float]] = {}
     admitted: List[str] = []
     denied: List[str] = []
+
+    if not spec.establish_order and all(
+        f.request is None for f in spec.flows
+    ):
+        # Nothing to admit (the common generated-population shape):
+        # every flow runs as declared.
+        service = {
+            f.name: (f.service_class, f.priority_class) for f in spec.flows
+        }
+        clock = dict.fromkeys(service)
+        return service, clock, admitted, denied
 
     flows_by_name = {flow.name: flow for flow in spec.flows}
     order = list(spec.establish_order or ())
@@ -227,14 +258,40 @@ class FluidSimulation:
         options: Optional[FluidOptions] = None,
     ):
         if spec.tcps:
+            names = sorted(t.name for t in spec.tcps)
+            shown = ", ".join(repr(n) for n in names[:5])
+            if len(names) > 5:
+                shown += f", ... ({len(names)} total)"
             raise ValueError(
-                "the fluid engine does not model TCP; run TCP specs on "
-                "the packet engine"
+                f"the fluid engine does not model TCP dynamics: spec "
+                f"{spec.name!r} carries TCP flow(s) {shown}; run this "
+                f"spec on the packet engine (engine=\"packet\" on the "
+                f"spec, REPRO_ENGINE=packet, or --engine packet)"
             )
         if spec.outages is not None:
+            out = spec.outages
+            parts = []
+            if out.events:
+                links = sorted({e.link for e in out.events})
+                shown = ", ".join(repr(l) for l in links[:5])
+                if len(links) > 5:
+                    shown += f", ... ({len(links)} links)"
+                parts.append(
+                    f"{len(out.events)} explicit outage event(s) on "
+                    f"{shown}"
+                )
+            if out.rate_per_second:
+                parts.append(
+                    f"a sampled outage process at "
+                    f"{out.rate_per_second:g}/s"
+                )
+            detail = " and ".join(parts) or "an outage spec"
             raise ValueError(
-                "the fluid engine does not model link outages; run "
-                "outage specs on the packet engine"
+                f"the fluid engine does not model link outages: spec "
+                f"{spec.name!r} declares {detail}; the control plane is "
+                f"packet-only, so run this spec on the packet engine "
+                f"(engine=\"packet\" on the spec, REPRO_ENGINE=packet, "
+                f"or --engine packet)"
             )
         self.spec = spec
         self.discipline = discipline
@@ -260,7 +317,15 @@ class FluidSimulation:
 
         # -- routes ----------------------------------------------------
         path_of = _routes_for(spec)
-        link_set = set(self.link_names)
+        # Node-pair -> link index, for links whose name follows the
+        # "src->dst" convention the node walks resolve through (other
+        # names never match a walk hop, exactly as before).
+        pair_index = {
+            (link.src, link.dst): link_index[link.name]
+            for link in topology.links
+            if link.name == f"{link.src}->{link.dst}"
+        }
+        pair_get = pair_index.get
         self.paths: List[Tuple[int, ...]] = []
         path_links: Dict[str, Tuple[int, ...]] = {}
         for flow in spec.flows:
@@ -269,9 +334,8 @@ class FluidSimulation:
             except RoutingError as exc:
                 raise RoutingError(f"flow {flow.name!r}: {exc}") from None
             links = tuple(
-                link_index[f"{a}->{b}"]
-                for a, b in zip(nodes, nodes[1:])
-                if f"{a}->{b}" in link_set
+                l for l in map(pair_get, zip(nodes, nodes[1:]))
+                if l is not None
             )
             self.paths.append(links)
             path_links[flow.name] = links
@@ -318,33 +382,53 @@ class FluidSimulation:
         self.weight_static = []  # clock weight for fair flows; unused else
         self.realtime = []
         self.record = [bool(f.record) for f in spec.flows]
+        # One reusable generator, re-seeded per flow: seeding fully
+        # resets the Mersenne state, so each draw equals a fresh
+        # ``random.Random(key).random()`` without the allocation.
+        phase_rng = random.Random()
+        phase_seed = phase_rng.seed
+        phase_draw = phase_rng.random
+        phase_salt = f"{_PHASE_SALT}:{spec.seed}:"
+        # Local binds: this loop runs once per flow and dominates the
+        # 1M-flow compile.
+        caps = self.caps
+        caps_get = caps.__getitem__
+        paths = self.paths
+        peak_append = self.peak_bps.append
+        duty_append = self.duty.append
+        period_append = self.period.append
+        phase_append = self.phase.append
+        tier_append = self.tier.append
+        realtime_append = self.realtime.append
+        fair_append = self.fair.append
+        weight_append = self.weight_static.append
         for f, flow in enumerate(spec.flows):
-            peak_pps = flow.peak_rate_pps or 2.0 * flow.average_rate_pps
-            self.peak_bps.append(peak_pps * flow.packet_size_bits)
-            self.duty.append(min(1.0, flow.average_rate_pps / peak_pps))
-            self.period.append(
-                flow.mean_burst_packets / flow.average_rate_pps
-                / max(self.duty[-1], 1e-12)
+            avg_pps = flow.average_rate_pps
+            peak_pps = flow.peak_rate_pps or 2.0 * avg_pps
+            peak_append(peak_pps * flow.packet_size_bits)
+            duty = avg_pps / peak_pps
+            if duty > 1.0:
+                duty = 1.0
+            duty_append(duty)
+            period_append(
+                flow.mean_burst_packets / avg_pps / max(duty, 1e-12)
             )
-            self.phase.append(
-                random.Random(
-                    f"{_PHASE_SALT}:{spec.seed}:{flow.name}"
-                ).random()
-            )
+            phase_seed(phase_salt + flow.name)
+            phase_append(phase_draw())
             cls, priority = service[flow.name]
-            self.realtime.append(cls.is_realtime)
+            realtime_append(cls.is_realtime)
             if run_tiered:
                 if cls is ServiceClass.GUARANTEED:
-                    self.tier.append(0)
+                    tier_append(0)
                 elif cls is ServiceClass.PREDICTED:
-                    self.tier.append(1 + min(priority, num_predicted - 1))
+                    tier_append(1 + min(priority, num_predicted - 1))
                 else:
-                    self.tier.append(1 + num_predicted)
+                    tier_append(1 + num_predicted)
             else:
-                self.tier.append(0)
+                tier_append(0)
             governing = None
-            if self.paths[f]:
-                bottleneck = min(self.paths[f], key=lambda l: self.caps[l])
+            if paths[f]:
+                bottleneck = min(paths[f], key=caps_get)
                 governing = resolved[bottleneck]
             granted = clock[flow.name]
             if granted is not None and (
@@ -354,22 +438,22 @@ class FluidSimulation:
             ):
                 # An installed clock rate isolates the flow wherever a
                 # rate-capable scheduler runs.
-                self.fair.append(True)
-                self.weight_static.append(granted)
+                fair_append(True)
+                weight_append(granted)
             elif governing is not None and governing.kind in FAIR_KINDS:
                 params = governing.param_dict
                 share = params.get("equal_share_flows")
                 if share:
-                    rate = self.caps[bottleneck] / share
+                    rate = caps[bottleneck] / share
                 else:
                     rate = params.get("auto_register_rate_bps")
-                self.fair.append(True)
+                fair_append(True)
                 # Unregistered flows under WFQ-family schedulers share
                 # proportionally to their offered rate.
-                self.weight_static.append(rate or self.avg_bps[-1])
+                weight_append(rate or self.avg_bps[f])
             else:
-                self.fair.append(False)
-                self.weight_static.append(0.0)
+                fair_append(False)
+                weight_append(0.0)
 
         # -- epoch grid ------------------------------------------------
         duration = float(spec.duration)
@@ -402,16 +486,28 @@ class FluidSimulation:
         self.link_wait_num = [0.0] * len(self.caps)   # wait x served bits
         self.link_wait_den = [0.0] * len(self.caps)
         self.link_realtime_bits = [0.0] * len(self.caps)
-        # Per recorded flow: [(delay_seconds, delivered_packets), ...]
-        self.samples: Dict[int, List[Tuple[float, float]]] = {
-            f: [] for f in range(F) if self.record[f]
-        }
+        # Per recorded flow: [(delay_seconds, delivered_packets), ...].
+        # ``record_flows=False`` (benchmark/sweep mode) skips the whole
+        # sample bookkeeping; FlowStats rows still appear, zero-delayed.
+        self.record_samples = bool(self.options.record_flows)
+        self.samples: Dict[int, List[Tuple[float, float]]] = (
+            {f: [] for f in range(F) if self.record[f]}
+            if self.record_samples else {}
+        )
         self.events_processed = 0
         self.waterfill_exhausted = 0
         self.max_capacity_overuse = 0.0   # relative, across epochs/links
         self.max_buffer_overuse = 0.0     # relative, after clamping
         self._wall_seconds: Optional[float] = None
         self._ran = False
+
+        # -- compiled incidence (CSR), built once and shared by the
+        # kernel's waterfill, load checks, and accumulators -------------
+        self.incidence = None
+        if _np is not None:
+            from repro.fluid.kernel import CsrIncidence
+
+            self.incidence = CsrIncidence(self.paths, len(self.caps))
 
     # ------------------------------------------------------------------
     @property
@@ -567,7 +663,7 @@ class FluidSimulation:
                         self.link_wait_den[l] += served
                         if self.realtime[f]:
                             self.link_realtime_bits[l] += served
-                if self.record[f] and t0 >= warmup:
+                if self.record_samples and self.record[f] and t0 >= warmup:
                     if self.fair[f]:
                         delay = backlog[f] / rate[f] if rate[f] > 0 else 0.0
                     else:
@@ -646,218 +742,9 @@ class FluidSimulation:
 
     # -- NumPy backend --------------------------------------------------
     def _advance_numpy(self) -> None:
-        np = _np
-        F = len(self.flow_names)
-        L = len(self.caps)
-        T = self.num_tiers
-        duration = float(self.spec.duration)
-        warmup = float(self.spec.warmup)
-        caps = np.asarray(self.caps)
-        eps = np.maximum(1e-9 * caps, 1e-6)
-        buffer_bits = np.asarray(self.buffer_bits)
-        peak = np.asarray(self.peak_bps)
-        duty = np.asarray(self.duty)
-        period = np.asarray(self.period)
-        phase = np.asarray(self.phase)
-        tier = np.asarray(self.tier, dtype=np.int64)
-        fair = np.asarray(self.fair, dtype=bool)
-        w_static = np.asarray(self.weight_static)
-        size_bits = np.asarray(self.size_bits)
-        realtime = np.asarray(self.realtime, dtype=bool)
-        routed = np.asarray([bool(p) for p in self.paths], dtype=bool)
-        first_link = np.asarray(
-            [p[0] if p else 0 for p in self.paths], dtype=np.int64
-        )
-        # Flat incidence (flow, link) entries, plus per-tier views.
-        ef = np.asarray(
-            [f for f in range(F) for _ in self.paths[f]], dtype=np.int64
-        )
-        el = np.asarray(
-            [l for f in range(F) for l in self.paths[f]], dtype=np.int64
-        )
-        e_tier = tier[ef]
-        e_lt = el * T + e_tier
-        e_rt = realtime[ef]
-        tier_members = [
-            np.flatnonzero((tier == t) & routed) for t in range(T)
-        ]
-        rec_idx = np.flatnonzero(np.asarray(self.record, dtype=bool))
+        from repro.fluid.kernel import run_kernel
 
-        backlog = np.zeros(F)
-        generated = np.zeros(F)
-        delivered = np.zeros(F)
-        dropped = np.zeros(F)
-        link_served = np.zeros(L)
-        link_drops = np.zeros(L)
-        wait_num = np.zeros(L)
-        wait_den = np.zeros(L)
-        link_rt = np.zeros(L)
-        rec_delays: List = []
-        rec_weights: List = []
-
-        inv_period = 1.0 / period
-        for e in range(self.num_epochs):
-            t0 = e * self.epoch_seconds
-            t1 = min(duration, t0 + self.epoch_seconds)
-            dt = t1 - t0
-            if dt <= 0:
-                break
-            a = t0 * inv_period + phase
-            b = t1 * inv_period + phase
-            fa = np.floor(a)
-            fb = np.floor(b)
-            on = (
-                duty * fb + np.minimum(b - fb, duty)
-                - (duty * fa + np.minimum(a - fa, duty))
-            ) * period
-            np.minimum(on, t1 - t0, out=on)
-            arrival = peak * on
-            demand = (arrival + backlog) / dt
-            weight = np.where(fair, w_static, demand)
-
-            rate = np.zeros(F)
-            bottleneck = np.full(F, -1, dtype=np.int64)
-            slack = caps.copy()
-            for t in range(T):
-                self._waterfill_numpy(
-                    np, tier_members[t], demand, weight, rate,
-                    bottleneck, slack, caps, eps, ef, el,
-                )
-            rate[~routed] = demand[~routed]
-
-            used = np.bincount(el, weights=rate[ef], minlength=L)
-            over = float(np.max(used / caps)) - 1.0
-            if over > self.max_capacity_overuse:
-                self.max_capacity_overuse = over
-
-            served = rate * dt
-            backlog += arrival - served
-            np.maximum(backlog, 0.0, out=backlog)
-            generated += arrival
-            delivered += served
-
-            queued = routed & (backlog > 0)
-            bn = np.where(bottleneck >= 0, bottleneck, first_link)
-            q_lt = np.bincount(
-                (bn * T + tier)[queued], weights=backlog[queued],
-                minlength=L * T,
-            ).astype(float).reshape(L, T)
-            # Clamp to the buffer, keeping low tiers and shedding high
-            # ones: cumulative-from-tier-0 occupancy against the bound.
-            cum = np.cumsum(q_lt, axis=1)
-            keep = np.clip(
-                buffer_bits[:, None] - (cum - q_lt), 0.0, q_lt
-            )
-            with np.errstate(invalid="ignore", divide="ignore"):
-                scale = np.where(q_lt > 0, keep / np.maximum(q_lt, 1e-300),
-                                 1.0)
-            flow_scale = np.ones(F)
-            flow_scale[queued] = scale[bn[queued], tier[queued]]
-            shed = backlog * (1.0 - flow_scale)
-            backlog *= flow_scale
-            dropped += shed
-            link_drops += np.bincount(
-                bn[queued], weights=(shed / size_bits)[queued], minlength=L
-            )
-            q_lt *= scale
-
-            cumwait = np.cumsum(q_lt, axis=1) / caps[:, None]
-            cumwait_flat = cumwait.reshape(-1)
-
-            served_lt = np.bincount(
-                e_lt, weights=(rate[ef] * dt), minlength=L * T
-            )
-            link_served += np.bincount(el, weights=rate[ef] * dt,
-                                       minlength=L)
-            wait_num += (
-                (cumwait_flat * served_lt).reshape(L, T).sum(axis=1)
-            )
-            wait_den += served_lt.reshape(L, T).sum(axis=1)
-            link_rt += np.bincount(
-                el[e_rt], weights=(rate[ef] * dt)[e_rt], minlength=L
-            )
-
-            if rec_idx.size and t0 >= warmup:
-                shared = np.bincount(
-                    ef, weights=cumwait_flat[e_lt], minlength=F
-                )
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    isolated = np.where(
-                        rate > 0, backlog / np.maximum(rate, 1e-300), 0.0
-                    )
-                delay = np.where(fair, isolated, shared)
-                rec_delays.append(delay[rec_idx].copy())
-                rec_weights.append((served / size_bits)[rec_idx].copy())
-            self.events_processed += F
-
-        self.generated_bits = generated.tolist()
-        self.delivered_bits = delivered.tolist()
-        self.dropped_bits = dropped.tolist()
-        self.backlog_bits = backlog.tolist()
-        self.link_served_bits = link_served.tolist()
-        self.link_drop_packets = link_drops.tolist()
-        self.link_wait_num = wait_num.tolist()
-        self.link_wait_den = wait_den.tolist()
-        self.link_realtime_bits = link_rt.tolist()
-        for f in self.samples:
-            pos = int(np.searchsorted(rec_idx, f))
-            self.samples[f] = [
-                (float(d[pos]), float(w[pos]))
-                for d, w in zip(rec_delays, rec_weights)
-            ]
-
-    def _waterfill_numpy(
-        self, np, members, demand, weight, rate, bottleneck, slack,
-        caps, eps, ef, el,
-    ) -> None:
-        """Vectorized mirror of :meth:`_waterfill_pure`."""
-        F = rate.shape[0]
-        L = caps.shape[0]
-        active = np.zeros(F, dtype=bool)
-        active[members] = (demand[members] > 0) & (weight[members] > 0)
-        if not active.any():
-            return
-        rounds = 0
-        while rounds < self.options.max_rounds:
-            rounds += 1
-            aw = np.where(active, weight, 0.0)
-            wsum = np.bincount(el, weights=aw[ef], minlength=L)
-            contended = wsum > 0
-            if not contended.any():
-                return
-            lam = float(
-                np.min(np.maximum(slack[contended], 0.0) / wsum[contended])
-            )
-            gap = demand - rate
-            hit = active & (gap <= lam * weight * (1 + 1e-12))
-            if hit.any():
-                rate[hit] = demand[hit]
-                active &= ~hit
-            else:
-                rate += lam * aw
-            used = np.bincount(el, weights=rate[ef], minlength=L)
-            slack[:] = caps - used
-            sat_entry = (slack[el] <= eps[el]) & active[ef]
-            if sat_entry.any():
-                bn = np.full(F, L, dtype=np.int64)
-                np.minimum.at(bn, ef[sat_entry], el[sat_entry])
-                frozen = bn < L
-                bottleneck[frozen] = bn[frozen]
-                active &= ~frozen
-            if not active.any():
-                return
-        # Round cap exhausted: final demand-capped proportional fill.
-        self.waterfill_exhausted += int(active.sum())
-        aw = np.where(active, weight, 0.0)
-        wsum = np.bincount(el, weights=aw[ef], minlength=L)
-        contended = wsum > 0
-        if contended.any():
-            lam = float(
-                np.min(np.maximum(slack[contended], 0.0) / wsum[contended])
-            )
-            rate[active] = np.minimum(
-                demand[active], rate[active] + lam * weight[active]
-            )
+        run_kernel(self)
 
     # ------------------------------------------------------------------
     def collect(self) -> DisciplineRunResult:

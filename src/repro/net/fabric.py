@@ -41,7 +41,7 @@ Multipath:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.routing import RoutingError
 from repro.scenario import paper
@@ -176,7 +176,34 @@ class EcmpPaths:
     flow-hashing front.
     """
 
+    #: Small FIFO cache behind :meth:`shared`, keyed by the topology
+    #: *object* (id) and seed.  Each entry pins its topology alive, so
+    #: an id cannot be recycled while its key is cached.
+    _shared: Dict[Tuple[int, int], "EcmpPaths"] = {}
+    _shared_cap = 4
+
+    @classmethod
+    def shared(cls, topology: TopologySpec, seed: int = 0) -> "EcmpPaths":
+        """The memo-warm chooser for ``(topology, seed)``.
+
+        Spec generators and the fluid compiler route the same flow
+        population over the same topology object moments apart; sharing
+        one instance means the second pass reuses the BFS distance maps,
+        segment memos, and per-flow walks instead of recomputing them.
+        Paths are a pure function of (topology, seed, flow), so a shared
+        instance returns exactly what a fresh one would.
+        """
+        key = (id(topology), int(seed))
+        inst = cls._shared.get(key)
+        if inst is None:
+            inst = cls(topology, seed=seed)
+            if len(cls._shared) >= cls._shared_cap:
+                del cls._shared[next(iter(cls._shared))]
+            cls._shared[key] = inst
+        return inst
+
     def __init__(self, topology: TopologySpec, seed: int = 0):
+        self.topology = topology
         self.seed = int(seed)
         adj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
         radj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
@@ -195,6 +222,25 @@ class EcmpPaths:
         self._adj = {n: sorted(set(out)) for n, out in adj.items()}
         self._radj = {n: sorted(set(out)) for n, out in radj.items()}
         self._dist_to: Dict[str, Dict[str, int]] = {}
+        # Per-destination memo of each branch point's choice structure
+        # (identical for every flow): each equal-cost next hop extended
+        # through the following no-choice nodes to the next branch point
+        # or the destination, so a walk consumes one dict hit and one
+        # extend per *draw* instead of one per hop.  Plus the full walk
+        # for (src, dst) pairs whose walk never branches (no draw
+        # consumed, so every flow takes the same path).
+        self._segments_to: Dict[str, Dict[str, List[Tuple[str, ...]]]] = {}
+        self._single_path: Dict[Tuple[str, str], List[str]] = {}
+        self._gateway: Dict[str, Optional[str]] = {}
+        # Draw-consuming walks memoized per (src, dst, flow): the walk
+        # is a pure function of that triple, and :meth:`shared` callers
+        # resolve the same population twice (spec build, then the fluid
+        # compiler).  Grows with the flows routed by this instance.
+        self._flow_path: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        # One reusable generator, re-seeded per flow: seeding fully
+        # resets the Mersenne state, so draws are identical to a fresh
+        # ``random.Random(key)`` without the per-flow allocation.
+        self._rng = random.Random()
 
     def _distances(self, dst: str) -> Dict[str, int]:
         """Hop count from every node *to* ``dst`` (reverse BFS)."""
@@ -216,22 +262,125 @@ class EcmpPaths:
         self._dist_to[dst] = dist
         return dist
 
+    def _gateway_of(self, dst: str) -> Optional[str]:
+        """The single node every path into ``dst`` crosses (a host's
+        attachment switch), or ``None`` when ``dst`` has several
+        in-neighbours.  Routing toward such a ``dst`` is routing toward
+        the gateway plus the final attachment hop — all hosts on one
+        switch then share that switch's next-hop memo."""
+        gate = self._gateway.get(dst, False)
+        if gate is False:
+            ins = self._radj.get(dst)
+            gate = (
+                ins[0]
+                if ins is not None and len(ins) == 1 and ins[0] != dst
+                else None
+            )
+            self._gateway[dst] = gate
+        return gate
+
+    def _build_segment(
+        self, here: str, target: str, segs: Dict[str, List[Tuple[str, ...]]]
+    ) -> Optional[List[Tuple[str, ...]]]:
+        """Memoize ``here``'s choice structure toward ``target``: its
+        equal-cost next hops, each extended through every following
+        no-choice node up to the next branch point (or ``target``).
+        Draws are consumed only at branch points, exactly as the
+        uncompressed node-by-node walk would consume them.  Returns
+        ``None`` when ``here`` cannot reach ``target``."""
+        dist = self._distances(target)
+        if here not in dist:
+            return None
+        adj = self._adj
+        max_chain = len(adj)
+        closer = dist[here] - 1
+        options: List[Tuple[str, ...]] = []
+        for n in adj[here]:
+            if dist.get(n) != closer:
+                continue
+            chain = [n]
+            while n != target:
+                adj_n = adj[n]
+                if len(adj_n) == 1:
+                    # Degree-1 detour (an attachment hop): the only
+                    # neighbour is the only way onward.
+                    n = adj_n[0]
+                else:
+                    lvl = dist[n] - 1
+                    nxt = [m for m in adj_n if dist.get(m) == lvl]
+                    if len(nxt) != 1:
+                        break
+                    n = nxt[0]
+                chain.append(n)
+                if len(chain) > max_chain:  # pragma: no cover - guard
+                    raise RoutingError(f"no route from {here} to {target}")
+            options.append(tuple(chain))
+        segs[here] = options
+        return options
+
     def path(self, src: str, dst: str, flow: str) -> List[str]:
         """The seeded shortest path for ``flow`` from ``src`` to ``dst``."""
-        dist = self._distances(dst)
-        if src not in dist:
-            raise RoutingError(f"no route from {src} to {dst}")
-        rng: random.Random = None  # lazily created: single-path = no draw
+        single = self._single_path.get((src, dst))
+        if single is not None:
+            return list(single)
+        memo = self._flow_path.get((src, dst, flow))
+        if memo is not None:
+            return list(memo)
+        target, tail = dst, None
+        gate = self._gateway.get(dst, False)
+        if gate is False:
+            gate = self._gateway_of(dst)
+        if gate is not None and src != dst:
+            if src == gate:
+                walk = [src, dst]
+                self._single_path[(src, dst)] = walk
+                return list(walk)
+            target, tail = gate, dst
+        segs = self._segments_to.setdefault(target, {})
+        segs_get = segs.get
+        adj = self._adj
+        draw = None  # lazily seeded: single-path flows take no draw
         here, walk = src, [src]
-        while here != dst:
-            hops = [n for n in self._adj[here] if dist.get(n) == dist[here] - 1]
-            if not hops:  # pragma: no cover - dist guarantees a next hop
+        max_walk = len(adj)
+        while here != target:
+            options = segs_get(here)
+            if options is None:
+                adj_here = adj[here]
+                if len(adj_here) == 1:
+                    # A degree-1 node's only neighbour is its only way
+                    # toward any destination (hosts, notably — memoizing
+                    # those per (dst, host) would grow with the flows).
+                    here = adj_here[0]
+                    walk.append(here)
+                    if len(walk) > max_walk:
+                        # Degree-1 ping-pong with an unreachable dst;
+                        # the dist lookup below catches it eagerly.
+                        raise RoutingError(
+                            f"no route from {src} to {dst}"
+                        )
+                    continue
+                options = self._build_segment(here, target, segs)
+                if options is None:
+                    raise RoutingError(f"no route from {src} to {dst}")
+            count = len(options)
+            if count == 1:
+                chain = options[0]
+            elif count == 0:  # pragma: no cover - dist guarantees a hop
                 raise RoutingError(f"no route from {here} to {dst}")
-            if len(hops) == 1:
-                here = hops[0]
             else:
-                if rng is None:
-                    rng = random.Random(f"ecmp:{self.seed}:{flow}")
-                here = hops[rng.randrange(len(hops))]
-            walk.append(here)
+                if draw is None:
+                    rng = self._rng
+                    rng.seed(f"ecmp:{self.seed}:{flow}")
+                    # randrange(n) for a positive int is exactly
+                    # _randbelow(n); bind the inner draw when present.
+                    draw = getattr(rng, "_randbelow", rng.randrange)
+                chain = options[draw(count)]
+            walk.extend(chain)
+            here = chain[-1]
+        if tail is not None:
+            walk.append(tail)
+        if draw is None:
+            self._single_path[(src, dst)] = walk
+            return list(walk)
+        self._flow_path[(src, dst, flow)] = tuple(walk)
         return walk

@@ -31,6 +31,7 @@ truth (per-link utilization, queueing, drops) always covers every flow.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.fabric import (
@@ -148,31 +149,55 @@ def datacenter_flows(
         raise ValueError("datacenter topology needs >= 2 hosts")
 
     if ecmp_seed is not None:
-        chooser = EcmpPaths(topology, seed=ecmp_seed)
-        path_of = lambda src, dst, name: chooser.path(src, dst, name)
+        path_of = EcmpPaths.shared(topology, seed=ecmp_seed).path
     else:
         routing = topology_routes(topology)
         path_of = lambda src, dst, name: routing.path(src, dst)
 
     link_rates = {link.name: link.rate_bps for link in topology.links}
-    offered: Dict[str, float] = {}
+    # (src, dst) node pair -> link name: route hops resolve through one
+    # tuple lookup instead of building an "a->b" string per hop (host
+    # attachment hops fall out as misses, exactly as before).
+    pair_name = {
+        (link.src, link.dst): link.name for link in topology.links
+    }
+    # Static routes are a pure function of (src, dst) — memoize the
+    # resolved link list across the population.
+    static_routes: Optional[Dict[Tuple[str, str], List[str]]] = (
+        {} if ecmp_seed is None else None
+    )
+    crossings: Counter = Counter()
     placements: List[Tuple[str, str, str, int, object, List[str]]] = []
     base_rate_bps = float(paper.AVERAGE_RATE_PPS * packet_size_bits)
+    num_hosts = len(hosts)
+    randrange = rng.randrange
+    static_get = (
+        static_routes.get if static_routes is not None else None
+    )
+    pair_get = pair_name.get
+    place = placements.append
+    count_route = crossings.update
     for i in range(num_flows):
-        src = hosts[rng.randrange(len(hosts))]
-        dst = hosts[rng.randrange(len(hosts))]
+        src = hosts[randrange(num_hosts)]
+        dst = hosts[randrange(num_hosts)]
         while dst == src:
-            dst = hosts[rng.randrange(len(hosts))]
+            dst = hosts[randrange(num_hosts)]
         name = f"dc-{i}"
-        nodes = path_of(src, dst, name)
-        route = [
-            f"{a}->{b}" for a, b in zip(nodes, nodes[1:])
-            if f"{a}->{b}" in link_rates
-        ]
+        route = static_get((src, dst)) if static_get is not None else None
+        if route is None:
+            nodes = path_of(src, dst, name)
+            route = [
+                ln for ln in map(pair_get, zip(nodes, nodes[1:]))
+                if ln is not None
+            ]
+            if static_routes is not None:
+                static_routes[(src, dst)] = route
         service = _pick_service(rng, mix)
-        placements.append((name, src, dst, i, service, route))
-        for link in route:
-            offered[link] = offered.get(link, 0.0) + base_rate_bps
+        place((name, src, dst, i, service, route))
+        count_route(route)
+    offered: Dict[str, float] = {
+        link: base_rate_bps * count for link, count in crossings.items()
+    }
 
     peak_util = max(
         (offered[link] / link_rates[link] for link in offered), default=0.0
@@ -185,28 +210,35 @@ def datacenter_flows(
     recorded = set(
         rng.sample(range(num_flows), min(record_flows, num_flows))
     )
+    # Per-service constants, resolved once instead of per flow; request
+    # objects are immutable specs, so one instance per service is shared
+    # by every flow of that service (requests scale with the common
+    # rate, identical across the population).
+    classes: Dict[str, Tuple[ServiceClass, int, object]] = {
+        "guaranteed": (
+            ServiceClass.GUARANTEED, 0,
+            GuaranteedRequest(
+                clock_rate_bps=2.0 * rate_pps * packet_size_bits
+            ) if with_requests else None,
+        ),
+        "predicted_high": (
+            ServiceClass.PREDICTED, 0,
+            PredictedRequest(
+                token_rate_bps=2.0 * rate_pps * packet_size_bits,
+                bucket_depth_bits=50.0 * packet_size_bits,
+                target_delay_seconds=0.5,
+            ) if with_requests else None,
+        ),
+        "predicted_low": (ServiceClass.PREDICTED, 1, None),
+    }
+    datagram = (ServiceClass.DATAGRAM, 0, None)
     flows: List[FlowSpec] = []
+    add_flow = flows.append
     for name, src, dst, i, service, route in placements:
-        service_class = ServiceClass.DATAGRAM
-        priority_class = 0
-        request = None
-        if service == "guaranteed":
-            service_class = ServiceClass.GUARANTEED
-            if with_requests:
-                request = GuaranteedRequest(
-                    clock_rate_bps=2.0 * rate_pps * packet_size_bits
-                )
-        elif service == "predicted_high":
-            service_class = ServiceClass.PREDICTED
-            if with_requests:
-                request = PredictedRequest(
-                    token_rate_bps=2.0 * rate_pps * packet_size_bits,
-                    bucket_depth_bits=50.0 * packet_size_bits,
-                    target_delay_seconds=0.5,
-                )
-        elif service == "predicted_low":
-            service_class, priority_class = ServiceClass.PREDICTED, 1
-        flows.append(
+        service_class, priority_class, request = classes.get(
+            service, datagram
+        )
+        add_flow(
             FlowSpec(
                 name=name,
                 source_host=src,

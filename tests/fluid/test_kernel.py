@@ -1,0 +1,266 @@
+"""Fused-kernel guarantees: kernel-vs-pure property grid, fused-block
+bit-identity, and steady-state fast-forward equivalence.
+
+Three distinct contracts, tested at three distinct strengths:
+
+* kernel (NumPy) vs the authoritative pure backend: agreement at
+  ``rel=1e-9`` across generated fat-trees, disciplines, and saturation
+  (the backends waterfill in different float association, so last-ulp
+  divergence is expected; the committed tolerance is the contract).
+* fused multi-epoch blocks vs the kernel's own single-epoch schedule:
+  per-flow state and samples *bitwise* equal — fusing may only change
+  the fold order of run aggregates (pinned at 1e-9).
+* fast-forward on vs off: *bitwise* equal everything, including exact
+  ``events_processed`` and per-epoch sample lists, with the warmup
+  crossing (the admission-to-statistics event an elided epoch must not
+  straddle) landing exactly on a would-be-skipped epoch boundary.
+"""
+
+import pytest
+
+from repro.fluid import FluidOptions, FluidSimulation
+from repro.fluid import model as fluid_model
+from repro.scenario import DisciplineSpec, ScenarioBuilder, registry
+
+pytestmark = pytest.mark.skipif(
+    fluid_model._np is None, reason="numpy not installed"
+)
+
+GRID_SEEDS = (1, 2, 3, 5, 8)
+GRID_DISCIPLINES = ("FIFO", "WFQ", "CSZ")
+_spec_cache = {}
+
+
+def grid_spec(gen_seed, target_utilization=0.85):
+    """One 10k-flow fat-tree property-grid cell (cached per session)."""
+    key = (gen_seed, target_utilization)
+    if key not in _spec_cache:
+        _spec_cache[key] = registry.build(
+            "gen:fat-tree",
+            gen_seed=gen_seed,
+            k=8,
+            num_flows=10_000,
+            duration=2.0,
+            warmup=0.5,
+            engine="fluid",
+            target_utilization=target_utilization,
+            disciplines=(
+                DisciplineSpec.fifo(),
+                DisciplineSpec.wfq(),
+                DisciplineSpec.unified(name="CSZ"),
+            ),
+        )
+    return _spec_cache[key]
+
+
+def run_backend(spec, discipline_name, backend, **options):
+    disc = next(d for d in spec.disciplines if d.name == discipline_name)
+    sim = FluidSimulation(
+        spec, disc,
+        FluidOptions(backend=backend, epoch_seconds=0.5, **options),
+    )
+    sim.run()
+    return sim
+
+
+def assert_flow_state_close(a, b, rel):
+    for field in (
+        "generated_bits", "delivered_bits", "backlog_bits", "dropped_bits"
+    ):
+        xs, ys = getattr(a, field), getattr(b, field)
+        assert len(xs) == len(ys)
+        for x, y in zip(xs, ys):
+            assert x == pytest.approx(y, rel=rel, abs=1e-6), field
+    assert a.events_processed == b.events_processed
+
+
+class TestKernelVsPure:
+    """The NumPy kernel against the authoritative pure backend."""
+
+    @pytest.mark.parametrize("discipline", GRID_DISCIPLINES)
+    @pytest.mark.parametrize("gen_seed", GRID_SEEDS)
+    def test_property_grid(self, gen_seed, discipline):
+        spec = grid_spec(gen_seed)
+        kernel = run_backend(spec, discipline, "numpy")
+        pure = run_backend(spec, discipline, "pure")
+        assert_flow_state_close(kernel, pure, rel=1e-9)
+
+    @pytest.mark.parametrize("discipline", GRID_DISCIPLINES)
+    def test_saturated_grid_cell(self, discipline):
+        """Offered load 1.5x the hottest link: the waterfill saturates,
+        backlogs build, and the buffer clamp sheds — the fused path must
+        hand over to the exact single-epoch schedule throughout."""
+        spec = grid_spec(1, target_utilization=1.5)
+        kernel = run_backend(spec, discipline, "numpy")
+        pure = run_backend(spec, discipline, "pure")
+        assert sum(kernel.dropped_bits) > 0  # clamp actually engaged
+        assert_flow_state_close(kernel, pure, rel=1e-9)
+
+    def test_recorded_samples_match(self):
+        spec = grid_spec(1)
+        kernel = run_backend(spec, "CSZ", "numpy")
+        pure = run_backend(spec, "CSZ", "pure")
+        assert kernel.samples.keys() == pure.samples.keys()
+        for f, rows in pure.samples.items():
+            krows = kernel.samples[f]
+            assert len(krows) == len(rows)
+            for (kd, kw), (pd, pw) in zip(krows, rows):
+                assert kd == pytest.approx(pd, rel=1e-9, abs=1e-12)
+                assert kw == pytest.approx(pw, rel=1e-9, abs=1e-12)
+
+
+class TestFusedBlockBitIdentity:
+    """Fusing K epochs may not change per-flow state at all."""
+
+    @pytest.mark.parametrize("target_utilization", (0.85, 1.5))
+    def test_fused_equals_single_epoch(self, target_utilization):
+        spec = grid_spec(1, target_utilization=target_utilization)
+        fused = run_backend(spec, "FIFO", "numpy")
+        single = run_backend(spec, "FIFO", "numpy", fuse_epochs=1)
+        for field in (
+            "generated_bits", "delivered_bits", "backlog_bits",
+            "dropped_bits",
+        ):
+            assert getattr(fused, field) == getattr(single, field), field
+        assert fused.events_processed == single.events_processed
+        assert fused.samples == single.samples
+        # Run aggregates fold in a different order: 1e-9, not bitwise.
+        for field in ("link_served_bits", "link_wait_num", "link_wait_den"):
+            for x, y in zip(getattr(fused, field), getattr(single, field)):
+                assert x == pytest.approx(y, rel=1e-9, abs=1e-9), field
+
+
+def constant_population(rates_pps, duration=10.25, warmup=3.0):
+    """All-constant (duty = 1) flows on one link: the fast-forward
+    regime.  ``duration=10.25`` leaves a trailing partial epoch the
+    jump must stop short of."""
+    builder = ScenarioBuilder("ff-steady").single_link().duration(
+        duration
+    ).seed(1)
+    builder.warmup(warmup)
+    for i, rate in enumerate(rates_pps):
+        builder.add_flow(
+            f"c{i}", "src-host", "dst-host",
+            average_rate_pps=rate, peak_rate_pps=rate, record=True,
+        )
+    builder.disciplines(DisciplineSpec.fifo())
+    return builder.build().replace(engine="fluid")
+
+
+def run_ff(spec, fast_forward, monkeypatch=None):
+    """Run on the kernel, counting exact single-epoch computations."""
+    from repro.fluid import kernel as kernel_mod
+
+    calls = {"n": 0}
+    if monkeypatch is not None:
+        original = kernel_mod.FluidKernel._single_epoch
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(
+            kernel_mod.FluidKernel, "_single_epoch", counting
+        )
+    sim = FluidSimulation(
+        spec, spec.disciplines[0],
+        FluidOptions(
+            backend="numpy", epoch_seconds=0.5, fast_forward=fast_forward
+        ),
+    )
+    sim.run()
+    if monkeypatch is not None:
+        monkeypatch.undo()
+    return sim, calls["n"]
+
+
+class TestFastForward:
+    def assert_bitwise_equal(self, a, b):
+        for field in (
+            "generated_bits", "delivered_bits", "backlog_bits",
+            "dropped_bits", "link_served_bits", "link_wait_num",
+            "link_wait_den", "link_realtime_bits",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+        assert a.events_processed == b.events_processed
+        assert a.samples == b.samples
+
+    def test_steady_interval_elided_exactly(self, monkeypatch):
+        """Uncongested constant flows: the kernel must compute only the
+        reference epochs around each boundary and replay the rest, with
+        results bitwise equal to stepping every epoch."""
+        spec = constant_population((200, 300))
+        ff, computed = run_ff(spec, True, monkeypatch)
+        plain, _ = run_ff(spec, False, monkeypatch)
+        # 21 epochs (ceil(10.25 / 0.5)); fast-forward computes only the
+        # reference epoch at each jump landing plus the trailing
+        # partial epoch — everything else replays.
+        assert computed <= 4
+        self.assert_bitwise_equal(ff, plain)
+
+    def test_warmup_exactly_on_epoch_boundary(self, monkeypatch):
+        """The adversarial case: sample recording switches on at
+        t = 3.0, exactly an epoch edge inside the would-be-skipped
+        steady interval.  The jump must stop there — eliding across it
+        would mis-count the recorded epochs."""
+        spec = constant_population((200, 300), warmup=3.0)
+        ff, _ = run_ff(spec, True, monkeypatch)
+        plain, _ = run_ff(spec, False, monkeypatch)
+        # Epochs with t0 >= 3.0 out of t0 = 0, 0.5, ..., 10.0: 15.
+        for f, rows in plain.samples.items():
+            assert len(rows) == 15
+        self.assert_bitwise_equal(ff, plain)
+
+    def test_warmup_strictly_inside_jump_interval(self, monkeypatch):
+        spec = constant_population((200, 300), warmup=3.2)
+        ff, _ = run_ff(spec, True, monkeypatch)
+        plain, _ = run_ff(spec, False, monkeypatch)
+        for f, rows in plain.samples.items():
+            assert len(rows) == 14  # first recordable t0 is 3.5
+        self.assert_bitwise_equal(ff, plain)
+
+    def test_saturated_steady_state_still_exact(self, monkeypatch):
+        """Overloaded constant flows grow backlog every epoch: no
+        steady state, so nothing may be elided — and results must
+        still match the plain schedule bitwise."""
+        spec = constant_population((800, 600))
+        ff, computed = run_ff(spec, True, monkeypatch)
+        plain, stepped = run_ff(spec, False, monkeypatch)
+        assert computed == stepped  # every epoch computed exactly
+        assert sum(ff.backlog_bits) > 0
+        self.assert_bitwise_equal(ff, plain)
+
+    def test_on_off_flows_never_fast_forward(self, monkeypatch):
+        """duty < 1 flows transition within the run; the constant-set
+        precondition fails and the fused block path serves instead."""
+        builder = ScenarioBuilder("ff-onoff").single_link().duration(
+            10.0
+        ).seed(1)
+        builder.warmup(3.0)
+        builder.add_flow(
+            "bursty", "src-host", "dst-host",
+            average_rate_pps=200, record=True,
+        )
+        builder.disciplines(DisciplineSpec.fifo())
+        spec = builder.build().replace(engine="fluid")
+        ff, _ = run_ff(spec, True, monkeypatch)
+        plain, _ = run_ff(spec, False, monkeypatch)
+        self.assert_bitwise_equal(ff, plain)
+
+    def test_kill_switch_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLUID_FF", "0")
+        assert FluidOptions.from_env().fast_forward is False
+        monkeypatch.setenv("REPRO_FLUID_FF", "1")
+        assert FluidOptions.from_env().fast_forward is True
+
+
+class TestRecordFlowsSwitch:
+    def test_record_flows_off_skips_samples_only(self):
+        spec = grid_spec(1)
+        on = run_backend(spec, "FIFO", "numpy")
+        off = run_backend(spec, "FIFO", "numpy", record_flows=False)
+        assert on.samples and not off.samples
+        assert on.delivered_bits == off.delivered_bits
+        assert on.events_processed == off.events_processed
+        rows = off.collect()
+        assert len(rows.flows) == len(on.collect().flows)

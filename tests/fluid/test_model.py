@@ -209,3 +209,47 @@ class TestValidityEnvelope:
         spec = registry.build("gen:outage", gen_seed=1, duration=5.0)
         with pytest.raises(ValueError, match="outage"):
             FluidSimulation(spec, spec.disciplines[0])
+
+    def test_tcp_rejection_names_flows_and_remedy(self):
+        builder = ScenarioBuilder("fluid-tcp").single_link().duration(5.0)
+        builder.add_flow("a", "src-host", "dst-host")
+        builder.tcp("tcp-b", "src-host", "dst-host")
+        builder.tcp("tcp-a", "src-host", "dst-host")
+        builder.disciplines(DisciplineSpec.fifo())
+        spec = builder.build()
+        with pytest.raises(ValueError) as excinfo:
+            FluidSimulation(spec, spec.disciplines[0])
+        message = str(excinfo.value)
+        # Diagnostics name the offending flows (sorted), the spec, and
+        # point at the packet engine as the remedy.
+        assert "'tcp-a', 'tcp-b'" in message
+        assert "'fluid-tcp'" in message
+        assert 'engine="packet"' in message
+        assert "REPRO_ENGINE=packet" in message
+
+    def test_tcp_rejection_truncates_long_flow_lists(self):
+        builder = ScenarioBuilder("fluid-tcp").single_link().duration(5.0)
+        for i in range(8):
+            builder.tcp(f"tcp-{i}", "src-host", "dst-host")
+        builder.disciplines(DisciplineSpec.fifo())
+        spec = builder.build()
+        with pytest.raises(ValueError) as excinfo:
+            FluidSimulation(spec, spec.disciplines[0])
+        message = str(excinfo.value)
+        assert "(8 total)" in message
+        assert "'tcp-7'" not in message  # beyond the 5-name preview
+
+    def test_outage_rejection_names_links_and_remedy(self):
+        spec = registry.build("gen:outage", gen_seed=1, duration=5.0)
+        out = spec.outages
+        assert out is not None
+        with pytest.raises(ValueError) as excinfo:
+            FluidSimulation(spec, spec.disciplines[0])
+        message = str(excinfo.value)
+        assert f"{spec.name!r}" in message
+        assert 'engine="packet"' in message
+        if out.events:
+            first = sorted({e.link for e in out.events})[0]
+            assert repr(first) in message
+        if out.rate_per_second:
+            assert f"{out.rate_per_second:g}/s" in message

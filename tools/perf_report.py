@@ -11,7 +11,7 @@ Three suites share the harness:
   ladder, task overhead, pickle bytes) against the frozen per-call-Pool
   baseline; writes ``BENCH_sweep.json``.
 * ``--suite fluid`` — flow-level engine benches
-  (``benchmarks/perf/fluidbench.py``: flows/sec at 10k/100k flows,
+  (``benchmarks/perf/fluidbench.py``: flows/sec at 10k/100k/1M flows,
   packet-engine crossover) against the frozen packet-crossover
   baseline; writes ``BENCH_fluid.json``.
 
@@ -233,6 +233,16 @@ def fluid_speedups(baseline: dict, current: dict) -> dict:
         ),
         "crossover_wall_clock": None,
     }
+    floor_1m = base.get("fluid_floor_1m")
+    if floor_1m:
+        at_1m = [
+            row for row in sizes.values()
+            if row["num_flows"] == floor_1m["num_flows"]
+        ]
+        if at_1m:
+            out["flows_per_sec_1m_vs_floor"] = (
+                at_1m[0]["flows_per_sec"] / floor_1m["flows_per_sec"]
+            )
     if scales_match:
         out["crossover_wall_clock"] = (
             base["crossover_packet"]["wall_seconds"]
