@@ -20,14 +20,21 @@ from repro.control.controller import (
     FlowRerouteStats,
     LinkStateController,
 )
-from repro.control.outages import OutageProcess
-from repro.control.spf import SpfRouting, spf_from_network
+from repro.control.outages import (
+    LinkTransition,
+    OutageProcess,
+    compute_outage_schedule,
+)
+from repro.control.spf import SpfRouting, spf_from_network, spf_from_topology
 
 __all__ = [
     "ControlPlaneStats",
     "FlowRerouteStats",
     "LinkStateController",
+    "LinkTransition",
     "OutageProcess",
     "SpfRouting",
+    "compute_outage_schedule",
     "spf_from_network",
+    "spf_from_topology",
 ]

@@ -22,6 +22,12 @@ Policies, kept deliberately simple and explicit:
 * Best-effort flows (no service request) reroute implicitly through the
   table swap; while their destination is unreachable their packets
   become ledgered no-route drops at the partition edge.
+
+The fluid engine replays these exact policies without a clock:
+:mod:`repro.fluid.control` compiles the outage schedule into per-
+transition reroute/re-admission/teardown decisions over the same
+admission state, so :class:`ControlPlaneStats` comes out of either
+engine in the same shape with matching discrete counters.
 """
 
 from __future__ import annotations

@@ -23,13 +23,126 @@ controller's ``fail_link``/``restore_link`` are idempotent.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import dataclasses
+import heapq
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.control.controller import LinkStateController
     from repro.sim.engine import Simulator
     from repro.sim.events import EventHandle
     from repro.sim.randomness import StreamRandom
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkTransition:
+    """One link-state change of a replayed outage schedule: ``link``
+    goes down (``up=False``) or comes back (``up=True``) at ``time``."""
+
+    time: float
+    link: str
+    up: bool
+
+
+def compute_outage_schedule(
+    spec,
+    link_names: Iterable[str],
+    rng: Optional["StreamRandom"],
+    horizon: float,
+) -> Tuple[LinkTransition, ...]:
+    """Replay an outage spec without a simulator clock.
+
+    Produces the exact sequence of link-state changes an
+    :class:`OutageProcess` driving a
+    :class:`~repro.control.controller.LinkStateController` would apply
+    over ``[0, horizon]`` — same draws, same order, same idempotent
+    merging of overlapping windows.  The fluid engine compiles this
+    schedule into epoch boundaries; because the draws come from the same
+    named stream the packet engine uses (``"outage:process"``), failure
+    schedules pair across disciplines *and* engines.
+
+    Fidelity notes, each load-bearing for cross-engine pairing:
+
+    * The arming order mirrors ``OutageProcess.__init__``: explicit
+      events first (spec order), then the first sampled arrival.  Ties
+      resolve by arming sequence, exactly like the simulator's
+      ``(time, priority, seq)`` heap with uniform priority.
+    * Per sampled firing the draw order is ``sample(up, count)`` →
+      ``exponential(mean_duration)`` — skipped entirely when no
+      candidate link is up — then the ``max_outages`` check, then the
+      ``exponential(1/rate)`` gap; explicit events count toward
+      ``max_outages`` just as ``OutageProcess.outages_fired`` does.
+    * Events scheduled exactly at ``horizon`` still fire
+      (``Simulator.run(until=horizon)`` semantics); anything later is
+      never drawn or applied.
+
+    Returns the *effective* transitions only: failing an already-down
+    link or restoring an up link is a no-op, as in the controller.
+    """
+    state = {name: True for name in link_names}
+    candidates: Tuple[str, ...] = (
+        tuple(spec.links) if spec.links is not None
+        else tuple(sorted(state))
+    )
+    transitions: List[LinkTransition] = []
+    heap: List[Tuple[float, int, int, object]] = []
+    seq = 0
+    _EXPLICIT, _RESTORE, _DUE = 0, 1, 2
+
+    def arm(time: float, kind: int, payload=None) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, seq, kind, payload))
+        seq += 1
+
+    for event in spec.events:
+        arm(event.at, _EXPLICIT, event)
+    if spec.rate_per_second > 0:
+        if rng is None:
+            raise ValueError(
+                "a seeded rng is required for a sampled outage process"
+            )
+        arm(
+            spec.start_after + rng.exponential(1.0 / spec.rate_per_second),
+            _DUE,
+        )
+
+    def fail(link: str, time: float) -> None:
+        if state.get(link, False):
+            state[link] = False
+            transitions.append(LinkTransition(time, link, up=False))
+
+    def restore(link: str, time: float) -> None:
+        if not state.get(link, True):
+            state[link] = True
+            transitions.append(LinkTransition(time, link, up=True))
+
+    fired = 0
+    while heap:
+        time, _, kind, payload = heapq.heappop(heap)
+        if time > horizon:
+            break  # heap pops in time order: everything left is later
+        if kind == _EXPLICIT:
+            fired += 1
+            fail(payload.link, time)
+            arm(time + payload.duration, _RESTORE, (payload.link,))
+        elif kind == _RESTORE:
+            for name in payload:
+                restore(name, time)
+        else:  # sampled outage due
+            up = [n for n in candidates if state.get(n, False)]
+            count = min(spec.correlated_links, len(up))
+            if count:
+                victims = rng.sample(up, count)
+                fired += 1
+                for name in victims:
+                    fail(name, time)
+                duration = rng.exponential(spec.mean_duration_seconds)
+                arm(time + duration, _RESTORE, tuple(victims))
+            if spec.max_outages is not None and fired >= spec.max_outages:
+                continue
+            gap = rng.exponential(1.0 / spec.rate_per_second)
+            arm(time + gap, _DUE)
+    return tuple(transitions)
 
 
 class OutageProcess:

@@ -124,6 +124,30 @@ class SpfRouting:
         )
 
 
+def spf_from_topology(
+    topology, down: Iterable[str] = ()
+) -> SpfRouting:
+    """Build SPF routes over a :class:`~repro.scenario.spec.TopologySpec`
+    with the ``down`` links removed — no network, no simulator clock.
+
+    The fluid engine's control plane reroutes through this: the graph is
+    the switch-level subset of what :func:`spf_from_network` sees (hosts
+    are leaves — they never transit, and within one BFS level their
+    presence cannot reorder switch discovery, so switch-to-switch paths
+    are identical with or without them).  Host endpoints are re-attached
+    by the caller via the topology's attachment map.  With ``down``
+    empty the unit-cost equivalence to the build-time BFS tables applies
+    unchanged, so restoring the last failed link returns every path
+    bit-identically to the pre-failure routes.
+    """
+    dead = frozenset(down)
+    adjacency: Dict[str, List[str]] = {n: [] for n in topology.nodes}
+    for link in topology.links:
+        if link.name not in dead:
+            adjacency[link.src].append(link.dst)
+    return SpfRouting(adjacency)
+
+
 def spf_from_network(
     net: "Network", link_state: Mapping[str, bool]
 ) -> SpfRouting:

@@ -29,6 +29,9 @@ Usage::
     python -m repro.experiments --spec gen:fat-tree --engine fluid
     python -m repro.experiments --spec parking_lot --engine fluid
 
+    # the failover flagship's fabric-scale leg on the fluid engine
+    python -m repro.experiments failover --engine fluid
+
 ``--spec`` runs one declarative :class:`~repro.scenario.ScenarioSpec`
 loaded from a JSON file (``ScenarioSpec.to_dict`` payload) or built from
 the scenario registry, and prints a generic per-flow / per-link report.
@@ -338,10 +341,15 @@ def main(argv: list[str] | None = None) -> int:
             "--gen-seed applies to --spec gen:* scenarios (use --gen-seeds "
             "with the 'generated' experiment)"
         )
-    if args.engine is not None and args.spec is None:
+    if (
+        args.engine is not None
+        and args.spec is None
+        and args.experiment not in ("failover", "all")
+    ):
         parser.error(
-            "--engine applies to --spec runs (experiments pick their own "
-            "engine; 'scale' is fluid by construction)"
+            "--engine applies to --spec runs and the 'failover' experiment "
+            "(other experiments pick their own engine; 'scale' is fluid by "
+            "construction)"
         )
     if args.validate and args.spec is None:
         parser.error(
@@ -461,7 +469,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(result.render())
                 payloads[name] = result.to_dict()
             elif name == "failover":
-                result = failover.run(duration=duration, seed=seed)
+                result = failover.run(
+                    duration=duration, seed=seed,
+                    engine=args.engine or "packet",
+                )
                 print(result.render())
                 payloads[name] = result.to_dict()
                 if not all(row.invariants_clean for row in result.rows):

@@ -54,6 +54,8 @@ PREDICTED_FLOWS = ("pred-0", "pred-1")
 BACKGROUND_FLOWS = 5
 CLASS_BOUNDS = (0.15, 1.5)
 FAILED_LINK = "S-A->S-B"
+#: The fabric-scale (fluid-engine) leg's failed uplink.
+FLUID_FAILED_LINK = "L-1->SP-1"
 DISCIPLINE_NAMES = ("FIFO", "CSZ")
 PHASES = ("pre", "failed", "restored")
 
@@ -136,6 +138,44 @@ def scenario_spec(
     )
 
 
+@registry.register("failover:fabric")
+def fabric_scenario_spec(
+    duration: float = 60.0,
+    seed: int = 1,
+    warmup: float = common.DEFAULT_WARMUP_SECONDS,
+) -> ScenarioSpec:
+    """The failover story at fabric scale, for the fluid engine: a
+    leaf-spine under a seeded ECMP many-flow population with admission
+    on, losing one spine uplink through the middle third of the run.
+
+    Exercises the whole fluid control plane — masked-ECMP rerouting,
+    re-admission of request-bearing flows, boundary flushes — on a
+    population the packet engine cannot reach."""
+    spec = registry.build(
+        "gen:leaf-spine",
+        gen_seed=seed,
+        duration=duration,
+        seed=seed,
+        warmup=warmup,
+        admission=True,
+        with_requests=True,
+        engine="fluid",
+    )
+    fail_at, restore_at = outage_window(duration, warmup)
+    return spec.replace(
+        name="failover-fabric",
+        outages=OutageSpec(
+            events=(
+                OutageEvent(
+                    link=FLUID_FAILED_LINK,
+                    at=fail_at,
+                    duration=restore_at - fail_at,
+                ),
+            )
+        ),
+    )
+
+
 class _PhaseBucketedTap:
     """Wraps a flow's recording sink, splitting delays by route phase.
 
@@ -198,6 +238,8 @@ class FailoverResult:
     duration: float
     seed: int
     scenario: Optional[ScenarioResult] = None
+    engine: str = "packet"
+    failed_link: str = FAILED_LINK
 
     def row(self, scheduling: str) -> FailoverRow:
         for row in self.rows:
@@ -227,9 +269,9 @@ class FailoverResult:
         return "\n".join(
             [
                 "Failover — predicted service through a link failure "
-                f"({FAILED_LINK} down {self.fail_at:.1f}s-"
-                f"{self.restore_at:.1f}s)",
-                "predicted-flow queueing delay by route phase "
+                f"({self.failed_link} down {self.fail_at:.1f}s-"
+                f"{self.restore_at:.1f}s, {self.engine} engine)",
+                "recorded-flow queueing delay by route phase "
                 "(packet transmission times):",
                 common.format_table(header, body),
                 "invariants: "
@@ -249,15 +291,127 @@ class FailoverResult:
             "restore_at": self.restore_at,
             "duration": self.duration,
             "seed": self.seed,
+            "engine": self.engine,
+            "failed_link": self.failed_link,
         }
+
+
+def _run_fluid(
+    duration: float, seed: int, warmup: float
+) -> FailoverResult:
+    """The fabric-scale leg: both disciplines of
+    :func:`fabric_scenario_spec` through the fluid engine, with the
+    recorded flows' per-epoch delay samples bucketed into the three
+    route phases off the epoch grid (each recorded sample is one
+    epoch's weighted delay, in grid order from the warmup on)."""
+    from repro.fluid.model import FluidSimulation
+
+    spec = fabric_scenario_spec(duration=duration, seed=seed, warmup=warmup)
+    fail_at, restore_at = outage_window(duration, warmup)
+    unit = common.TX_TIME_SECONDS
+    rows: List[FailoverRow] = []
+    runs = []
+    for discipline in spec.disciplines:
+        sim = FluidSimulation(
+            dataclasses.replace(spec, disciplines=(discipline,)), discipline
+        )
+        result = sim.run().collect()
+        runs.append(result)
+        control = result.control
+        times: List[float] = []
+        for e in range(sim.num_epochs):
+            t0 = (
+                sim.epoch_starts[e]
+                if sim.epoch_starts is not None
+                else e * sim.epoch_seconds
+            )
+            if t0 >= warmup:
+                times.append(t0)
+        # Pool recorded flows per phase: delivered-weighted mean delay
+        # plus the min/max spread, mirroring the packet leg's taps.
+        acc = {phase: [0.0, 0.0, None, None] for phase in PHASES}
+        for sample_list in sim.samples.values():
+            for (delay, w), t0 in zip(sample_list, times):
+                if w <= 0:
+                    continue
+                if t0 < fail_at:
+                    phase = "pre"
+                elif t0 < restore_at:
+                    phase = "failed"
+                else:
+                    phase = "restored"
+                slot = acc[phase]
+                slot[0] += w
+                slot[1] += delay * w
+                slot[2] = delay if slot[2] is None else min(slot[2], delay)
+                slot[3] = delay if slot[3] is None else max(slot[3], delay)
+        phase_mean = {
+            phase: (slot[1] / slot[0] / unit if slot[0] else 0.0)
+            for phase, slot in acc.items()
+        }
+        phase_jitter = {
+            phase: ((slot[3] - slot[2]) / unit if slot[0] else 0.0)
+            for phase, slot in acc.items()
+        }
+        phase_packets = {
+            phase: int(round(slot[0])) for phase, slot in acc.items()
+        }
+        recorded = [
+            f.name for i, f in enumerate(spec.flows) if sim.record[i]
+        ]
+        rows.append(
+            FailoverRow(
+                scheduling=result.discipline,
+                phase_mean=phase_mean,
+                phase_jitter=phase_jitter,
+                phase_packets=phase_packets,
+                delivered=sum(
+                    result.flow(name).received for name in recorded
+                ),
+                wire_killed=0,  # fluid flows have no wire to die on
+                flushed=control.flushed_packets,
+                reroutes=sum(flow.reroutes for flow in control.flows),
+                readmissions=sum(
+                    flow.readmissions for flow in control.flows
+                ),
+                invariants_clean=all(
+                    check.ok for check in result.invariants
+                ),
+            )
+        )
+    return FailoverResult(
+        rows=rows,
+        fail_at=fail_at,
+        restore_at=restore_at,
+        duration=duration,
+        seed=seed,
+        scenario=ScenarioResult(
+            scenario=spec.name,
+            seed=seed,
+            duration=duration,
+            warmup=warmup,
+            runs=tuple(runs),
+        ),
+        engine="fluid",
+        failed_link=FLUID_FAILED_LINK,
+    )
 
 
 def run(
     duration: float = common.PAPER_DURATION_SECONDS,
     seed: int = 1,
     warmup: float = common.DEFAULT_WARMUP_SECONDS,
+    engine: str = "packet",
 ) -> FailoverResult:
-    """Run both disciplines serially (paired arrivals and outages)."""
+    """Run both disciplines serially (paired arrivals and outages).
+
+    ``engine="fluid"`` runs the fabric-scale leg
+    (:func:`fabric_scenario_spec`) on the fluid engine instead of the
+    diamond on the packet engine."""
+    if engine == "fluid":
+        return _run_fluid(duration, seed, warmup)
+    if engine != "packet":
+        raise ValueError(f"unknown failover engine {engine!r}")
     spec = scenario_spec(duration=duration, seed=seed, warmup=warmup)
     fail_at, restore_at = outage_window(duration, warmup)
     unit = common.TX_TIME_SECONDS

@@ -1,0 +1,457 @@
+"""The fluid engine's control plane: outages compiled to epoch plans.
+
+The packet engine runs its control plane *reactively* — a seeded
+:class:`~repro.control.outages.OutageProcess` fires simulator events
+into a :class:`~repro.control.controller.LinkStateController`, which
+flushes dead ports, recomputes SPF tables, and re-establishes flows.
+The fluid engine has no simulator clock, so this module compiles the
+same control plane *ahead of time*: the outage schedule is replayed
+draw-for-draw (:func:`repro.control.compute_outage_schedule`, off the
+same named ``"outage:process"`` stream, so failure schedules pair
+across disciplines and engines), every link-state transition becomes an
+epoch boundary, and the controller's per-transition behaviour —
+reroute, re-admission, accounted teardown — is replayed over the
+compiled admission state into a :class:`FluidControlPlan` the backends
+execute between epochs.
+
+Semantics, mirroring the packet controller per transition:
+
+* **Reroute.**  Every live flow's path is re-resolved against the new
+  link state, exactly as ``LinkStateController._reconverge`` refreshes
+  every tracked flow.  Non-ECMP specs resolve through
+  :func:`repro.control.spf_from_topology` (unit-cost Dijkstra ==
+  build-time BFS, so the moment the last failure heals every path is
+  bit-identical to the pre-failure route); ECMP specs resolve through
+  :meth:`repro.net.fabric.EcmpPaths.masked` (``masked(frozenset())`` is
+  the original chooser, so restores return the exact original ECMP
+  paths).
+* **Re-admission.**  When a spec carries an ``admission`` block,
+  a request-bearing flow that was admitted and whose path moved
+  releases its commitments and re-enters admission on the new path, in
+  spec order against the live committed vector; a refusal (no path, or
+  no headroom) is an *accounted teardown* — the flow stops generating
+  from that boundary on, exactly like the packet controller stopping
+  the source.  Initially-denied flows already run as datagram and keep
+  best-effort semantics.
+* **Flush.**  A flow whose current path crosses a newly-failed link
+  loses its queued backlog at the boundary: the bits are ledgered as
+  per-flow ``failure_drops`` and as packet drops on the failed link —
+  the fluid analogue of ``Port.flush_queue`` on a dead port.  (The
+  packet engine flushes only the one dead queue; the fluid model keeps
+  a single path-attributed backlog, so the whole backlog flushes — a
+  documented epoch-boundary approximation inside the cross-engine
+  tolerances.)  A torn-down flow's residual backlog flushes the same
+  way, so per-flow conservation (arrivals = delivered + backlog +
+  buffer drops + failure drops) closes across every outage cycle.
+* **No-route.**  While an active flow has no route its arrivals are
+  ledgered per flow (``no_route_drops`` in the control summary) and as
+  ``failure_drops`` — the partition-edge drops of the packet switches.
+
+Transitions are replayed one at a time (a correlated multi-link outage
+reconverges once per link, like repeated ``fail_link`` calls), so the
+``outages``/``restores``/``recomputes`` counters and per-flow
+:class:`~repro.control.FlowRerouteStats` match the packet controller's
+accounting; simultaneous transitions then merge into one time boundary
+for the traffic model.  Everything here is pure Python and numpy-free —
+the plan is data; the backends in :mod:`repro.fluid.model` and
+:mod:`repro.fluid.kernel` execute it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control import (
+    ControlPlaneStats,
+    FlowRerouteStats,
+    LinkTransition,
+    compute_outage_schedule,
+    spf_from_topology,
+)
+from repro.net.routing import RoutingError
+from repro.scenario.spec import (
+    GuaranteedRequest,
+    PredictedRequest,
+    ScenarioSpec,
+)
+
+
+@dataclasses.dataclass
+class PlanState:
+    """One link-state epoch's resolved flow state.
+
+    Interned per ``(down links, torn-down flows)`` pair — path
+    resolution is a pure function of the down-set, so revisiting a
+    link state (every restore, notably) reuses the existing object,
+    and the all-up state reuses the compile-time base paths *by
+    identity* (the kernel keys its per-state compiled views off that).
+
+    ``fair``/``weight`` (the discipline classification of each flow at
+    its bottleneck on the *current* path) are filled in by the model,
+    which owns the classifier.
+    """
+
+    down: frozenset
+    paths: List[Tuple[int, ...]]
+    noroute: Tuple[int, ...]
+    inactive: Tuple[int, ...]
+    fair: Optional[List[bool]] = None
+    weight: Optional[List[float]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanBoundary:
+    """One time boundary of the plan: from ``time`` on the run is in
+    ``state``; ``flush`` lists ``(flow, link)`` backlog flushes to apply
+    at the boundary (deduplicated, first failed link wins)."""
+
+    time: float
+    state: PlanState
+    flush: Tuple[Tuple[int, int], ...]
+
+
+@dataclasses.dataclass
+class FluidSegment:
+    """A run of contiguous epochs ``[e0, e1)`` sharing one link state.
+    ``flush`` applies once, entering the segment."""
+
+    e0: int
+    e1: int
+    state: PlanState
+    flush: Tuple[Tuple[int, int], ...]
+
+
+class _Record:
+    """Mutable per-flow reroute bookkeeping (the compile-time twin of
+    the controller's ``_TrackedFlow``)."""
+
+    __slots__ = ("name", "reroutes", "readmissions", "refusals",
+                 "torn_down")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reroutes = 0
+        self.readmissions = 0
+        self.refusals = 0
+        self.torn_down = False
+
+
+class FluidControlPlan:
+    """A spec's outage schedule compiled into link-state epochs.
+
+    Built once per :class:`~repro.fluid.model.FluidSimulation` via
+    :meth:`compile`.  Holds the effective transition schedule, the
+    merged time boundaries with their interned states and flush lists,
+    and the controller-shaped counters; :meth:`control_stats` combines
+    them with the backends' runtime ledgers into the exact
+    :class:`~repro.control.ControlPlaneStats` shape the packet engine
+    attaches to its results.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        transitions: Tuple[LinkTransition, ...],
+        base_state: PlanState,
+        boundaries: Tuple[PlanBoundary, ...],
+        outages: int,
+        restores: int,
+        records: List[_Record],
+    ):
+        self.spec = spec
+        self.transitions = transitions
+        self.base_state = base_state
+        self.boundaries = boundaries
+        self.outages = outages
+        self.restores = restores
+        self.recomputes = outages + restores
+        self.records = records
+        #: Every distinct state the run visits, base first (handy for
+        #: pre-resolving per-state data like the model's weights).
+        seen = {id(base_state): base_state}
+        for boundary in boundaries:
+            seen.setdefault(id(boundary.state), boundary.state)
+        self.states: Tuple[PlanState, ...] = tuple(seen.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        spec: ScenarioSpec,
+        link_names: Sequence[str],
+        caps: Sequence[float],
+        base_paths: List[Tuple[int, ...]],
+        pair_index: Dict[Tuple[str, str], int],
+        admitted: Sequence[str],
+        committed: Sequence[float],
+        rng,
+    ) -> "FluidControlPlan":
+        """Replay ``spec.outages`` into a plan.
+
+        Args:
+            link_names / caps: the compiled link order and rates.
+            base_paths: per-flow link-index paths of the all-up state
+                (reused by identity for that state).
+            pair_index: ``(src, dst) -> link index`` for walk hops, the
+                same mapping the model compiled paths through.
+            admitted: flow names holding admission commitments.
+            committed: per-link committed bits/s after static admission
+                (consumed as the re-admission starting point).
+            rng: the named ``"outage:process"`` stream, or None for
+                explicit-events-only specs.
+        """
+        out = spec.outages
+        duration = float(spec.duration)
+        transitions = compute_outage_schedule(
+            out, link_names, rng, duration
+        )
+        builder = _PlanBuilder(
+            spec, link_names, caps, base_paths, pair_index,
+            frozenset(admitted), list(committed),
+        )
+        return builder.build(cls, transitions)
+
+    # ------------------------------------------------------------------
+    def control_stats(
+        self,
+        flow_names: Sequence[str],
+        no_route_packets: Sequence[float],
+        flushed_packets: int,
+    ) -> ControlPlaneStats:
+        """The packet-shaped control summary: compile-time counters
+        plus the backends' runtime no-route/flush ledgers.  Fluid flows
+        have no wire to be killed on, so ``wire_killed`` is empty (dead
+        in-flight traffic is part of the boundary flush)."""
+        no_route = tuple(
+            (flow_names[f], count)
+            for f in sorted(
+                range(len(flow_names)), key=flow_names.__getitem__
+            )
+            for count in (int(round(no_route_packets[f])),)
+            if count
+        )
+        return ControlPlaneStats(
+            outages=self.outages,
+            restores=self.restores,
+            recomputes=self.recomputes,
+            flushed_packets=int(flushed_packets),
+            wire_killed=(),
+            no_route_drops=no_route,
+            flows=tuple(
+                FlowRerouteStats(
+                    name=record.name,
+                    reroutes=record.reroutes,
+                    readmissions=record.readmissions,
+                    refusals=record.refusals,
+                    torn_down=record.torn_down,
+                )
+                for record in self.records
+            ),
+        )
+
+
+class _PlanBuilder:
+    """The transition-by-transition replay behind :meth:`compile`."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        link_names: Sequence[str],
+        caps: Sequence[float],
+        base_paths: List[Tuple[int, ...]],
+        pair_index: Dict[Tuple[str, str], int],
+        admitted: frozenset,
+        committed: List[float],
+    ):
+        self.spec = spec
+        self.link_index = {name: i for i, name in enumerate(link_names)}
+        self.caps = caps
+        self.base_paths = base_paths
+        self.pair_index = pair_index
+        self.committed = committed
+        self.quota = (
+            spec.admission.realtime_quota if spec.admission else None
+        )
+        self.flows = spec.flows
+        # Re-admission applies to flows that hold a commitment — the
+        # packet analogue of "core_spec and signaling present".  The
+        # reserved rate mirrors _admit: clock rate for guaranteed,
+        # token rate for predicted.
+        self.reserved: Dict[int, float] = {}
+        if spec.admission is not None:
+            for f, flow in enumerate(self.flows):
+                if flow.name not in admitted:
+                    continue
+                if isinstance(flow.request, GuaranteedRequest):
+                    self.reserved[f] = flow.request.clock_rate_bps
+                elif isinstance(flow.request, PredictedRequest):
+                    self.reserved[f] = flow.request.token_rate_bps
+        self._attach = {
+            att.host: att.switch
+            for att in spec.topology.host_attachments
+        }
+        self._spf_cache: Dict[frozenset, object] = {}
+        self._ecmp_base = None
+        if spec.ecmp_seed is not None:
+            from repro.net.fabric import EcmpPaths
+
+            self._ecmp_base = EcmpPaths.shared(
+                spec.topology, seed=spec.ecmp_seed
+            )
+
+    # -- path resolution ----------------------------------------------
+    def _links_of(self, nodes: List[str]) -> Tuple[int, ...]:
+        pair_get = self.pair_index.get
+        return tuple(
+            l for l in map(pair_get, zip(nodes, nodes[1:]))
+            if l is not None
+        )
+
+    def _resolve(self, down: frozenset, f: int) -> Optional[Tuple[int, ...]]:
+        """The flow's link path under ``down``, or None (unreachable).
+        Pure in ``(down, f)``; the all-up state returns the base path
+        object itself."""
+        if not down:
+            return self.base_paths[f]
+        flow = self.flows[f]
+        if self._ecmp_base is not None:
+            chooser = self._ecmp_base.masked(down)
+            try:
+                nodes = chooser.path(
+                    flow.source_host, flow.dest_host, flow.name
+                )
+            except RoutingError:
+                return None
+            return self._links_of(nodes)
+        spf = self._spf_cache.get(down)
+        if spf is None:
+            spf = spf_from_topology(self.spec.topology, down)
+            self._spf_cache[down] = spf
+        src_sw = self._attach[flow.source_host]
+        dst_sw = self._attach[flow.dest_host]
+        try:
+            mid = spf.path(src_sw, dst_sw)
+        except RoutingError:
+            return None
+        return self._links_of(
+            [flow.source_host] + mid + [flow.dest_host]
+        )
+
+    # -- replay --------------------------------------------------------
+    def build(self, plan_cls, transitions) -> "FluidControlPlan":
+        F = len(self.flows)
+        records = [_Record(flow.name) for flow in self.flows]
+        base_state = PlanState(
+            down=frozenset(),
+            paths=self.base_paths,
+            noroute=(),
+            inactive=(),
+        )
+        state_cache: Dict[Tuple[frozenset, frozenset], PlanState] = {
+            (frozenset(), frozenset()): base_state
+        }
+        down: set = set()
+        torn: set = set()
+        cur: List[Optional[Tuple[int, ...]]] = list(self.base_paths)
+        outages = restores = 0
+        raw: List[Tuple[float, PlanState, Dict[int, int]]] = []
+
+        for tr in transitions:
+            if tr.up:
+                down.discard(tr.link)
+                restores += 1
+            else:
+                down.add(tr.link)
+                outages += 1
+            dead = self.link_index[tr.link]
+            down_key = frozenset(down)
+            flush: Dict[int, int] = {}
+            for f in range(F):
+                if f in torn:
+                    continue
+                old = cur[f]
+                if not tr.up and old and dead in old:
+                    flush.setdefault(f, dead)
+                new = self._resolve(down_key, f)
+                record = records[f]
+                if f not in self.reserved:
+                    # Best-effort: follows the new tables; count moves.
+                    if new is not None and new != old:
+                        record.reroutes += 1
+                    cur[f] = new
+                    continue
+                if new == old:
+                    continue  # commitment intact on an unchanged path
+                # Path moved (or vanished): migrate the reservation.
+                rate = self.reserved[f]
+                for l in old:
+                    self.committed[l] -= rate
+                if new is None:
+                    record.refusals += 1
+                    self._tear(f, records, torn, cur, flush, dead)
+                    continue
+                quota = self.quota
+                fits = quota is None or all(
+                    self.committed[l] + rate <= quota * self.caps[l]
+                    for l in new
+                )
+                if fits:
+                    for l in new:
+                        self.committed[l] += rate
+                    record.reroutes += 1
+                    record.readmissions += 1
+                    cur[f] = new
+                else:
+                    record.refusals += 1
+                    self._tear(f, records, torn, cur, flush, dead)
+            state_key = (down_key, frozenset(torn))
+            state = state_cache.get(state_key)
+            if state is None:
+                state = PlanState(
+                    down=down_key,
+                    paths=[p or () for p in cur],
+                    noroute=tuple(
+                        f for f in range(F)
+                        if cur[f] is None and f not in torn
+                    ),
+                    inactive=tuple(sorted(torn)),
+                )
+                state_cache[state_key] = state
+            raw.append((tr.time, state, flush))
+
+        # Merge same-time boundaries (correlated failures reconverge
+        # per link but cut traffic time once): last state wins, flush
+        # lists union with first-failure attribution.
+        boundaries: List[PlanBoundary] = []
+        for time, state, flush in raw:
+            if boundaries and boundaries[-1].time == time:
+                prev = boundaries[-1]
+                merged = dict(prev.flush)
+                for f, l in flush.items():
+                    merged.setdefault(f, l)
+                boundaries[-1] = PlanBoundary(
+                    time, state, tuple(sorted(merged.items()))
+                )
+            else:
+                boundaries.append(
+                    PlanBoundary(time, state, tuple(sorted(flush.items())))
+                )
+        return plan_cls(
+            spec=self.spec,
+            transitions=transitions,
+            base_state=base_state,
+            boundaries=tuple(boundaries),
+            outages=outages,
+            restores=restores,
+            records=records,
+        )
+
+    def _tear(self, f, records, torn, cur, flush, dead) -> None:
+        """Accounted teardown: the flow stops generating and its
+        reservation stays released; any residual backlog flushes at
+        this boundary (ledgered against the transitioning link)."""
+        records[f].torn_down = True
+        torn.add(f)
+        cur[f] = None
+        flush.setdefault(f, dead)

@@ -47,6 +47,15 @@ Three coordinated mechanisms:
   ``REPRO_FLUID_FF=0`` disables the jump (the equivalence tests run
   both ways).
 
+Under a compiled control plan (:mod:`repro.fluid.control`) the grid is
+grouped into link-state *segments*: each segment swaps in its state's
+per-flow path/weight view (cached per interned state, the base view by
+identity), flushes dead-path backlog at the boundary, and runs the
+same fused machinery within the segment — fast-forward never jumps
+across a link-state boundary, and flows with no route (or torn down)
+disable the jump for their segment so their sheds are ledgered
+epoch-exactly.
+
 The pure-Python backend in :mod:`repro.fluid.model` stays authoritative
 and untouched; ``tests/fluid/test_kernel.py`` pins kernel-vs-pure
 agreement across generated fabrics, disciplines, and epoch sizes, and
@@ -217,18 +226,111 @@ class FluidKernel:
         self.wait_num = np.zeros(L)
         self.wait_den = np.zeros(L)
         self.link_rt = np.zeros(L)
+        # Control-plane ledgers (stay zero on outage-free runs).
+        self.fail_dropped = np.zeros(F)
+        self.nr_packets = np.zeros(F)
+        self.link_fail = np.zeros(L)
+        self.flushed = 0.0
         self.rec_delays: List[np.ndarray] = []
         self.rec_weights: List[np.ndarray] = []
         self.events = 0
         self.max_capacity_overuse = 0.0
 
         # -- epoch grid (precomputed once) -----------------------------
+        # Outage-free runs keep the original uniform-grid arithmetic
+        # bit-for-bit; a compiled control plan supplies the uniform grid
+        # split at every link-state boundary.
         N = sim.num_epochs
         self.num_epochs = N
-        eps_s = sim.epoch_seconds
-        self.t0s = np.arange(N) * eps_s
-        self.t1s = np.minimum(self.duration, self.t0s + eps_s)
+        if sim.epoch_starts is not None:
+            self.t0s = np.asarray(sim.epoch_starts)
+            self.t1s = np.asarray(sim.epoch_ends)
+        else:
+            eps_s = sim.epoch_seconds
+            self.t0s = np.arange(N) * eps_s
+            self.t1s = np.minimum(self.duration, self.t0s + eps_s)
         self.dts = self.t1s - self.t0s
+
+        # -- link-state views ------------------------------------------
+        # The hot path reads csr/routed/fair/... off ``self``; a control
+        # plan swaps those attributes per segment (``_set_view``), so
+        # the fused block, waterfill, and single-epoch code run
+        # unchanged against whichever link state is current.  The base
+        # view (empty noroute/inactive) is the compile-time state.
+        self.nr_idx = np.zeros(0, dtype=np.int64)
+        self.zero_idx = np.zeros(0, dtype=np.int64)
+        self._base_view = (
+            self.csr, self.routed, self.first_link, self.tier_members,
+            self.e_tier, self.e_lt, self.e_rt, self.fair, self.w_static,
+            self.nr_idx, self.zero_idx,
+        )
+        self._views = {}
+
+    # -- control plane: per-state views and boundary flushes -----------
+    def _build_view(self, state):
+        """Compile one :class:`~repro.fluid.control.PlanState` into the
+        attribute tuple ``_set_view`` swaps in: the state's incidence
+        (CSR over its paths), routing masks, tier membership, and
+        discipline classification, plus the index lists of no-route and
+        torn-down flows.  The all-up state reuses the base arrays by
+        identity (``state.paths is sim.paths``)."""
+        sim = self.sim
+        if state.paths is sim.paths:
+            return self._base_view
+        csr = CsrIncidence(state.paths, self.L)
+        routed = np.asarray([bool(p) for p in state.paths], dtype=bool)
+        first_link = np.asarray(
+            [p[0] if p else 0 for p in state.paths], dtype=np.int64
+        )
+        e_tier = self.tier[csr.ef]
+        e_lt = csr.el * self.T + e_tier
+        e_rt = self.realtime[csr.ef]
+        tier_members = [
+            np.flatnonzero((self.tier == t) & routed)
+            for t in range(self.T)
+        ]
+        return (
+            csr, routed, first_link, tier_members, e_tier, e_lt, e_rt,
+            np.asarray(state.fair, dtype=bool),
+            np.asarray(state.weight),
+            np.asarray(state.noroute, dtype=np.int64),
+            np.asarray(state.inactive, dtype=np.int64),
+        )
+
+    def _set_view(self, state) -> None:
+        view = self._views.get(id(state))
+        if view is None:
+            view = self._build_view(state)
+            self._views[id(state)] = view
+        (self.csr, self.routed, self.first_link, self.tier_members,
+         self.e_tier, self.e_lt, self.e_rt, self.fair, self.w_static,
+         self.nr_idx, self.zero_idx) = view
+
+    def _apply_flush(self, flush) -> None:
+        """Boundary flush: drop the listed flows' backlog, ledgered per
+        flow (failure drops) and per link (flushed packets) — the fluid
+        twin of ``Port.flush_queue`` on a dead port."""
+        for f, l in flush:
+            bits = float(self.backlog[f])
+            if bits > 0.0:
+                self.fail_dropped[f] += bits
+                packets = bits / float(self.size_bits[f])
+                self.link_fail[l] += packets
+                self.flushed += packets
+                self.backlog[f] = 0.0
+
+    def _ledger_noroute(self, shed, k0: int, k1: int) -> None:
+        """Account epochs ``[k0, k1)`` of a block's no-route arrivals
+        (``shed``, rows = ``nr_idx``): the source keeps generating, the
+        network drops at the first hop.  Called exactly once per
+        consumed epoch range, so block re-entry never double-counts."""
+        if shed is None:
+            return
+        total = shed[:, k0:k1].sum(axis=1)
+        idx = self.nr_idx
+        self.generated[idx] += total
+        self.fail_dropped[idx] += total
+        self.nr_packets[idx] += total / self.size_bits[idx]
 
     # ------------------------------------------------------------------
     def _block_size(self) -> int:
@@ -282,27 +384,46 @@ class FluidKernel:
     # ------------------------------------------------------------------
     def run(self) -> None:
         sim = self.sim
-        N = self.num_epochs
-        fast_forward = bool(getattr(self.opts, "fast_forward", True))
-        all_constant = bool(self.constant.all()) and self.F > 0
-        block = self._block_size()
-        e = 0
-        while e < N:
+        self._fast_forward = bool(getattr(self.opts, "fast_forward", True))
+        self._all_constant = bool(self.constant.all()) and self.F > 0
+        self._block = self._block_size()
+        if sim.segments is None:
+            self._run_span(0, self.num_epochs)
+        else:
+            for seg in sim.segments:
+                self._apply_flush(seg.flush)
+                if seg.e1 > seg.e0:
+                    self._set_view(seg.state)
+                    self._run_span(seg.e0, seg.e1)
+        self._writeback()
+
+    def _run_span(self, e0: int, end: int) -> None:
+        """Advance epochs ``[e0, end)`` under the current view.  The
+        span boundary is a hard wall for the fused paths: blocks are
+        clipped to it and fast-forward never jumps across it (the link
+        state changes there).  Fast-forward additionally requires a
+        state with no shed flows — a no-route flow's per-epoch ledger
+        has no replay form, and those stretches are short."""
+        ff = (
+            self._all_constant and self._fast_forward
+            and not self.nr_idx.size and not self.zero_idx.size
+        )
+        e = e0
+        while e < end:
             if self.dts[e] <= 0:
                 break
-            if all_constant and fast_forward:
+            if ff:
                 deltas = self._single_epoch(
                     e, self.peak * self.dts[e], capture=True
                 )
                 e += 1
                 if deltas is not None:
-                    boundary = self._next_boundary(e)
+                    boundary = self._next_boundary(e, end)
                     if boundary > e:
                         self._replay(deltas, e, boundary)
                         e = boundary
                 continue
-            e = self._advance_block(e, min(block, N - e))
-        self._writeback()
+            e = self._advance_block(e, min(self._block, end - e))
 
     # -- fused block path ----------------------------------------------
     def _advance_block(self, e0: int, count: int) -> int:
@@ -315,9 +436,19 @@ class FluidKernel:
         """
         e1 = e0 + count
         arrival = self.peak[:, None] * self._on_block(e0, e1)
+        # Shed flows: no-route arrivals are set aside (ledgered per
+        # consumed epoch below) and torn-down flows generate nothing;
+        # both then carry zero demand through the block.
+        shed = None
+        if self.nr_idx.size:
+            shed = arrival[self.nr_idx].copy()
+            arrival[self.nr_idx] = 0.0
+        if self.zero_idx.size:
+            arrival[self.zero_idx] = 0.0
         if self.backlog.any():
             # A queued flow couples epochs; serve this epoch exactly
             # and re-enter with whatever the block has left.
+            self._ledger_noroute(shed, 0, 1)
             self._single_epoch(e0, arrival[:, 0])
             return e0 + 1
         demand = arrival / self.dts[None, e0:e1]
@@ -327,8 +458,10 @@ class FluidKernel:
         )
         fused = int(np.argmax(congested)) if congested.any() else count
         if fused:
+            self._ledger_noroute(shed, 0, fused)
             self._accumulate_uncongested(e0, e0 + fused, arrival, demand)
         if fused < count:
+            self._ledger_noroute(shed, fused, fused + 1)
             self._single_epoch(e0 + fused, arrival[:, fused])
             return e0 + fused + 1
         return e1
@@ -494,17 +627,19 @@ class FluidKernel:
         }
 
     # -- steady-state fast-forward ---------------------------------------
-    def _next_boundary(self, e: int) -> int:
+    def _next_boundary(self, e: int, end: int) -> int:
         """The last epoch (exclusive) a steady jump from ``e`` may
         cover: every covered epoch must share ``e-1``'s length (the
         trailing partial epoch re-runs exactly) and its side of the
-        warmup line (sample recording switches on there)."""
-        if e >= self.num_epochs:
+        warmup line (sample recording switches on there).  ``end`` is
+        the current span's wall — a jump never crosses a link-state
+        boundary."""
+        if e >= end:
             return e
         dt = self.dts[e - 1]
         boundary = e
         before_warmup = self.t0s[e - 1] < self.warmup
-        while boundary < self.num_epochs:
+        while boundary < end:
             if self.dts[boundary] != dt:
                 break
             if before_warmup and self.t0s[boundary] >= self.warmup:
@@ -608,6 +743,10 @@ class FluidKernel:
         sim.link_wait_num = self.wait_num.tolist()
         sim.link_wait_den = self.wait_den.tolist()
         sim.link_realtime_bits = self.link_rt.tolist()
+        sim.failure_drop_bits = self.fail_dropped.tolist()
+        sim.no_route_packets = self.nr_packets.tolist()
+        sim.link_failure_packets = self.link_fail.tolist()
+        sim.flushed_packets += self.flushed
         sim.events_processed += self.events
         if self.max_capacity_overuse > sim.max_capacity_overuse:
             sim.max_capacity_overuse = self.max_capacity_overuse

@@ -34,10 +34,20 @@ The model, per epoch of length ``dt`` over each flow's static route:
    by delivered packets per epoch, mirroring the packet sink's
    per-packet samples.
 
+Link outages *are* modelled, with epoch-boundary semantics: the spec's
+outage schedule is compiled ahead of time into link-state epochs
+(:mod:`repro.fluid.control`), failed links drop out of the waterfill
+with their backlog ledgered as failure drops, flows reroute via
+clock-free SPF/ECMP re-resolution, and admission-controlled flows
+re-enter admission with accounted teardowns — the same control summary
+the packet engine attaches.  ``REPRO_FLUID_OUTAGES=0`` restores the
+pre-control-plane rejection of active outage specs.
+
 What the fluid model does *not* capture: packet-granularity effects
 (per-packet jitter inside an epoch, FIFO+ jitter sharing), transient
-bursts shorter than an epoch, TCP dynamics, and control-plane outages —
-specs with ``tcps`` or ``outages`` are rejected.  Cross-validation
+bursts shorter than an epoch, sub-epoch outage timing (transitions cut
+the epoch grid exactly, but within-epoch traffic is fluid), and TCP
+dynamics — specs with ``tcps`` are rejected.  Cross-validation
 tolerances against the packet engine live in
 ``tests/fluid/test_equivalence.py`` and the README.
 
@@ -51,6 +61,7 @@ large enough to benefit.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import math
 import os
 import random
@@ -88,6 +99,15 @@ _PHASE_SALT = "fluid-phase"
 _EPOCH_ENV = "REPRO_FLUID_EPOCH"
 _BACKEND_ENV = "REPRO_FLUID_BACKEND"
 _FF_ENV = "REPRO_FLUID_FF"
+#: Kill switch: ``REPRO_FLUID_OUTAGES=0`` restores the pre-control-plane
+#: behaviour (active outage specs raise; the compile path for
+#: outage-free specs is untouched either way).
+_OUTAGES_ENV = "REPRO_FLUID_OUTAGES"
+
+
+def _outages_enabled() -> bool:
+    value = os.environ.get(_OUTAGES_ENV, "").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -176,9 +196,11 @@ def _admit(spec: ScenarioSpec, path_links: Dict[str, Tuple[int, ...]],
     the paper's fallback service.  Without an ``admission`` block every
     request is honoured (the runner's direct-install path).
 
-    Returns ``(service, clock, admitted, denied)``: per-flow resolved
-    ``(ServiceClass, priority)``, per-flow granted clock rate (or None),
-    and the admitted/denied flow-name lists.
+    Returns ``(service, clock, admitted, denied, committed)``: per-flow
+    resolved ``(ServiceClass, priority)``, per-flow granted clock rate
+    (or None), the admitted/denied flow-name lists, and the per-link
+    committed bits/s vector — the starting point the control plane's
+    re-admission replay works against.
     """
     quota = spec.admission.realtime_quota if spec.admission else None
     committed = [0.0] * len(link_rates)
@@ -196,7 +218,7 @@ def _admit(spec: ScenarioSpec, path_links: Dict[str, Tuple[int, ...]],
             f.name: (f.service_class, f.priority_class) for f in spec.flows
         }
         clock = dict.fromkeys(service)
-        return service, clock, admitted, denied
+        return service, clock, admitted, denied, committed
 
     flows_by_name = {flow.name: flow for flow in spec.flows}
     order = list(spec.establish_order or ())
@@ -241,7 +263,7 @@ def _admit(spec: ScenarioSpec, path_links: Dict[str, Tuple[int, ...]],
         if flow.name not in service:
             service[flow.name] = (flow.service_class, flow.priority_class)
             clock[flow.name] = None
-    return service, clock, admitted, denied
+    return service, clock, admitted, denied, committed
 
 
 class FluidSimulation:
@@ -258,22 +280,31 @@ class FluidSimulation:
         options: Optional[FluidOptions] = None,
     ):
         if spec.tcps:
-            names = sorted(t.name for t in spec.tcps)
-            shown = ", ".join(repr(n) for n in names[:5])
-            if len(names) > 5:
-                shown += f", ... ({len(names)} total)"
+            # O(shown): a 5-element heap selection, never a full sort of
+            # a million-flow name list just to print five of them.
+            total = len(spec.tcps)
+            names = heapq.nsmallest(5, (t.name for t in spec.tcps))
+            shown = ", ".join(repr(n) for n in names)
+            if total > 5:
+                shown += f", ... ({total} total)"
             raise ValueError(
                 f"the fluid engine does not model TCP dynamics: spec "
                 f"{spec.name!r} carries TCP flow(s) {shown}; run this "
                 f"spec on the packet engine (engine=\"packet\" on the "
                 f"spec, REPRO_ENGINE=packet, or --engine packet)"
             )
-        if spec.outages is not None:
+        if (
+            spec.outages is not None
+            and spec.outages.is_active
+            and not _outages_enabled()
+        ):
             out = spec.outages
             parts = []
             if out.events:
-                links = sorted({e.link for e in out.events})
-                shown = ", ".join(repr(l) for l in links[:5])
+                links = {e.link for e in out.events}
+                shown = ", ".join(
+                    repr(l) for l in heapq.nsmallest(5, links)
+                )
                 if len(links) > 5:
                     shown += f", ... ({len(links)} links)"
                 parts.append(
@@ -285,13 +316,14 @@ class FluidSimulation:
                     f"a sampled outage process at "
                     f"{out.rate_per_second:g}/s"
                 )
-            detail = " and ".join(parts) or "an outage spec"
+            detail = " and ".join(parts)
             raise ValueError(
-                f"the fluid engine does not model link outages: spec "
-                f"{spec.name!r} declares {detail}; the control plane is "
-                f"packet-only, so run this spec on the packet engine "
-                f"(engine=\"packet\" on the spec, REPRO_ENGINE=packet, "
-                f"or --engine packet)"
+                f"fluid outage support is disabled "
+                f"({_OUTAGES_ENV}=0): spec {spec.name!r} declares "
+                f"{detail}; unset {_OUTAGES_ENV} to compile the outage "
+                f"schedule into link-state epochs, or run this spec on "
+                f"the packet engine (engine=\"packet\" on the spec, "
+                f"REPRO_ENGINE=packet, or --engine packet)"
             )
         self.spec = spec
         self.discipline = discipline
@@ -341,7 +373,7 @@ class FluidSimulation:
             path_links[flow.name] = links
 
         # -- admission + per-flow service resolution -------------------
-        service, clock, self.admitted, self.denied = _admit(
+        service, clock, self.admitted, self.denied, committed = _admit(
             spec, path_links, self.caps
         )
 
@@ -354,6 +386,10 @@ class FluidSimulation:
             i: resolve_port_discipline(discipline, name)
             for i, name in enumerate(self.link_names)
         }
+        # Kept for the control plane's per-state reclassification of
+        # rerouted flows (bottleneck may move to a different port).
+        self._resolved = resolved
+        self._granted_clock = clock
         run_tiered = any(d.kind in TIERED_KINDS for d in resolved.values())
         num_predicted = max(
             [d.param_dict.get("num_predicted_classes", 2)
@@ -476,11 +512,54 @@ class FluidSimulation:
             else 0
         )
 
+        # -- control plane: outage schedule -> link-state epochs -------
+        # ``epoch_starts`` stays None on the outage-free path, keeping
+        # both backends on their original (bit-identical) uniform grid
+        # arithmetic; with transitions it becomes the uniform grid split
+        # at every link-state change, and ``segments`` groups epochs by
+        # link state.
+        self.control_plan = None
+        self.segments = None
+        self.epoch_starts: Optional[List[float]] = None
+        self.epoch_ends: Optional[List[float]] = None
+        if spec.outages is not None:
+            from repro.fluid.control import FluidControlPlan
+
+            rng = None
+            if spec.outages.rate_per_second > 0:
+                from repro.scenario.runner import OUTAGE_STREAM_NAME
+                from repro.sim.randomness import RandomStreams
+
+                rng = RandomStreams(seed=spec.seed).stream(
+                    OUTAGE_STREAM_NAME
+                )
+            self.control_plan = FluidControlPlan.compile(
+                spec,
+                self.link_names,
+                self.caps,
+                self.paths,
+                pair_index,
+                admitted=self.admitted,
+                committed=committed,
+                rng=rng,
+            )
+            for state in self.control_plan.states:
+                self._classify_state(state)
+            if self.control_plan.boundaries:
+                self._build_segments(self.control_plan)
+
         # -- run accumulators (plain Python; backends fill them) -------
         self.generated_bits = [0.0] * F
         self.delivered_bits = [0.0] * F
         self.dropped_bits = [0.0] * F
         self.backlog_bits = [0.0] * F
+        # Control-plane ledgers: per-flow bits lost to failures (boundary
+        # flushes + no-route sheds), per-flow no-route packets, per-link
+        # flushed packets, and the total flushed-packet count.
+        self.failure_drop_bits = [0.0] * F
+        self.no_route_packets = [0.0] * F
+        self.link_failure_packets = [0.0] * len(self.caps)
+        self.flushed_packets = 0.0
         self.link_served_bits = [0.0] * len(self.caps)
         self.link_drop_packets = [0.0] * len(self.caps)
         self.link_wait_num = [0.0] * len(self.caps)   # wait x served bits
@@ -524,6 +603,130 @@ class FluidSimulation:
             raise RuntimeError("numpy backend requested but numpy is absent")
         return choice
 
+    # -- control plane (compile-time helpers) --------------------------
+    def _classify_state(self, state) -> None:
+        """Fill a plan state's ``fair``/``weight`` lists: rerouted flows
+        are re-classified at the bottleneck of their *new* path (same
+        rules as the compile loop); unchanged flows keep their base
+        classification bit-for-bit.  The all-up state shares the base
+        lists by identity."""
+        if state.paths is self.paths:
+            state.fair = self.fair
+            state.weight = self.weight_static
+            return
+        fair = list(self.fair)
+        weight = list(self.weight_static)
+        caps = self.caps
+        caps_get = caps.__getitem__
+        base_paths = self.paths
+        clock = self._granted_clock
+        for f, path in enumerate(state.paths):
+            if path == base_paths[f]:
+                continue
+            governing = None
+            bottleneck = None
+            if path:
+                bottleneck = min(path, key=caps_get)
+                governing = self._resolved[bottleneck]
+            granted = clock[self.flow_names[f]]
+            if granted is not None and (
+                governing is None
+                or governing.kind in FAIR_KINDS
+                or governing.kind in TIERED_KINDS
+            ):
+                fair[f] = True
+                weight[f] = granted
+            elif governing is not None and governing.kind in FAIR_KINDS:
+                params = governing.param_dict
+                share = params.get("equal_share_flows")
+                if share:
+                    rate = caps[bottleneck] / share
+                else:
+                    rate = params.get("auto_register_rate_bps")
+                fair[f] = True
+                weight[f] = rate or self.avg_bps[f]
+            else:
+                fair[f] = False
+                weight[f] = 0.0
+        state.fair = fair
+        state.weight = weight
+
+    def _build_segments(self, plan) -> None:
+        """Split the uniform epoch grid at the plan's time boundaries
+        and group the epochs into link-state segments.
+
+        The uniform grid points and truncation (``min(duration, t0 +
+        epoch)``) are preserved exactly — boundary times strictly inside
+        an epoch split it in two; times landing on a grid point (or at
+        the run's very end) insert nothing — so an outage-free stretch
+        of the split grid steps the identical ``(t0, t1)`` pairs the
+        unsplit grid would."""
+        import bisect
+
+        from repro.fluid.control import FluidSegment
+
+        if not self.num_epochs:
+            self.segments = [
+                FluidSegment(0, 0, plan.boundaries[-1].state, ())
+            ]
+            return
+        duration = float(self.spec.duration)
+        eps = self.epoch_seconds
+        btimes = [b.time for b in plan.boundaries]
+        starts: List[float] = []
+        ends: List[float] = []
+        for e in range(self.num_epochs):
+            t0 = e * eps
+            t1 = min(duration, t0 + eps)
+            lo = bisect.bisect_right(btimes, t0)
+            hi = bisect.bisect_left(btimes, t1)
+            pts = [t0] + btimes[lo:hi] + [t1]
+            for a, b in zip(pts, pts[1:]):
+                starts.append(a)
+                ends.append(b)
+        self.epoch_starts = starts
+        self.epoch_ends = ends
+        self.num_epochs = len(starts)
+        boundary_epoch: Dict[float, int] = {}
+        btset = set(btimes)
+        for i, s in enumerate(starts):
+            if s in btset and s not in boundary_epoch:
+                boundary_epoch[s] = i
+        segments = []
+        prev_e, prev_state, prev_flush = 0, plan.base_state, ()
+        for boundary in plan.boundaries:
+            e = boundary_epoch.get(boundary.time)
+            if e is None:
+                e = (
+                    self.num_epochs
+                    if boundary.time >= ends[-1]
+                    else bisect.bisect_left(starts, boundary.time)
+                )
+            segments.append(
+                FluidSegment(prev_e, e, prev_state, prev_flush)
+            )
+            prev_e, prev_state = e, boundary.state
+            prev_flush = boundary.flush
+        segments.append(
+            FluidSegment(prev_e, self.num_epochs, prev_state, prev_flush)
+        )
+        self.segments = segments
+
+    def _pure_flush(self, flush) -> None:
+        """Boundary flush (pure backend): a flow whose path crossed a
+        newly-failed link (or was torn down) loses its backlog —
+        ledgered per flow as failure drops and per link as flushed
+        packets, the fluid twin of ``Port.flush_queue``."""
+        backlog = self.backlog_bits
+        for f, l in flush:
+            bits = backlog[f]
+            if bits > 0.0:
+                self.failure_drop_bits[f] += bits
+                packets = bits / self.size_bits[f]
+                self.link_failure_packets[l] += packets
+                self.flushed_packets += packets
+                backlog[f] = 0.0
+
     def _on_seconds(self, f: int, t0: float, t1: float) -> float:
         """Closed-form on-time of flow ``f``'s periodic burst train
         overlapping ``[t0, t1)`` — exact for any epoch size."""
@@ -557,23 +760,54 @@ class FluidSimulation:
 
     # -- pure-Python reference backend ---------------------------------
     def _advance_pure(self) -> None:
+        if self.segments is None:
+            self._pure_span(
+                0, self.num_epochs, self.paths, self.fair,
+                self.weight_static, (), (),
+            )
+            return
+        for seg in self.segments:
+            self._pure_flush(seg.flush)
+            if seg.e1 > seg.e0:
+                st = seg.state
+                self._pure_span(
+                    seg.e0, seg.e1, st.paths, st.fair, st.weight,
+                    st.noroute, st.inactive,
+                )
+
+    def _pure_span(
+        self, e_begin, e_end, paths, fair, weight_static, noroute, inactive
+    ) -> None:
+        """Advance epochs ``[e_begin, e_end)`` under one link state:
+        ``paths``/``fair``/``weight_static`` are the state's per-flow
+        views, ``noroute`` flows shed their arrivals (ledgered as
+        failure drops), ``inactive`` (torn-down) flows generate
+        nothing.  With ``epoch_starts`` unset this reduces exactly to
+        the original uniform-grid loop."""
         F = len(self.flow_names)
         L = len(self.caps)
         T = self.num_tiers
         duration = float(self.spec.duration)
         warmup = float(self.spec.warmup)
         eps = [max(1e-9 * c, 1e-6) for c in self.caps]
+        skip = set(noroute) | set(inactive)
         tier_flows = [
-            [f for f in range(F) if self.tier[f] == t and self.paths[f]]
+            [f for f in range(F) if self.tier[f] == t and paths[f]]
             for t in range(T)
         ]
-        unrouted = [f for f in range(F) if not self.paths[f]]
+        unrouted = [
+            f for f in range(F) if not paths[f] and f not in skip
+        ]
         backlog = self.backlog_bits
         bottleneck = [-1] * F
 
-        for e in range(self.num_epochs):
-            t0 = e * self.epoch_seconds
-            t1 = min(duration, t0 + self.epoch_seconds)
+        for e in range(e_begin, e_end):
+            if self.epoch_starts is None:
+                t0 = e * self.epoch_seconds
+                t1 = min(duration, t0 + self.epoch_seconds)
+            else:
+                t0 = self.epoch_starts[e]
+                t1 = self.epoch_ends[e]
             dt = t1 - t0
             if dt <= 0:
                 break
@@ -581,9 +815,20 @@ class FluidSimulation:
                 self.peak_bps[f] * self._on_seconds(f, t0, t1)
                 for f in range(F)
             ]
+            for f in noroute:
+                shed = arrival[f]
+                if shed > 0.0:
+                    # No route after reconvergence: the source keeps
+                    # emitting, the network drops at the first hop.
+                    self.generated_bits[f] += shed
+                    self.failure_drop_bits[f] += shed
+                    self.no_route_packets[f] += shed / self.size_bits[f]
+                    arrival[f] = 0.0
+            for f in inactive:
+                arrival[f] = 0.0
             demand = [(arrival[f] + backlog[f]) / dt for f in range(F)]
             weight = [
-                self.weight_static[f] if self.fair[f] else demand[f]
+                weight_static[f] if fair[f] else demand[f]
                 for f in range(F)
             ]
             rate = [0.0] * F
@@ -592,8 +837,8 @@ class FluidSimulation:
             slack = list(self.caps)
             for t in range(T):
                 self._waterfill_pure(
-                    tier_flows[t], demand, weight, rate, bottleneck,
-                    slack, eps,
+                    tier_flows[t], paths, demand, weight, rate,
+                    bottleneck, slack, eps,
                 )
             for f in unrouted:
                 rate[f] = demand[f]
@@ -604,7 +849,7 @@ class FluidSimulation:
             for f in range(F):
                 r = rate[f]
                 if r > 0:
-                    for l in self.paths[f]:
+                    for l in paths[f]:
                         used[l] += r
             for l in range(L):
                 over = used[l] / self.caps[l] - 1.0
@@ -618,9 +863,9 @@ class FluidSimulation:
                 backlog[f] = new_backlog if new_backlog > 0 else 0.0
                 self.generated_bits[f] += arrival[f]
                 self.delivered_bits[f] += served
-                if backlog[f] > 0 and self.paths[f]:
+                if backlog[f] > 0 and paths[f]:
                     if bottleneck[f] < 0:
-                        bottleneck[f] = self.paths[f][0]
+                        bottleneck[f] = paths[f][0]
                     queue[bottleneck[f]][self.tier[f]] += backlog[f]
 
             scale = [[1.0] * T for _ in range(L)]
@@ -655,7 +900,7 @@ class FluidSimulation:
             for f in range(F):
                 served = rate[f] * dt
                 if served > 0:
-                    for l in self.paths[f]:
+                    for l in paths[f]:
                         self.link_served_bits[l] += served
                         self.link_wait_num[l] += (
                             cumwait[l][self.tier[f]] * served
@@ -664,11 +909,11 @@ class FluidSimulation:
                         if self.realtime[f]:
                             self.link_realtime_bits[l] += served
                 if self.record_samples and self.record[f] and t0 >= warmup:
-                    if self.fair[f]:
+                    if fair[f]:
                         delay = backlog[f] / rate[f] if rate[f] > 0 else 0.0
                     else:
                         delay = sum(
-                            cumwait[l][self.tier[f]] for l in self.paths[f]
+                            cumwait[l][self.tier[f]] for l in paths[f]
                         )
                     self.samples[f].append(
                         (delay, served / self.size_bits[f])
@@ -676,12 +921,13 @@ class FluidSimulation:
             self.events_processed += F
 
     def _waterfill_pure(
-        self, flows, demand, weight, rate, bottleneck, slack, eps
+        self, flows, paths, demand, weight, rate, bottleneck, slack, eps
     ) -> None:
         """Demand-bounded weighted max-min over one tier's flows, eating
         into ``slack`` (shared across tiers, already reduced by earlier
         tiers).  Freezes flows either at their demand or at the first
-        link of theirs that saturates (recorded in ``bottleneck``)."""
+        link of theirs that saturates (recorded in ``bottleneck``).
+        ``paths`` is the current link state's per-flow route view."""
         active = {
             f for f in flows if demand[f] > 0 and weight[f] > 0
         }
@@ -690,7 +936,7 @@ class FluidSimulation:
             rounds += 1
             wsum: Dict[int, float] = {}
             for f in active:
-                for l in self.paths[f]:
+                for l in paths[f]:
                     wsum[l] = wsum.get(l, 0.0) + weight[f]
             lam = min(
                 (max(slack[l], 0.0) / wsum[l] for l in wsum), default=0.0
@@ -712,14 +958,14 @@ class FluidSimulation:
             used_all = [0.0] * len(self.caps)
             for g, r in enumerate(rate):
                 if r > 0:
-                    for l in self.paths[g]:
+                    for l in paths[g]:
                         used_all[l] += r
             for l in range(len(self.caps)):
                 slack[l] = self.caps[l] - used_all[l]
             frozen = []
             for f in active:
                 saturated = [
-                    l for l in self.paths[f] if slack[l] <= eps[l]
+                    l for l in paths[f] if slack[l] <= eps[l]
                 ]
                 if saturated:
                     bottleneck[f] = min(saturated)
@@ -732,7 +978,7 @@ class FluidSimulation:
             self.waterfill_exhausted += len(active)
             wsum = {}
             for f in active:
-                for l in self.paths[f]:
+                for l in paths[f]:
                     wsum[l] = wsum.get(l, 0.0) + weight[f]
             lam = min(
                 (max(slack[l], 0.0) / wsum[l] for l in wsum), default=0.0
@@ -786,7 +1032,13 @@ class FluidSimulation:
                 for l, name in enumerate(self.link_names)
             ),
             link_drops=tuple(
-                (name, int(round(self.link_drop_packets[l])))
+                (
+                    name,
+                    int(round(
+                        self.link_drop_packets[l]
+                        + self.link_failure_packets[l]
+                    )),
+                )
                 for l, name in enumerate(self.link_names)
             ),
             port_disciplines=tuple(sorted(
@@ -810,7 +1062,15 @@ class FluidSimulation:
             wall_seconds=self._wall_seconds or 0.0,
             worker_pid=os.getpid(),
             invariants=invariants,
-            control=None,
+            control=(
+                self.control_plan.control_stats(
+                    self.flow_names,
+                    self.no_route_packets,
+                    int(round(self.flushed_packets)),
+                )
+                if self.control_plan is not None
+                else None
+            ),
         )
 
     def _flow_stats(self, f: int, flow: FlowSpec) -> FlowStats:
@@ -886,6 +1146,7 @@ class FluidSimulation:
                 self.delivered_bits[f]
                 + self.backlog_bits[f]
                 + self.dropped_bits[f]
+                + self.failure_drop_bits[f]
             )
             err = abs(lhs - rhs)
             tol = 1e-6 * max(lhs, 1.0) + 1.0
@@ -900,7 +1161,8 @@ class FluidSimulation:
                 violations=bad,
                 detail=(
                     f"worst imbalance {worst:.3g} bits" if bad else
-                    "arrivals = delivered + backlog + dropped for all flows"
+                    "arrivals = delivered + backlog + dropped "
+                    "+ failure drops for all flows"
                 ),
             )
         )

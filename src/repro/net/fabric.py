@@ -178,9 +178,15 @@ class EcmpPaths:
 
     #: Small FIFO cache behind :meth:`shared`, keyed by the topology
     #: *object* (id) and seed.  Each entry pins its topology alive, so
-    #: an id cannot be recycled while its key is cached.
+    #: an id cannot be recycled while its key is cached.  Only
+    #: full-graph (no excluded links) choosers live here: link-state
+    #: views hang off their parent via :meth:`masked`, each with its own
+    #: memos, so a later compile of the same fabric under a different
+    #: link state (or seed) can never read another state's walks.
     _shared: Dict[Tuple[int, int], "EcmpPaths"] = {}
     _shared_cap = 4
+    #: FIFO cap on per-instance :meth:`masked` views.
+    _masked_cap = 8
 
     @classmethod
     def shared(cls, topology: TopologySpec, seed: int = 0) -> "EcmpPaths":
@@ -202,9 +208,41 @@ class EcmpPaths:
             cls._shared[key] = inst
         return inst
 
-    def __init__(self, topology: TopologySpec, seed: int = 0):
+    def masked(self, down) -> "EcmpPaths":
+        """The chooser for this (topology, seed) with ``down`` links
+        removed from the graph.
+
+        Link-state views are cached per exact down-set on *this*
+        instance, each with fully independent distance/segment/walk
+        memos — masking never writes into the full-graph memos, and
+        ``masked(frozenset())`` is ``self``, so when the last failure
+        heals the caller is handed back the original object and its
+        original (bit-identical) paths.  Masking a masked view composes
+        (the down-sets union).
+        """
+        dead = frozenset(down) | self.exclude_links
+        if dead == self.exclude_links:
+            return self
+        inst = self._masked.get(dead)
+        if inst is None:
+            inst = type(self)(
+                self.topology, seed=self.seed, exclude_links=dead
+            )
+            if len(self._masked) >= self._masked_cap:
+                del self._masked[next(iter(self._masked))]
+            self._masked[dead] = inst
+        return inst
+
+    def __init__(
+        self,
+        topology: TopologySpec,
+        seed: int = 0,
+        exclude_links: frozenset = frozenset(),
+    ):
         self.topology = topology
         self.seed = int(seed)
+        self.exclude_links = frozenset(exclude_links)
+        self._masked: Dict[frozenset, "EcmpPaths"] = {}
         adj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
         radj: Dict[str, List[str]] = {n: [] for n in topology.nodes}
 
@@ -213,6 +251,8 @@ class EcmpPaths:
             radj.setdefault(dst, []).append(src)
 
         for link in topology.links:
+            if link.name in self.exclude_links:
+                continue
             edge(link.src, link.dst)
         for att in topology.host_attachments:
             adj.setdefault(att.host, [])

@@ -695,6 +695,15 @@ class OutageSpec:
         if self.max_outages is not None and self.max_outages < 1:
             raise ValueError("max_outages must be >= 1 when set")
 
+    @property
+    def is_active(self) -> bool:
+        """Whether this spec can ever change a link's state: it carries
+        explicit events or a positive sampling rate.  A degenerate
+        (inactive) spec still activates the control plane — the run
+        result carries a zeroed control summary — but behaves exactly
+        like an outage-free spec on both engines."""
+        return bool(self.events) or self.rate_per_second > 0
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "events": [event.to_dict() for event in self.events],

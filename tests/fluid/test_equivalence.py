@@ -129,6 +129,75 @@ class TestParkingLot:
         assert_within_band(spec, discipline)
 
 
+class TestFailHeal:
+    """Fail-heal cell: a diamond losing its primary path for the middle
+    third of the run.  Both engines flush the dead path, reroute onto
+    the backup, and restore the original routes; the goldens pin
+    agreement on traffic/delay/utilization across the whole cycle, and
+    the control summaries must agree on the discrete events exactly."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        import dataclasses
+
+        from repro.scenario import OutageEvent, OutageSpec, TopologySpec
+
+        topology = TopologySpec.graph(
+            nodes=("S-A", "S-B", "S-C", "S-D"),
+            links=[
+                {"src": "S-A", "dst": "S-B"},
+                {"src": "S-B", "dst": "S-C"},
+                {"src": "S-A", "dst": "S-D"},
+                {"src": "S-D", "dst": "S-C"},
+            ],
+            host_attachments=(("h-src", "S-A"), ("h-dst", "S-C")),
+        )
+        builder = (
+            ScenarioBuilder("eq-fail-heal")
+            .topology(topology)
+            .duration(DURATION)
+            .warmup(0.0)
+            .seed(1)
+        )
+        for i in range(4):
+            builder.add_flow(f"f{i}", "h-src", "h-dst", record=True)
+        builder.disciplines(
+            DisciplineSpec.fifo(), DisciplineSpec.unified(name="CSZ")
+        )
+        spec = builder.build()
+        return dataclasses.replace(
+            spec,
+            outages=OutageSpec(
+                events=(
+                    OutageEvent(link="S-A->S-B", at=10.0, duration=10.0),
+                )
+            ),
+        )
+
+    @pytest.mark.parametrize("discipline", ["FIFO", "CSZ"])
+    def test_within_band(self, spec, discipline):
+        assert_within_band(spec, discipline)
+
+    @pytest.mark.parametrize("discipline", ["FIFO", "CSZ"])
+    def test_control_summaries_agree(self, spec, discipline):
+        fluid = ScenarioRunner(
+            spec.replace(engine="fluid")
+        ).run_discipline(discipline)
+        packet = ScenarioRunner(
+            spec.replace(engine="packet")
+        ).run_discipline(discipline)
+        assert fluid.control is not None and packet.control is not None
+        assert fluid.control.outages == packet.control.outages == 1
+        assert fluid.control.restores == packet.control.restores == 1
+        assert fluid.control.recomputes == packet.control.recomputes
+        by_name = {f.name: f for f in packet.control.flows}
+        assert len(fluid.control.flows) == len(packet.control.flows)
+        for flow in fluid.control.flows:
+            twin = by_name[flow.name]
+            assert flow.reroutes == twin.reroutes == 2
+            assert flow.torn_down == twin.torn_down is False
+
+
 class TestGeneratedFatTree:
     """The generator family itself: a k=4 instance both engines can
     run.  ``ecmp=False`` so routing is identical (see module docstring);

@@ -125,3 +125,84 @@ class TestEcmpPaths:
         }
         # 32 inter-pod flows over 4 equal-cost cores hit more than one.
         assert len(cores) > 1
+
+
+class TestEcmpCacheKeys:
+    """Staleness audit for the shared/masked memo caches: a chooser's
+    walks must be a pure function of (topology, seed, down-set, flow),
+    never of what some other link state computed first."""
+
+    def _topo(self):
+        return leaf_spine_topology(leaves=3, spines=3, hosts_per_leaf=1)
+
+    def test_masked_empty_is_self(self):
+        chooser = EcmpPaths(self._topo(), seed=3)
+        assert chooser.masked(frozenset()) is chooser
+        assert chooser.masked(()) is chooser
+
+    def test_masked_view_does_not_pollute_parent_memos(self):
+        topo = self._topo()
+        chooser = EcmpPaths(topo, seed=3)
+        hosts = topo.host_names
+        flows = [f"flow-{i}" for i in range(12)]
+        before = [
+            tuple(chooser.path(hosts[0], hosts[-1], f)) for f in flows
+        ]
+        dead = next(
+            f"{a}->{b}"
+            for path in before
+            for a, b in zip(path, path[1:])
+            if a.startswith("L-") and b.startswith("SP-")
+        )
+        view = chooser.masked({dead})
+        assert view is not chooser
+        rerouted = [
+            tuple(view.path(hosts[0], hosts[-1], f)) for f in flows
+        ]
+        for path in rerouted:
+            assert dead not in {
+                f"{a}->{b}" for a, b in zip(path, path[1:])
+            }
+        # The parent's walks replay bit-identically after the view
+        # resolved the same population: restore hands back the original
+        # routes, not memo-shuffled equivalents.
+        after = [
+            tuple(chooser.path(hosts[0], hosts[-1], f)) for f in flows
+        ]
+        assert after == before
+
+    def test_masked_views_cached_per_down_set(self):
+        topo = self._topo()
+        chooser = EcmpPaths(topo, seed=1)
+        a = chooser.masked({"L-1->SP-1"})
+        b = chooser.masked({"L-1->SP-2"})
+        assert a is not b
+        assert chooser.masked({"L-1->SP-1"}) is a
+        # Masking a masked view composes: the down-sets union.
+        ab = a.masked({"L-1->SP-2"})
+        assert ab.exclude_links == {"L-1->SP-1", "L-1->SP-2"}
+        both = chooser.masked({"L-1->SP-1", "L-1->SP-2"})
+        hosts = topo.host_names
+        assert tuple(ab.path(hosts[0], hosts[-1], "f")) == tuple(
+            both.path(hosts[0], hosts[-1], "f")
+        )
+
+    def test_masked_cache_evicts_fifo(self):
+        topo = self._topo()
+        chooser = EcmpPaths(topo, seed=1)
+        links = [
+            f"L-{l}->SP-{s}" for l in (1, 2, 3) for s in (1, 2, 3)
+        ]
+        first = chooser.masked({links[0]})
+        for name in links[1:EcmpPaths._masked_cap + 1]:
+            chooser.masked({name})
+        assert len(chooser._masked) <= EcmpPaths._masked_cap
+        # The oldest view fell out; a fresh (correct) one replaces it.
+        assert chooser.masked({links[0]}) is not first
+
+    def test_shared_keyed_by_topology_object_and_seed(self):
+        topo_a, topo_b = self._topo(), self._topo()
+        a = EcmpPaths.shared(topo_a, seed=7)
+        assert EcmpPaths.shared(topo_a, seed=7) is a
+        assert EcmpPaths.shared(topo_a, seed=8) is not a
+        assert EcmpPaths.shared(topo_b, seed=7) is not a
